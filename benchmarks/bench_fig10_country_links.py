@@ -1,0 +1,25 @@
+"""Figure 10 bench: the country-to-country link graph."""
+
+import pytest
+
+from repro.analysis.linkgeo import analyze_link_geography
+from repro.core.paper_tables import GooglePlusPaper
+from repro.synth.countries import TOP10_CODES
+
+
+def test_fig10_country_links(benchmark, bench_dataset, bench_geo,
+                             bench_results, artifact_sink):
+    analysis = benchmark(
+        analyze_link_geography, bench_dataset, bench_geo, list(TOP10_CODES)
+    )
+    print()
+    print(artifact_sink("fig10", bench_results))
+    graph = analysis.graph
+    # Per-country self-loop weights near the published figure.
+    for code, paper_value in GooglePlusPaper.SELF_LOOPS.items():
+        assert graph.self_loop(code) == pytest.approx(paper_value, abs=0.15), code
+    # Qualitative reads: inward-looking IN/BR/ID/US, outward GB/CA,
+    # and the US as the dominant cross-border sink.
+    assert {"US", "IN", "BR", "ID"} <= set(analysis.inward_looking(0.5))
+    assert {"GB", "CA"} <= set(analysis.outward_looking(0.45))
+    assert analysis.us_is_dominant_sink()

@@ -1,0 +1,19 @@
+"""Figure 2 bench: CCDF of fields shared, tel-users vs all users."""
+
+from repro.analysis.tel_users import fields_shared_ccdfs
+
+
+def test_fig2_fields_ccdf(benchmark, bench_dataset, bench_results, artifact_sink):
+    ccdfs = benchmark(fields_shared_ccdfs, bench_dataset)
+    print()
+    print(artifact_sink("fig2", bench_results))
+    tel = ccdfs.fraction_sharing_more_than(6, "tel")
+    everyone = ccdfs.fraction_sharing_more_than(6, "all")
+    # Paper: 66% of tel-users vs 10% of all users share more than 6 fields.
+    assert everyone < 0.25
+    assert tel > everyone + 0.18
+    # The tel-user curve dominates the population curve pointwise.
+    for k in range(2, 10):
+        assert ccdfs.fraction_sharing_more_than(k, "tel") >= (
+            ccdfs.fraction_sharing_more_than(k, "all") - 0.05
+        )

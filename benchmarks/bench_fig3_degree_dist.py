@@ -1,0 +1,19 @@
+"""Figure 3 bench: degree CCDFs and the paper's log-log regression."""
+
+from repro.analysis.structure import analyze_degrees
+
+
+def test_fig3_degree_distributions(benchmark, bench_graph, bench_results,
+                                   artifact_sink):
+    analysis = benchmark(analyze_degrees, bench_graph)
+    print()
+    print(artifact_sink("fig3", bench_results))
+    # Power-law shape with exponents near the paper's 1.3 / 1.2 and a
+    # high-quality regression (paper R^2 = 0.99).
+    assert 1.0 < analysis.in_fit.alpha < 2.0
+    assert 0.9 < analysis.out_fit.alpha < 1.8
+    assert analysis.in_fit.r_squared > 0.9
+    assert analysis.out_fit.r_squared > 0.9
+    # Heavy tail: max in-degree far above the mean.
+    dist = analysis.distributions
+    assert dist.in_degrees.max() > 20 * dist.in_degrees.mean()

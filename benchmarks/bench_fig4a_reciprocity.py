@@ -1,0 +1,21 @@
+"""Figure 4a bench: relation-reciprocity distribution."""
+
+import numpy as np
+
+from repro.analysis.structure import analyze_reciprocity
+
+
+def test_fig4a_reciprocity(benchmark, bench_graph, bench_results, artifact_sink):
+    analysis = benchmark.pedantic(
+        analyze_reciprocity, args=(bench_graph,), rounds=2, iterations=1
+    )
+    print()
+    print(artifact_sink("fig4a", bench_results))
+    # Paper: 32% global reciprocity, above Twitter's 22.1%.
+    assert 0.22 < analysis.global_reciprocity < 0.55
+    # The RR CDF spreads over the whole unit interval: popular users near
+    # zero, many ordinary users high.
+    values = analysis.rr_values
+    assert (values < 0.1).mean() > 0.05
+    assert (values > 0.6).mean() > 0.15
+    assert np.all((values >= 0) & (values <= 1))

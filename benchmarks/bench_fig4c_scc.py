@@ -1,0 +1,19 @@
+"""Figure 4c bench: strongly-connected-component decomposition."""
+
+from repro.analysis.structure import analyze_sccs
+
+
+def test_fig4c_scc(benchmark, bench_graph, bench_results, artifact_sink):
+    analysis = benchmark.pedantic(
+        analyze_sccs, args=(bench_graph,), rounds=3, iterations=1
+    )
+    print()
+    print(artifact_sink("fig4c", bench_results))
+    # Paper: one giant SCC (~70% of nodes); every other SCC is tiny
+    # (only one component above 100 nodes in 35M).
+    assert analysis.giant_fraction > 0.5
+    sizes = analysis.sizes()
+    assert sizes[0] > 100
+    assert sizes[1] <= 100
+    # Long singleton tail.
+    assert (sizes == 1).sum() > 0.5 * (analysis.n_components - 1)

@@ -1,0 +1,24 @@
+"""Figure 5 bench: sampled path-length distributions (degrees of separation)."""
+
+import numpy as np
+
+from repro.analysis.structure import analyze_path_lengths
+
+
+def test_fig5_path_length(benchmark, bench_graph, bench_results, artifact_sink):
+    def run():
+        return analyze_path_lengths(
+            bench_graph, np.random.default_rng(11), initial_k=200, max_k=600
+        )
+
+    analysis = benchmark.pedantic(run, rounds=2, iterations=1)
+    print()
+    print(artifact_sink("fig5", bench_results))
+    # Shape targets (absolute values shrink with n; paper: 5.9/4.7 at 35M):
+    # directed paths longer than undirected, unimodal distribution, and a
+    # directed mode >= undirected mode.
+    assert analysis.directed.mean > analysis.undirected.mean
+    assert analysis.directed.mode >= analysis.undirected.mode
+    probabilities = analysis.directed.probabilities()
+    mode = analysis.directed.mode
+    assert probabilities[mode] == probabilities.max()

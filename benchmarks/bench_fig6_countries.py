@@ -1,0 +1,19 @@
+"""Figure 6 bench: top-10 countries among located users."""
+
+import pytest
+
+from repro.analysis.geo_dist import top_countries
+
+
+def test_fig6_top_countries(benchmark, bench_geo, bench_results, artifact_sink):
+    shares = benchmark(top_countries, bench_geo, 10)
+    print()
+    print(artifact_sink("fig6", bench_results))
+    codes = [s.code for s in shares]
+    # Paper ordering at the top: US, IN, BR.
+    assert codes[:3] == ["US", "IN", "BR"]
+    by_code = {s.code: s.fraction for s in shares}
+    assert by_code["US"] == pytest.approx(0.3138, abs=0.06)
+    assert by_code["IN"] == pytest.approx(0.1671, abs=0.05)
+    # GB and CA in the top tier, as in the paper.
+    assert {"GB", "CA"} <= set(codes)

@@ -1,0 +1,17 @@
+"""Figure 7 bench: Google+ vs Internet penetration against GDP per capita."""
+
+from repro.analysis.geo_dist import penetration_analysis
+
+
+def test_fig7_penetration(benchmark, bench_geo, bench_results, artifact_sink):
+    analysis = benchmark(penetration_analysis, bench_geo)
+    print()
+    print(artifact_sink("fig7", bench_results))
+    # Paper observation 1: Internet penetration is linear in GDP.
+    assert analysis.ipr_gdp_correlation > 0.6
+    # Paper observation 2: Google+ penetration is decoupled from GDP.
+    assert analysis.gpr_gdp_correlation < analysis.ipr_gdp_correlation - 0.2
+    # Paper observation 3: India (low IPR) tops the GPR ranking.
+    ranked = analysis.ranked_by_gpr()
+    assert ranked[0].code == "IN"
+    assert ranked[0].internet_penetration < 0.5

@@ -1,0 +1,21 @@
+"""Figure 8 bench: per-country CCDF of fields shared."""
+
+from repro.analysis.openness import openness_by_country
+from repro.synth.countries import TOP10_CODES
+
+
+def test_fig8_openness(benchmark, bench_dataset, bench_geo,
+                       bench_results, artifact_sink):
+    analysis = benchmark(
+        openness_by_country, bench_dataset, bench_geo, list(TOP10_CODES)
+    )
+    print()
+    print(artifact_sink("fig8", bench_results))
+    ranking = analysis.ranking()
+    # Paper: Indonesia and Mexico the most open; Germany the most
+    # conservative ("only country with <10% sharing more than 12 fields").
+    assert {"ID", "MX"} & set(ranking[:3])
+    assert "DE" in ranking[-3:]
+    # Everyone's minimum is 2 fields (name + places lived).
+    for country in analysis.by_country.values():
+        assert country.counts.min() >= 2

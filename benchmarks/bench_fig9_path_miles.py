@@ -1,0 +1,38 @@
+"""Figure 9 bench: path-mile CDFs and per-country averages."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distancefx import analyze_country_path_miles, analyze_path_miles
+from repro.synth.countries import TOP10_CODES
+
+
+def test_fig9a_path_miles(benchmark, bench_dataset, bench_geo,
+                          bench_results, artifact_sink):
+    def run():
+        return analyze_path_miles(
+            bench_dataset, bench_geo, np.random.default_rng(2), max_pairs=100_000
+        )
+
+    analysis = benchmark.pedantic(run, rounds=2, iterations=1)
+    print()
+    print(artifact_sink("fig9", bench_results))
+    # Paper: ~58% of friends within 1000 miles, ~15% within 10 miles;
+    # reciprocal pairs closest, random pairs farthest.
+    assert analysis.friends_within_1000mi() == pytest.approx(0.58, abs=0.15)
+    assert analysis.friends_within_10mi() == pytest.approx(0.15, abs=0.10)
+    assert analysis.ordering_holds(1000.0)
+    assert analysis.ordering_holds(100.0)
+
+
+def test_fig9b_country_path_miles(benchmark, bench_dataset, bench_geo):
+    stats = benchmark(
+        analyze_country_path_miles, bench_dataset, bench_geo, list(TOP10_CODES)
+    )
+    # Paper: no pattern relating country size to average path mile —
+    # small countries are not uniformly short-distance (cross-border
+    # edges dominate GB/CA).
+    averages = {code: stats.average(code) for code in TOP10_CODES}
+    assert all(np.isfinite(v) and v > 0 for v in averages.values())
+    # GB's average is not much below the US's despite the tiny country.
+    assert averages["GB"] > 0.3 * averages["US"]

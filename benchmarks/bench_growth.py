@@ -1,0 +1,39 @@
+"""Extension bench: the Section 7 future-work growth study.
+
+Times the snapshot analysis and asserts the growth-arc findings: the
+open-signup tipping point, Leskovec densification (a > 1), and the
+shrink of path lengths after adolescence — the paper's explanation for
+Google+'s long 5.9-hop separation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.growth import analyze_growth
+from repro.synth import build_world, WorldConfig
+from repro.synth.growth import build_timeline, OPEN_SIGNUP_DAY
+
+
+def test_growth_study(benchmark):
+    world = build_world(WorldConfig(n_users=5_000, seed=41))
+    timeline = build_timeline(
+        world.graph, world.config.field_trial_fraction, seed=42
+    )
+
+    def run():
+        return analyze_growth(timeline, seed=43, n_snapshots=8, path_samples=120)
+
+    growth = benchmark.pedantic(run, rounds=2, iterations=1)
+    print(
+        f"\ntipping day {growth.tipping_day:.0f}, stabilization"
+        f" {growth.stabilization_day:.0f}, densification a ="
+        f" {growth.densification_exponent:.2f}"
+    )
+    assert growth.tipping_day == pytest.approx(OPEN_SIGNUP_DAY, abs=12)
+    assert growth.stabilization_day > growth.tipping_day
+    assert growth.densifies()
+    defined = [
+        s for s in growth.snapshots if np.isfinite(s.mean_path_length)
+    ]
+    peak = max(defined, key=lambda s: s.mean_path_length)
+    assert peak.mean_path_length > defined[-1].mean_path_length

@@ -1,0 +1,21 @@
+"""Table 1 bench: top-20 users by in-degree.
+
+Regenerates the table and checks the paper's qualitative signature: the
+top list is celebrity-dominated with an unusually strong IT presence.
+"""
+
+from repro.analysis.top_users import top_users_by_in_degree
+from repro.platform.models import Occupation
+
+
+def test_table1_top_users(benchmark, bench_dataset, bench_graph,
+                          bench_results, artifact_sink):
+    rows = benchmark(top_users_by_in_degree, bench_dataset, bench_graph, 20)
+    print()
+    print(artifact_sink("table1", bench_results))
+    assert len(rows) == 20
+    assert rows[0].in_degree >= rows[-1].in_degree
+    it_count = sum(1 for r in rows if r.occupation is Occupation.IT)
+    assert it_count >= 3  # paper: 7 of 20
+    names = {r.name for r in rows}
+    assert "Larry Page" in names

@@ -1,0 +1,16 @@
+"""Table 2 bench: public attribute availability."""
+
+import pytest
+
+from repro.analysis.attributes import attribute_availability
+
+
+def test_table2_attributes(benchmark, bench_dataset, bench_results, artifact_sink):
+    rows = benchmark(attribute_availability, bench_dataset)
+    print()
+    print(artifact_sink("table2", bench_results))
+    by_key = {r.key: r for r in rows}
+    assert by_key["name"].percent == 100.0
+    assert by_key["gender"].percent == pytest.approx(97.67, abs=1.5)
+    assert by_key["places_lived"].percent == pytest.approx(26.75, abs=5.0)
+    assert by_key["work_contact"].percent < 1.0

@@ -1,0 +1,23 @@
+"""Table 3 bench: all users vs tel-users."""
+
+from repro.analysis.tel_users import compare_tel_users
+
+
+def test_table3_tel_users(benchmark, bench_dataset, bench_geo,
+                          bench_results, artifact_sink):
+    comparison = benchmark(compare_tel_users, bench_dataset, bench_geo)
+    print()
+    print(artifact_sink("table3", bench_results))
+    # Paper skews: male and single overrepresented among tel-users;
+    # India overrepresented, US underrepresented. The tel-user rate is
+    # 0.26%, so bench-scale subsamples are small; skew assertions only
+    # make sense where the subgroup has enough members (the paper's own
+    # columns rest on 29k-71k tel-user observations).
+    assert comparison.gender_tel.shares["Male"] > comparison.gender_all.shares["Male"]
+    if comparison.relationship_tel.total >= 20:
+        assert (
+            comparison.relationship_tel.shares["Single"]
+            > comparison.relationship_all.shares["Single"]
+        )
+    assert comparison.location_tel.shares["IN"] > comparison.location_all.shares["IN"]
+    assert comparison.location_tel.shares["US"] < comparison.location_all.shares["US"]

@@ -1,0 +1,22 @@
+"""Table 5 bench: per-country top occupations and Jaccard vs US."""
+
+from repro.analysis.top_users import top_occupations_by_country
+from repro.synth.countries import TOP10_CODES
+
+
+def test_table5_occupations(benchmark, bench_dataset, bench_graph, bench_geo,
+                            bench_results, artifact_sink):
+    rows = benchmark(
+        top_occupations_by_country,
+        bench_dataset,
+        bench_graph,
+        bench_geo,
+        list(TOP10_CODES),
+    )
+    print()
+    print(artifact_sink("table5", bench_results))
+    by_country = {r.country: r for r in rows}
+    assert by_country["US"].jaccard_vs_us == 1.0
+    # Anglophone countries resemble the US far more than Latin ones do
+    # (paper: CA 0.83 vs BR 0.18).
+    assert by_country["CA"].jaccard_vs_us > by_country["BR"].jaccard_vs_us

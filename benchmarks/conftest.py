@@ -1,0 +1,80 @@
+"""Shared fixtures for the benchmark harness.
+
+One bench-scale world (larger than the test worlds) is built and crawled
+once per session; every per-artifact bench times its *analysis* stage on
+that shared crawl and writes the rendered artifact (the same rows/series
+the paper reports) to ``benchmarks/output/<artifact>.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import MeasurementStudy, StudyConfig, StudyResults
+from repro.experiments.registry import EXPERIMENTS
+
+#: Bench world scale; large enough for stable per-country statistics.
+BENCH_USERS = 12_000
+BENCH_SEED = 7
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> StudyConfig:
+    return StudyConfig(
+        n_users=BENCH_USERS,
+        seed=BENCH_SEED,
+        path_sample_start=300,
+        path_sample_max=1_000,
+        path_mile_pairs=150_000,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_study(bench_config) -> MeasurementStudy:
+    return MeasurementStudy(bench_config)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_study):
+    return bench_study.crawl()
+
+
+@pytest.fixture(scope="session")
+def bench_graph(bench_dataset):
+    return bench_dataset.to_csr()
+
+
+@pytest.fixture(scope="session")
+def bench_geo(bench_dataset):
+    from repro.geo.index import build_geo_index
+
+    return build_geo_index(bench_dataset)
+
+
+@pytest.fixture(scope="session")
+def bench_results(bench_study, bench_dataset) -> StudyResults:
+    """Full study results over the shared crawl (computed once)."""
+    return bench_study.run(dataset=bench_dataset)
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(99)
+
+
+@pytest.fixture(scope="session")
+def artifact_sink():
+    """Writes rendered artifacts to benchmarks/output/ for inspection."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(artifact_id: str, results: StudyResults) -> str:
+        text = EXPERIMENTS[artifact_id].render(results)
+        (OUTPUT_DIR / f"{artifact_id}.txt").write_text(text + "\n")
+        return text
+
+    return write

@@ -1,0 +1,62 @@
+"""Market strategies: the Section 6 implications, derived from data.
+
+The paper's discussion section argues its measurements should drive
+product decisions — recommender scope (domestic vs foreign content),
+which professions to feature per country, where political campaigning
+works, and how to pitch privacy defaults. This example runs the full
+measurement study and derives exactly those strategies, country by
+country, from the measured artifacts.
+
+Run:  python examples/market_strategies.py [n_users] [seed]
+"""
+
+import sys
+
+from repro.analysis.implications import campaign_countries, derive_strategies
+from repro.core import MeasurementStudy, StudyConfig
+from repro.experiments import format_table
+
+
+def main() -> None:
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+    results = MeasurementStudy(StudyConfig(n_users=n_users, seed=seed)).run()
+    strategies = derive_strategies(results)
+
+    rows = [
+        (
+            s.country,
+            s.recommend_scope,
+            f"{s.self_loop:.2f}",
+            s.featured_label,
+            "viable" if s.political_campaign_viable else "-",
+            s.privacy_posture,
+        )
+        for s in strategies.values()
+    ]
+    print(
+        format_table(
+            ["Country", "Recommender scope", "Self-loop", "Feature first",
+             "Political ads", "Privacy posture"],
+            rows,
+            title="Per-country product strategy (Section 6, derived)",
+        )
+    )
+    print()
+    print(
+        "Political campaigning viable in:",
+        ", ".join(campaign_countries(strategies)) or "none",
+        " (the paper: 'except for in Spain')",
+    )
+    conservative = [
+        s.country for s in strategies.values() if s.privacy_posture == "conservative"
+    ]
+    print(
+        "Ship stricter privacy defaults first in:",
+        ", ".join(conservative),
+        " (Figure 8's conservative tier)",
+    )
+
+
+if __name__ == "__main__":
+    main()

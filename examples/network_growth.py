@@ -1,0 +1,76 @@
+"""Network growth: the paper's future-work study, implemented.
+
+Section 7 of the paper proposes measuring "the speed at which a new
+social network service grows", predicting "the tipping point when a
+network suddenly shows a rapid growth or the point where the growth
+stabilizes", and using "multiple snapshots of the Google+ topology" to
+watch the internal structure change. This example does all three on the
+synthetic world's growth timeline, and confirms the Section 5 hypothesis
+that the young network's long paths (5.9 hops vs Facebook's 4.7) were a
+symptom of youth: snapshots densify (Leskovec's E ∝ N^a, a > 1) and path
+lengths shrink after the open-signup spike.
+
+Run:  python examples/network_growth.py [n_users] [seed]
+"""
+
+import sys
+
+from repro.analysis.growth import analyze_growth
+from repro.experiments import AsciiPlot, format_table
+from repro.synth import build_world, WorldConfig
+from repro.synth.growth import build_timeline, OPEN_SIGNUP_DAY
+
+
+def main() -> None:
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    world = build_world(WorldConfig(n_users=n_users, seed=seed))
+    timeline = build_timeline(
+        world.graph, world.config.field_trial_fraction, seed=seed + 1
+    )
+    growth = analyze_growth(timeline, seed=seed + 2, n_snapshots=8)
+
+    plot = AsciiPlot(title="Adoption curve (registered users by day)")
+    plot.add_series(growth.days, growth.adoption, "*", "users")
+    print(plot.render())
+    print(
+        f"\ntipping point: day {growth.tipping_day:.0f}"
+        f" (open signup was day {OPEN_SIGNUP_DAY:.0f});"
+        f" growth stabilizes around day {growth.stabilization_day:.0f}"
+    )
+
+    rows = [
+        (
+            f"{s.day:.0f}",
+            f"{s.n_nodes:,}",
+            f"{s.n_edges:,}",
+            f"{s.mean_degree:.1f}",
+            f"{s.mean_path_length:.2f}",
+            f"{s.reciprocity:.2f}",
+        )
+        for s in growth.snapshots
+    ]
+    print()
+    print(
+        format_table(
+            ["Day", "Nodes", "Edges", "Mean degree", "Path length", "Reciprocity"],
+            rows,
+            title="Topology snapshots over the growth arc",
+        )
+    )
+    print(
+        f"\ndensification exponent a = {growth.densification_exponent:.2f}"
+        f" (E ~ N^a; a > 1 means the network densifies as it grows)"
+    )
+    defined = [s for s in growth.snapshots if s.mean_path_length == s.mean_path_length]
+    peak = max(defined, key=lambda s: s.mean_path_length)
+    print(
+        f"path length peaked at {peak.mean_path_length:.2f} hops on day"
+        f" {peak.day:.0f} and fell to {defined[-1].mean_path_length:.2f} by the"
+        f" crawl - the paper's 'new system still growing' explanation for its"
+        f" 5.9-hop separation."
+    )
+
+
+if __name__ == "__main__":
+    main()

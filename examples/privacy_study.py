@@ -1,0 +1,63 @@
+"""Privacy deep dive: risk-taking tel-users and cultural openness.
+
+Reproduces the privacy thread of the paper (Sections 3.2 and 4.3):
+
+* Table 2 — which profile attributes users make public;
+* Table 3 — how tel-users (publicly sharing a phone number) differ in
+  gender, relationship status and country;
+* Figure 2 — tel-users share far more profile fields;
+* Figure 8 — how openness varies across the top-10 countries.
+
+Run:  python examples/privacy_study.py [n_users] [seed]
+"""
+
+import sys
+
+from repro.core import MeasurementStudy, StudyConfig
+from repro.experiments import format_table, percent
+from repro.experiments.registry import EXPERIMENTS
+
+
+def main() -> None:
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 11
+    results = MeasurementStudy(StudyConfig(n_users=n_users, seed=seed)).run()
+
+    print(EXPERIMENTS["table2"].render(results))
+    print()
+    print(EXPERIMENTS["table3"].render(results))
+    print()
+    print(EXPERIMENTS["fig2"].render(results))
+    print()
+    print(EXPERIMENTS["fig8"].render(results))
+
+    # A couple of derived observations the paper calls out in prose.
+    t3 = results.table3_tel_users
+    male_gap = t3.gender_tel.shares.get("Male", 0) - t3.gender_all.shares.get("Male", 0)
+    single_gap = (
+        t3.relationship_tel.shares.get("Single", 0)
+        - t3.relationship_all.shares.get("Single", 0)
+    )
+    print()
+    print(
+        format_table(
+            ["Observation", "Value"],
+            [
+                ("tel-users male surplus vs population", percent(male_gap)),
+                ("tel-users single surplus vs population", percent(single_gap)),
+                (
+                    "tel-users sharing >6 fields",
+                    percent(results.fig2_fields.fraction_sharing_more_than(6, "tel")),
+                ),
+                (
+                    "all users sharing >6 fields",
+                    percent(results.fig2_fields.fraction_sharing_more_than(6, "all")),
+                ),
+            ],
+            title="Risk-taking signatures (Section 3.2)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

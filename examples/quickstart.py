@@ -1,0 +1,72 @@
+"""Quickstart: reproduce the paper's headline results in one call.
+
+Builds a synthetic Google+ world, crawls it the way Magno et al. did
+(bidirectional BFS over public profile pages), and prints the headline
+numbers of every section next to the paper's values.
+
+Run:  python examples/quickstart.py [n_users] [seed]
+"""
+
+import sys
+
+from repro import GooglePlusPaper as paper, run_study
+from repro.experiments import percent
+
+
+def main() -> None:
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+    print(f"Running the measurement study (n_users={n_users}, seed={seed})...")
+    results = run_study(n_users=n_users, seed=seed)
+
+    print("\n-- Crawl (Section 2.2) --")
+    print(
+        f"profiles crawled: {results.dataset.n_profiles:,}"
+        f" | graph: {results.graph.n:,} nodes, {results.graph.n_edges:,} edges"
+    )
+
+    print("\n-- Who is popular? (Table 1) --")
+    for user in results.table1_top_users[:5]:
+        print(f"  #{user.rank} {user.name} ({user.about}) - {user.in_degree:,} circles")
+
+    print("\n-- Structure (Section 3.3) --")
+    t4 = results.table4_row
+    print(f"  mean degree: {t4.mean_in_degree:.1f}  (paper 16.4)")
+    print(
+        f"  reciprocity: {percent(t4.reciprocity)}"
+        f"  (paper {percent(paper.GLOBAL_RECIPROCITY)},"
+        f" Twitter {percent(paper.TWITTER_RECIPROCITY)})"
+    )
+    print(
+        f"  avg path length: {t4.avg_path_length:.2f} directed /"
+        f" {t4.undirected_avg_path_length:.2f} undirected"
+        f"  (paper 5.9 / 4.7 at 35M nodes)"
+    )
+    print(
+        f"  power law: alpha_in={results.fig3_degrees.in_fit.alpha:.2f},"
+        f" alpha_out={results.fig3_degrees.out_fit.alpha:.2f}"
+        f"  (paper 1.3 / 1.2)"
+    )
+    print(
+        f"  giant SCC: {percent(results.fig4c_sccs.giant_fraction)} of nodes"
+        f"  (paper ~70%)"
+    )
+
+    print("\n-- Geography (Section 4) --")
+    top = results.fig6_countries
+    print("  top countries:", ", ".join(f"{c.code} {c.fraction:.1%}" for c in top[:5]))
+    gpr_top = results.fig7_penetration.ranked_by_gpr()[0]
+    print(f"  highest Google+ penetration: {gpr_top.code}  (paper: IN)")
+    f9 = results.fig9a_path_miles
+    print(
+        f"  friends within 1000 miles: {percent(f9.friends_within_1000mi())}"
+        f"  (paper ~58%)"
+    )
+    print(
+        f"  most conservative profile culture:"
+        f" {results.fig8_openness.most_conservative()}  (paper: DE)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs on environments without
+the ``wheel`` package (``python setup.py develop``). Configuration lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro-gplus: a reproduction of "New Kid on the Block: Exploring the
+Google+ Social Graph" (Magno et al., IMC 2012).
+
+Google+ no longer exists, so the package rebuilds the whole measurement
+stack over a simulated service: a calibrated synthetic world
+(:mod:`repro.synth`), the Google+ platform mechanics (:mod:`repro.platform`),
+the authors' bidirectional BFS crawler (:mod:`repro.crawler`), a
+from-scratch graph library (:mod:`repro.graph`), geo analytics
+(:mod:`repro.geo`), and one analysis per table/figure
+(:mod:`repro.analysis`), orchestrated by :mod:`repro.core`.
+
+Quickstart::
+
+    from repro import run_study
+
+    results = run_study(n_users=20_000, seed=7)
+    for row in results.table1_top_users[:5]:
+        print(row.rank, row.name, row.in_degree, row.about)
+"""
+
+from .core import (
+    compare_results,
+    GooglePlusPaper,
+    MeasurementStudy,
+    run_study,
+    StudyConfig,
+    StudyResults,
+)
+from .synth import build_world, WorldConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_world",
+    "compare_results",
+    "GooglePlusPaper",
+    "MeasurementStudy",
+    "run_study",
+    "StudyConfig",
+    "StudyResults",
+    "WorldConfig",
+    "__version__",
+]

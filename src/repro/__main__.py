@@ -1,0 +1,6 @@
+"""``python -m repro`` — regenerate the paper's artifacts (alias for
+``python -m repro.experiments``)."""
+
+from .experiments.runner import main
+
+raise SystemExit(main())

@@ -1,0 +1,136 @@
+"""Per-artifact analyses: one module per table/figure of the paper."""
+
+from .attributes import attribute_availability, AttributeAvailability
+from .cross_network import compare_networks, CrossNetworkComparison
+from .diffusion import (
+    analyze_diffusion,
+    CountryActivity,
+    DiffusionAnalysis,
+    ReachComparison,
+)
+from .distancefx import (
+    analyze_country_path_miles,
+    analyze_path_miles,
+    CountryPathMiles,
+    PathMileAnalysis,
+)
+from .growth import (
+    analyze_growth,
+    find_stabilization,
+    find_tipping_point,
+    fit_densification,
+    GrowthAnalysis,
+    SnapshotMetrics,
+)
+from .geo_dist import (
+    CountryShare,
+    penetration_analysis,
+    PenetrationAnalysis,
+    PenetrationPoint,
+    top_countries,
+)
+from .implications import (
+    campaign_countries,
+    CountryStrategy,
+    derive_strategies,
+)
+from .linkgeo import analyze_link_geography, LinkGeographyAnalysis
+from .openness import CountryOpenness, openness_by_country, OpennessAnalysis
+from .robustness import (
+    analyze_robustness,
+    removal_curve,
+    RobustnessAnalysis,
+    RobustnessCurve,
+)
+from .structure import (
+    analyze_clustering,
+    analyze_degrees,
+    analyze_path_lengths,
+    analyze_reciprocity,
+    analyze_sccs,
+    ClusteringAnalysis,
+    DegreeAnalysis,
+    google_plus_table4_row,
+    PathLengthAnalysis,
+    ReciprocityAnalysis,
+    SCCAnalysis,
+)
+from .tel_users import (
+    compare_tel_users,
+    fields_shared_ccdfs,
+    FieldsSharedCCDFs,
+    GroupShares,
+    TABLE3_COUNTRIES,
+    tel_user_ids,
+    TelUserComparison,
+)
+from .top_users import (
+    CountryTopRow,
+    it_fraction,
+    occupation_of,
+    top_occupations_by_country,
+    top_users_by_in_degree,
+    TopUser,
+)
+
+__all__ = [
+    "analyze_clustering",
+    "analyze_diffusion",
+    "campaign_countries",
+    "compare_networks",
+    "analyze_growth",
+    "analyze_robustness",
+    "analyze_country_path_miles",
+    "analyze_degrees",
+    "analyze_link_geography",
+    "analyze_path_lengths",
+    "analyze_path_miles",
+    "analyze_reciprocity",
+    "analyze_sccs",
+    "attribute_availability",
+    "AttributeAvailability",
+    "ClusteringAnalysis",
+    "compare_tel_users",
+    "CountryOpenness",
+    "CountryPathMiles",
+    "CountryActivity",
+    "CountryShare",
+    "CountryStrategy",
+    "CrossNetworkComparison",
+    "derive_strategies",
+    "DiffusionAnalysis",
+    "CountryTopRow",
+    "DegreeAnalysis",
+    "fields_shared_ccdfs",
+    "FieldsSharedCCDFs",
+    "find_stabilization",
+    "find_tipping_point",
+    "fit_densification",
+    "google_plus_table4_row",
+    "GrowthAnalysis",
+    "GroupShares",
+    "it_fraction",
+    "LinkGeographyAnalysis",
+    "occupation_of",
+    "openness_by_country",
+    "OpennessAnalysis",
+    "PathLengthAnalysis",
+    "PathMileAnalysis",
+    "penetration_analysis",
+    "PenetrationAnalysis",
+    "PenetrationPoint",
+    "ReachComparison",
+    "removal_curve",
+    "RobustnessAnalysis",
+    "RobustnessCurve",
+    "ReciprocityAnalysis",
+    "SnapshotMetrics",
+    "SCCAnalysis",
+    "TABLE3_COUNTRIES",
+    "tel_user_ids",
+    "TelUserComparison",
+    "top_countries",
+    "top_occupations_by_country",
+    "top_users_by_in_degree",
+    "TopUser",
+]

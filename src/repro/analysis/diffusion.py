@@ -1,0 +1,119 @@
+"""Content-diffusion analysis (future work #2 of Section 7).
+
+Given an :class:`~repro.synth.activity.ActivityLog`, measures how
+privacy settings and openness shape content sharing:
+
+* the **cascade-size distribution** — heavy-tailed, with hubs seeding
+  the big trees (the "information can spread quickly and widely" claim
+  of Section 3.3.5 made concrete);
+* **public vs circle-scoped reach** — the walled-garden question: how
+  much audience does scoping to circles cost;
+* **openness and virality by country** — whether cultures that share
+  more profile fields also produce more public, farther-travelling
+  content (the paper's hypothesised link between §4.3 and content).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synth.activity import ActivityLog
+from repro.synth.profiles import Population
+
+
+@dataclass(frozen=True)
+class ReachComparison:
+    """Audience statistics for public vs circle-scoped posts."""
+
+    n_public: int
+    n_scoped: int
+    public_mean_audience: float
+    scoped_mean_audience: float
+    public_share: float
+
+    @property
+    def reach_ratio(self) -> float:
+        """How many times farther public posts travel."""
+        if self.scoped_mean_audience == 0:
+            return float("inf") if self.public_mean_audience > 0 else float("nan")
+        return self.public_mean_audience / self.scoped_mean_audience
+
+
+@dataclass(frozen=True)
+class CountryActivity:
+    """Per-country posting culture."""
+
+    country: str
+    n_posts: int
+    public_share: float
+    mean_audience: float
+
+
+@dataclass(frozen=True)
+class DiffusionAnalysis:
+    """The full diffusion study."""
+
+    cascade_sizes: np.ndarray
+    cascade_depths: np.ndarray
+    reach: ReachComparison
+    by_country: dict[str, CountryActivity]
+    plus_ones_total: int
+
+    def max_cascade(self) -> int:
+        return int(self.cascade_sizes.max()) if len(self.cascade_sizes) else 0
+
+    def viral_fraction(self, threshold: int = 5) -> float:
+        """Share of cascades growing beyond ``threshold`` reshares."""
+        if len(self.cascade_sizes) == 0:
+            return float("nan")
+        return float((self.cascade_sizes > threshold).mean())
+
+
+def analyze_diffusion(
+    log: ActivityLog,
+    population: Population,
+    countries: list[str] | None = None,
+) -> DiffusionAnalysis:
+    """Compute the diffusion study from an activity log."""
+    sizes = np.array([c.size for c in log.cascades], dtype=np.int64)
+    depths = np.array([c.depth for c in log.cascades], dtype=np.int64)
+
+    public = log.public_cascades()
+    scoped = log.scoped_cascades()
+    reach = ReachComparison(
+        n_public=len(public),
+        n_scoped=len(scoped),
+        public_mean_audience=(
+            float(np.mean([c.audience for c in public])) if public else 0.0
+        ),
+        scoped_mean_audience=(
+            float(np.mean([c.audience for c in scoped])) if scoped else 0.0
+        ),
+        public_share=len(public) / len(log.cascades) if log.cascades else 0.0,
+    )
+
+    wanted = countries
+    per_country: dict[str, list] = {}
+    for cascade in log.cascades:
+        code = population.country_codes[cascade.author_id]
+        if wanted is not None and code not in wanted:
+            continue
+        per_country.setdefault(code, []).append(cascade)
+    by_country = {
+        code: CountryActivity(
+            country=code,
+            n_posts=len(cascades),
+            public_share=float(np.mean([c.is_public for c in cascades])),
+            mean_audience=float(np.mean([c.audience for c in cascades])),
+        )
+        for code, cascades in per_country.items()
+    }
+    return DiffusionAnalysis(
+        cascade_sizes=sizes,
+        cascade_depths=depths,
+        reach=reach,
+        by_country=by_country,
+        plus_ones_total=log.n_plus_ones,
+    )

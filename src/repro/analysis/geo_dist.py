@@ -1,0 +1,109 @@
+"""Worldwide user distribution and adoption economics (Figures 6 and 7).
+
+Figure 6 ranks countries by their share of located users; Figure 7 puts
+Google+ penetration rate (GPR, Equation 2) and Internet penetration rate
+side by side against GDP per capita, exposing the paper's three
+observations: Internet penetration tracks GDP linearly, GPR does not,
+and low-IPR countries (India, Brazil) lead Google+ adoption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.index import GeoIndex
+from repro.synth.countries import build_country_table, Country
+
+
+@dataclass(frozen=True)
+class CountryShare:
+    """One bar of Figure 6."""
+
+    code: str
+    users: int
+    fraction: float
+
+
+def top_countries(geo: GeoIndex, k: int = 10) -> list[CountryShare]:
+    """Figure 6: the top-``k`` countries among located users."""
+    counts = geo.country_counts()
+    total = sum(counts.values())
+    ranked = sorted(counts.items(), key=lambda item: -item[1])[:k]
+    return [
+        CountryShare(code=code, users=n, fraction=n / total if total else 0.0)
+        for code, n in ranked
+    ]
+
+
+@dataclass(frozen=True)
+class PenetrationPoint:
+    """One country point of Figure 7a/7b."""
+
+    code: str
+    region: str
+    gdp_per_capita: float
+    internet_penetration: float  # fraction of population online
+    gplus_users: int
+    gplus_penetration: float  # GPR: located users / Internet population
+
+
+@dataclass(frozen=True)
+class PenetrationAnalysis:
+    """Figure 7 material plus the linearity contrast the paper reports."""
+
+    points: list[PenetrationPoint]
+    ipr_gdp_correlation: float
+    gpr_gdp_correlation: float
+
+    def ranked_by_gpr(self) -> list[PenetrationPoint]:
+        return sorted(self.points, key=lambda p: -p.gplus_penetration)
+
+
+def penetration_analysis(
+    geo: GeoIndex,
+    countries: dict[str, Country] | None = None,
+    codes: list[str] | None = None,
+) -> PenetrationAnalysis:
+    """Compute GPR per country (Equation 2) and the two GDP correlations.
+
+    GPR is meaningful only as a relative ranking (the crawl is a sample
+    and only ~27% of users share location), exactly as the paper caveats.
+    """
+    table = countries if countries is not None else build_country_table()
+    counts = geo.country_counts()
+    if codes is None:
+        # Figure 7 plots the top-20 countries by located users.
+        codes = [c for c, _ in sorted(counts.items(), key=lambda i: -i[1])[:20]]
+    points = []
+    for code in codes:
+        country = table.get(code)
+        if country is None:
+            continue
+        users = counts.get(code, 0)
+        internet_pop = country.internet_population_m * 1e6
+        points.append(
+            PenetrationPoint(
+                code=code,
+                region=country.region,
+                gdp_per_capita=country.gdp_per_capita_ppp,
+                internet_penetration=country.internet_penetration,
+                gplus_users=users,
+                gplus_penetration=users / internet_pop if internet_pop else 0.0,
+            )
+        )
+    gdp = np.array([p.gdp_per_capita for p in points])
+    ipr = np.array([p.internet_penetration for p in points])
+    gpr = np.array([p.gplus_penetration for p in points])
+    return PenetrationAnalysis(
+        points=points,
+        ipr_gdp_correlation=_safe_corr(gdp, ipr),
+        gpr_gdp_correlation=_safe_corr(gdp, gpr),
+    )
+
+
+def _safe_corr(a: np.ndarray, b: np.ndarray) -> float:
+    if len(a) < 2 or a.std() == 0 or b.std() == 0:
+        return float("nan")
+    return float(np.corrcoef(a, b)[0, 1])

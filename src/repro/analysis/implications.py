@@ -1,0 +1,98 @@
+"""The Section 6 implications, operationalised.
+
+The paper closes by sketching what its measurements *mean* for systems
+built on top of Google+: recommender systems should prefer domestic
+content in inward-looking countries and foreign content in outward ones;
+advertisers should "feature newly emerging musicians to users in Mexico,
+while recommend journalists to newly joining users in Italy"; political
+campaigning "may not turn out successful for many countries, except for
+in Spain". This module derives those recommendations from a study's
+measured artifacts instead of hand-waving them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import StudyResults
+from repro.platform.models import Occupation, OCCUPATION_LABELS
+
+
+@dataclass(frozen=True)
+class CountryStrategy:
+    """Derived per-country product guidance."""
+
+    country: str
+    recommend_scope: str  # "domestic" | "foreign" | "mixed"
+    self_loop: float
+    featured_occupation: Occupation | None
+    political_campaign_viable: bool
+    privacy_posture: str  # "open" | "moderate" | "conservative"
+
+    @property
+    def featured_label(self) -> str:
+        if self.featured_occupation is None:
+            return "(no public occupation signal)"
+        return OCCUPATION_LABELS[self.featured_occupation]
+
+
+def _dominant_occupation(occupations) -> Occupation | None:
+    """Most frequent non-None occupation among a country's top users."""
+    counts: dict[Occupation, int] = {}
+    for occupation in occupations:
+        if occupation is not None:
+            counts[occupation] = counts.get(occupation, 0) + 1
+    if not counts:
+        return None
+    return max(counts, key=lambda o: (counts[o], -list(counts).index(o)))
+
+
+def derive_strategies(
+    results: StudyResults,
+    domestic_threshold: float = 0.5,
+    foreign_threshold: float = 0.4,
+) -> dict[str, CountryStrategy]:
+    """Turn a study's artifacts into the Section 6 guidance per country."""
+    link_graph = results.fig10_links.graph
+    openness_ranking = results.fig8_openness.ranking()
+    open_tier = set(openness_ranking[:3])
+    conservative_tier = set(openness_ranking[-3:])
+    occupations_by_country = {
+        row.country: row.occupations for row in results.table5_occupations
+    }
+    strategies: dict[str, CountryStrategy] = {}
+    for country in link_graph.countries:
+        self_loop = link_graph.self_loop(country)
+        if self_loop > domestic_threshold:
+            scope = "domestic"
+        elif self_loop < foreign_threshold:
+            scope = "foreign"
+        else:
+            scope = "mixed"
+        top_occupations = occupations_by_country.get(country, ())
+        featured = _dominant_occupation(top_occupations)
+        political = Occupation.POLITICIAN in set(top_occupations)
+        if country in open_tier:
+            posture = "open"
+        elif country in conservative_tier:
+            posture = "conservative"
+        else:
+            posture = "moderate"
+        strategies[country] = CountryStrategy(
+            country=country,
+            recommend_scope=scope,
+            self_loop=self_loop,
+            featured_occupation=featured,
+            political_campaign_viable=political,
+            privacy_posture=posture,
+        )
+    return strategies
+
+
+def campaign_countries(strategies: dict[str, CountryStrategy]) -> list[str]:
+    """Countries where a political campaign has measured traction."""
+    return [
+        code
+        for code, strategy in strategies.items()
+        if strategy.political_campaign_viable
+    ]

@@ -1,0 +1,76 @@
+"""Per-country openness: fields shared in profiles (Section 4.3, Figure 8).
+
+For each top-10 country, the CCDF of the number of publicly shared
+fields among that country's located users. By construction of the
+methodology the minimum is 2 (name is mandatory; places-lived defines the
+sample). The paper's finding: Indonesia and Mexico share the most,
+Germany is by far the most conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crawler.dataset import CrawlDataset
+from repro.geo.index import GeoIndex
+from repro.graph.degree import ccdf, EmpiricalCCDF
+
+
+@dataclass(frozen=True)
+class CountryOpenness:
+    """Field-count sample and CCDF for one country."""
+
+    country: str
+    counts: np.ndarray
+    curve: EmpiricalCCDF
+
+    def fraction_sharing_more_than(self, k: int) -> float:
+        if len(self.counts) == 0:
+            return float("nan")
+        return float((self.counts > k).mean())
+
+    @property
+    def mean_fields(self) -> float:
+        return float(self.counts.mean()) if len(self.counts) else float("nan")
+
+
+@dataclass(frozen=True)
+class OpennessAnalysis:
+    """Figure 8: one curve per country."""
+
+    by_country: dict[str, CountryOpenness]
+
+    def ranking(self) -> list[str]:
+        """Countries from most to least open (by mean fields shared)."""
+        return sorted(
+            self.by_country,
+            key=lambda code: -self.by_country[code].mean_fields,
+        )
+
+    def most_conservative(self) -> str:
+        return self.ranking()[-1]
+
+
+def openness_by_country(
+    dataset: CrawlDataset, geo: GeoIndex, countries: list[str]
+) -> OpennessAnalysis:
+    """Compute Figure 8 over the located users of the given countries."""
+    samples: dict[str, list[int]] = {code: [] for code in countries}
+    for user_id, code in zip(geo.user_ids, geo.countries):
+        if code not in samples:
+            continue
+        profile = dataset.profiles.get(int(user_id))
+        if profile is None:
+            continue
+        samples[code].append(profile.count_fields())
+    by_country: dict[str, CountryOpenness] = {}
+    for code in countries:
+        counts = np.array(samples[code], dtype=np.int64)
+        if len(counts) == 0:
+            raise ValueError(f"no located users for country {code!r}")
+        by_country[code] = CountryOpenness(
+            country=code, counts=counts, curve=ccdf(counts)
+        )
+    return OpennessAnalysis(by_country=by_country)

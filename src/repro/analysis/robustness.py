@@ -1,0 +1,115 @@
+"""Hub centrality and network robustness.
+
+Section 3.3.1: *"As studied in many other research, hubs play a central
+role in information propagation in social networks."* This analysis makes
+that claim measurable: remove nodes (targeted by in-degree vs uniformly
+at random) and track the giant weakly-connected component — the classic
+Albert-Jeong-Barabási attack/failure experiment. A celebrity-hub graph
+like Google+ should shatter quickly under targeted removal while barely
+noticing random failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.components import UnionFind
+from repro.graph.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class RobustnessCurve:
+    """Giant-WCC share as nodes are removed."""
+
+    removed_fractions: np.ndarray
+    giant_fractions: np.ndarray
+    strategy: str
+
+    def giant_at(self, removed: float) -> float:
+        """Giant share at (the nearest measured) removal fraction."""
+        index = int(np.argmin(np.abs(self.removed_fractions - removed)))
+        return float(self.giant_fractions[index])
+
+    def collapse_point(self, threshold: float = 0.5) -> float:
+        """Smallest removal fraction with giant share below threshold."""
+        below = np.flatnonzero(self.giant_fractions < threshold)
+        if len(below) == 0:
+            return float("nan")
+        return float(self.removed_fractions[below[0]])
+
+
+def _giant_fraction_without(graph: CSRGraph, removed: np.ndarray) -> float:
+    """Giant WCC share of the graph with a node subset removed."""
+    alive = np.ones(graph.n, dtype=bool)
+    alive[removed] = False
+    n_alive = int(alive.sum())
+    if n_alive == 0:
+        return 0.0
+    uf = UnionFind(graph.n)
+    sources = np.repeat(np.arange(graph.n, dtype=np.int64), graph.out_degrees())
+    keep = alive[sources] & alive[graph.indices]
+    for u, v in zip(sources[keep], graph.indices[keep]):
+        uf.union(int(u), int(v))
+    roots: dict[int, int] = {}
+    for node in np.flatnonzero(alive):
+        root = uf.find(int(node))
+        roots[root] = roots.get(root, 0) + 1
+    return max(roots.values()) / graph.n
+
+
+def removal_curve(
+    graph: CSRGraph,
+    strategy: str,
+    rng: np.random.Generator,
+    fractions: np.ndarray | None = None,
+) -> RobustnessCurve:
+    """Giant-component decay under node removal.
+
+    ``strategy`` is ``"targeted"`` (highest in-degree first — attacking
+    the celebrities) or ``"random"`` (uniform failures).
+    """
+    if fractions is None:
+        fractions = np.array([0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2])
+    if strategy == "targeted":
+        order = np.argsort(-graph.in_degrees(), kind="stable")
+    elif strategy == "random":
+        order = rng.permutation(graph.n)
+    else:
+        raise ValueError(f"unknown removal strategy: {strategy!r}")
+    giants = []
+    for fraction in fractions:
+        k = int(round(fraction * graph.n))
+        giants.append(_giant_fraction_without(graph, order[:k]))
+    return RobustnessCurve(
+        removed_fractions=np.asarray(fractions, dtype=float),
+        giant_fractions=np.array(giants),
+        strategy=strategy,
+    )
+
+
+@dataclass(frozen=True)
+class RobustnessAnalysis:
+    """Targeted-attack vs random-failure comparison."""
+
+    targeted: RobustnessCurve
+    random: RobustnessCurve
+
+    def hub_dependence(self, removed: float = 0.05) -> float:
+        """Giant-share gap between random failure and targeted attack
+        after removing ``removed`` of the nodes — the measured version of
+        'hubs play a central role'."""
+        return self.random.giant_at(removed) - self.targeted.giant_at(removed)
+
+
+def analyze_robustness(
+    graph: CSRGraph,
+    rng: np.random.Generator,
+    fractions: np.ndarray | None = None,
+) -> RobustnessAnalysis:
+    """Run both removal experiments."""
+    return RobustnessAnalysis(
+        targeted=removal_curve(graph, "targeted", rng, fractions),
+        random=removal_curve(graph, "random", rng, fractions),
+    )

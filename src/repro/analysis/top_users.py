@@ -1,0 +1,137 @@
+"""Top-user rankings: Table 1 (global) and Table 5 (per country).
+
+Both tables rank users by crawled in-degree ("how many circles these
+users are added to by others") and label them with the occupation shown
+on their public profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crawler.dataset import CrawlDataset
+from repro.geo.index import GeoIndex
+from repro.graph.csr import CSRGraph
+from repro.platform.models import Occupation, OCCUPATION_LABELS
+from repro.synth.occupations import jaccard_index
+
+#: Reverse lookup: long-form label -> occupation code.
+_LABEL_TO_CODE: dict[str, Occupation] = {
+    label: code for code, label in OCCUPATION_LABELS.items()
+}
+
+
+@dataclass(frozen=True)
+class TopUser:
+    """One row of Table 1."""
+
+    rank: int
+    user_id: int
+    name: str
+    in_degree: int
+    occupation: Occupation | None
+
+    @property
+    def about(self) -> str:
+        if self.occupation is None:
+            return "(occupation not public)"
+        return OCCUPATION_LABELS[self.occupation]
+
+
+def occupation_of(dataset: CrawlDataset, user_id: int) -> Occupation | None:
+    """Occupation code from a crawled profile's public occupation field."""
+    profile = dataset.profiles.get(user_id)
+    if profile is None:
+        return None
+    label = profile.fields.get("occupation")
+    if not isinstance(label, str):
+        return None
+    return _LABEL_TO_CODE.get(label)
+
+
+def top_users_by_in_degree(
+    dataset: CrawlDataset, graph: CSRGraph, k: int = 20
+) -> list[TopUser]:
+    """Table 1: the ``k`` users most added to circles."""
+    in_degrees = graph.in_degrees()
+    order = np.argsort(-in_degrees, kind="stable")[:k]
+    rows: list[TopUser] = []
+    for rank, compact in enumerate(order, start=1):
+        user_id = int(graph.node_ids[compact])
+        profile = dataset.profiles.get(user_id)
+        rows.append(
+            TopUser(
+                rank=rank,
+                user_id=user_id,
+                name=profile.name if profile else f"(uncrawled {user_id})",
+                in_degree=int(in_degrees[compact]),
+                occupation=occupation_of(dataset, user_id),
+            )
+        )
+    return rows
+
+
+def it_fraction(rows: list[TopUser]) -> float:
+    """Share of a top list that is IT-related (the paper's 7-of-20)."""
+    if not rows:
+        return 0.0
+    return sum(1 for r in rows if r.occupation is Occupation.IT) / len(rows)
+
+
+@dataclass(frozen=True)
+class CountryTopRow:
+    """One row of Table 5: a country's top-10 occupations plus Jaccard."""
+
+    country: str
+    occupations: tuple[Occupation | None, ...]
+    jaccard_vs_us: float
+
+    def codes(self) -> str:
+        return " ".join(o.value if o else "??" for o in self.occupations)
+
+
+def top_occupations_by_country(
+    dataset: CrawlDataset,
+    graph: CSRGraph,
+    geo: GeoIndex,
+    countries: list[str],
+    k: int = 10,
+) -> list[CountryTopRow]:
+    """Table 5: occupation codes of each country's top-``k`` users.
+
+    Users are grouped by their resolved country; within each country they
+    are ranked by in-degree. The Jaccard index compares each country's
+    occupation *set* with the US set, as in the paper.
+    """
+    in_degrees = graph.in_degrees()
+    # user id -> in-degree (0 for ids absent from the graph).
+    def degree_of(user_id: int) -> int:
+        try:
+            return int(in_degrees[graph.compact_index(user_id)])
+        except KeyError:
+            return 0
+
+    by_country: dict[str, list[int]] = {code: [] for code in countries}
+    for user_id, code in zip(geo.user_ids, geo.countries):
+        if code in by_country:
+            by_country[code].append(int(user_id))
+
+    occupation_sets: dict[str, set[Occupation]] = {}
+    top_occupations: dict[str, tuple[Occupation | None, ...]] = {}
+    for code in countries:
+        ranked = sorted(by_country[code], key=degree_of, reverse=True)[:k]
+        occupations = tuple(occupation_of(dataset, uid) for uid in ranked)
+        top_occupations[code] = occupations
+        occupation_sets[code] = {o for o in occupations if o is not None}
+
+    us_set = occupation_sets.get("US", set())
+    return [
+        CountryTopRow(
+            country=code,
+            occupations=top_occupations[code],
+            jaccard_vs_us=jaccard_index(occupation_sets[code], us_set),
+        )
+        for code in countries
+    ]

@@ -1,0 +1,165 @@
+"""Paper-vs-measured comparison helpers.
+
+Turns a :class:`~repro.core.pipeline.StudyResults` into a list of
+:class:`Comparison` records — one per headline number — annotated with
+whether the *shape* target holds (orderings, who-wins) even when the
+absolute value shifts with scale. EXPERIMENTS.md is generated from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.top_users import it_fraction
+from repro.platform.models import Occupation
+
+from .paper_tables import GooglePlusPaper as P
+from .pipeline import StudyResults
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured line."""
+
+    artifact: str
+    metric: str
+    paper: float
+    measured: float
+    shape_note: str = ""
+    scale_sensitive: bool = False
+
+    @property
+    def ratio(self) -> float:
+        if self.paper == 0:
+            return float("nan")
+        return self.measured / self.paper
+
+
+def compare_results(results: StudyResults) -> list[Comparison]:
+    """All headline comparisons for one study run."""
+    rows: list[Comparison] = []
+
+    def add(artifact, metric, paper, measured, note="", scale=False):
+        rows.append(Comparison(artifact, metric, float(paper), float(measured),
+                               shape_note=note, scale_sensitive=scale))
+
+    top = results.table1_top_users
+    it_count = sum(1 for r in top if r.occupation is Occupation.IT)
+    add("Table 1", "IT users in global top-20", P.TOP20_IT_COUNT, it_count,
+        note="IT-heavy top list is the signature")
+    add("Table 1", "IT fraction of top-20", P.TOP20_IT_COUNT / 20, it_fraction(top))
+
+    availability = {row.key: row.percent / 100 for row in results.table2_attributes}
+    add("Table 2", "gender available", 0.9767, availability.get("gender", 0))
+    add("Table 2", "places lived available", 0.2675, availability.get("places_lived", 0))
+    add("Table 2", "education available", 0.2711, availability.get("education", 0))
+    add("Table 2", "work contact available", 0.0022, availability.get("work_contact", 0))
+
+    t3 = results.table3_tel_users
+    add("Table 3", "tel-user rate", P.TEL_USER_RATE, t3.tel_rate)
+    add("Table 3", "male share (all)", P.GENDER_ALL["Male"],
+        t3.gender_all.shares.get("Male", 0))
+    add("Table 3", "male share (tel)", P.GENDER_TEL["Male"],
+        t3.gender_tel.shares.get("Male", 0), note="tel-users skew male")
+    add("Table 3", "single share (all)", P.SINGLE_ALL,
+        t3.relationship_all.shares.get("Single", 0))
+    add("Table 3", "single share (tel)", P.SINGLE_TEL,
+        t3.relationship_tel.shares.get("Single", 0), note="tel-users skew single")
+    add("Table 3", "IN share of tel-users", P.TEL_COUNTRY_SHARES["IN"],
+        t3.location_tel.shares.get("IN", 0), note="India overrepresented among tel-users")
+    add("Table 3", "US share of tel-users", P.TEL_COUNTRY_SHARES["US"],
+        t3.location_tel.shares.get("US", 0), note="US underrepresented among tel-users")
+
+    t4 = results.table4_row
+    add("Table 4", "mean degree", 16.4, t4.mean_in_degree)
+    add("Table 4", "global reciprocity", P.GLOBAL_RECIPROCITY, t4.reciprocity,
+        note="higher than Twitter's 22%")
+    add("Table 4", "avg path length (directed)", P.PATH_LENGTH_DIRECTED_MEAN,
+        t4.avg_path_length, note="shrinks logarithmically with n", scale=True)
+    add("Table 4", "avg path length (undirected)", P.PATH_LENGTH_UNDIRECTED_MEAN,
+        t4.undirected_avg_path_length, scale=True)
+    add("Table 4", "diameter (directed)", P.DIAMETER_DIRECTED, t4.diameter, scale=True)
+
+    f2 = results.fig2_fields
+    add("Figure 2", "all users sharing >6 fields", P.ALL_SHARE_MORE_THAN_6_FIELDS,
+        f2.fraction_sharing_more_than(6, "all"))
+    add("Figure 2", "tel-users sharing >6 fields", P.TEL_SHARE_MORE_THAN_6_FIELDS,
+        f2.fraction_sharing_more_than(6, "tel"),
+        note="tel-users share far more fields")
+
+    f3 = results.fig3_degrees
+    add("Figure 3", "in-degree CCDF alpha", P.ALPHA_IN, f3.in_fit.alpha)
+    add("Figure 3", "out-degree CCDF alpha", P.ALPHA_OUT, f3.out_fit.alpha)
+    add("Figure 3", "in-degree fit R^2", P.ALPHA_R_SQUARED, f3.in_fit.r_squared)
+
+    add("Figure 4a", "global reciprocity", P.GLOBAL_RECIPROCITY,
+        results.fig4a_reciprocity.global_reciprocity)
+    add("Figure 4a", "fraction RR > 0.6", P.RR_ABOVE_06_FRACTION,
+        results.fig4a_reciprocity.fraction_rr_above(0.6),
+        note="celebrities low, ordinary users moderate-high")
+    add("Figure 4b", "fraction CC > 0.2", P.CC_ABOVE_02_FRACTION,
+        results.fig4b_clustering.fraction_above(0.2),
+        note="denser than Facebook/Twitter at same degree")
+    add("Figure 4c", "giant SCC fraction", P.GIANT_SCC_FRACTION,
+        results.fig4c_sccs.giant_fraction,
+        note="one giant SCC, all other SCCs tiny")
+
+    f5 = results.fig5_paths
+    add("Figure 5", "directed mode", P.PATH_LENGTH_DIRECTED_MODE,
+        f5.directed.mode, scale=True)
+    add("Figure 5", "undirected mode", P.PATH_LENGTH_UNDIRECTED_MODE,
+        f5.undirected.mode, scale=True)
+    add("Figure 5", "directed mean", P.PATH_LENGTH_DIRECTED_MEAN,
+        f5.directed.mean, scale=True)
+    add("Figure 5", "undirected mean", P.PATH_LENGTH_UNDIRECTED_MEAN,
+        f5.undirected.mean, scale=True)
+
+    add("Sec 2.2", "lost-edge fraction", P.LOST_EDGE_FRACTION,
+        results.lost_edges.lost_fraction,
+        note="bidirectional crawl recovers truncated edges", scale=True)
+
+    shares = {row.code: row.fraction for row in results.fig6_countries}
+    for code, paper_share in P.TOP_COUNTRY_SHARES.items():
+        add("Figure 6", f"{code} user share", paper_share, shares.get(code, 0.0))
+
+    gpr = {p.code: p.gplus_penetration for p in results.fig7_penetration.points}
+    ranked = results.fig7_penetration.ranked_by_gpr()
+    add("Figure 7", "IPR-GDP correlation", 0.9,
+        results.fig7_penetration.ipr_gdp_correlation,
+        note="Internet penetration tracks GDP linearly")
+    add("Figure 7", "GPR-GDP correlation (weak)", 0.0,
+        results.fig7_penetration.gpr_gdp_correlation,
+        note="G+ adoption decoupled from GDP")
+    add("Figure 7", "India is top GPR", 1.0,
+        1.0 if ranked and ranked[0].code == "IN" else 0.0)
+    del gpr
+
+    f8 = results.fig8_openness
+    ranking = f8.ranking()
+    add("Figure 8", "DE most conservative", 1.0,
+        1.0 if f8.most_conservative() == "DE" else 0.0)
+    add("Figure 8", "ID/MX in top-3 open", 1.0,
+        1.0 if set(ranking[:3]) & set(P.MOST_OPEN_COUNTRIES) else 0.0)
+
+    f9 = results.fig9a_path_miles
+    add("Figure 9a", "friends within 1000 miles", P.FRIENDS_WITHIN_1000_MILES,
+        f9.friends_within_1000mi())
+    add("Figure 9a", "friends within 10 miles", P.FRIENDS_WITHIN_10_MILES,
+        f9.friends_within_10mi())
+    add("Figure 9a", "reciprocal<friends<random ordering", 1.0,
+        1.0 if f9.ordering_holds() else 0.0,
+        note="reciprocal pairs live closest")
+
+    f10 = results.fig10_links.graph
+    for code, paper_loop in P.SELF_LOOPS.items():
+        if code in f10.countries:
+            add("Figure 10", f"{code} self-loop", paper_loop, f10.self_loop(code))
+    add("Figure 10", "US is dominant sink", 1.0,
+        1.0 if results.fig10_links.us_is_dominant_sink() else 0.0)
+
+    jaccard = {row.country: row.jaccard_vs_us for row in results.table5_occupations}
+    add("Table 5", "CA Jaccard vs US", 0.83, jaccard.get("CA", 0.0),
+        note="anglophone countries resemble the US")
+    add("Table 5", "BR Jaccard vs US", 0.18, jaccard.get("BR", 0.0),
+        note="Latin countries diverge")
+    return rows

@@ -1,0 +1,125 @@
+"""Reference values published in the paper.
+
+Every number the reproduction compares itself against lives here: the
+paper's own measurements of Google+, and the statistics it quotes for
+Facebook, Twitter and Orkut from prior work (Kwak et al. 2010, Ugander et
+al. 2011, Mislove et al. 2007). Keeping them in one module makes the
+EXPERIMENTS.md paper-vs-measured accounting mechanical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OSNTopologyRow:
+    """One row of Table 4 (dashes in the paper become ``None``)."""
+
+    network: str
+    nodes: float
+    edges: float
+    crawled_percent: float
+    path_length: float
+    reciprocity_percent: float
+    diameter: int
+    mean_in_degree: float | None
+    mean_out_degree: float | None
+
+
+#: Table 4 as printed.
+TABLE4_ROWS: tuple[OSNTopologyRow, ...] = (
+    OSNTopologyRow("Google+", 35e6, 575e6, 56.0, 5.9, 32.0, 19, 16.4, 16.4),
+    OSNTopologyRow("Facebook", 721e6, 62e9, 100.0, 4.7, 100.0, 41, 190.2, 190.2),
+    OSNTopologyRow("Twitter", 41.7e6, 106e6, 100.0, 4.1, 22.0, 18, 28.19, 29.34),
+    OSNTopologyRow("Orkut", 3e6, 223e6, 11.0, 4.3, 100.0, 9, None, None),
+)
+
+
+class GooglePlusPaper:
+    """The paper's own Google+ measurements, one attribute per headline."""
+
+    # Section 2.2 — crawl accounting.
+    CRAWLED_PROFILES = 27_556_390
+    GRAPH_NODES = 35_114_957
+    GRAPH_EDGES = 575_141_097
+    ESTIMATED_COVERAGE = 0.56
+    CRAWL_MACHINES = 11
+    CIRCLE_DISPLAY_LIMIT = 10_000
+    CAPPED_USERS = 915
+    CAPPED_DECLARED_EDGES = 37_185_272
+    CAPPED_COLLECTED_EDGES = 27_600_503
+    LOST_EDGE_FRACTION = 0.016
+
+    # Section 3.2 — tel-users.
+    TEL_USERS = 72_736
+    TEL_USER_RATE = 0.0026
+    TEL_SHARE_MORE_THAN_6_FIELDS = 0.66
+    ALL_SHARE_MORE_THAN_6_FIELDS = 0.10
+
+    # Section 3.3 — structure.
+    ALPHA_IN = 1.3
+    ALPHA_OUT = 1.2
+    ALPHA_R_SQUARED = 0.99
+    OUT_DEGREE_KNEE = 5_000
+    GLOBAL_RECIPROCITY = 0.32
+    TWITTER_RECIPROCITY = 0.221
+    RR_ABOVE_06_FRACTION = 0.60
+    CC_ABOVE_02_FRACTION = 0.40
+    CC_SAMPLE = 1_000_000
+    N_SCCS = 9_771_696
+    GIANT_SCC_SIZE = 25_240_000
+    GIANT_SCC_FRACTION = 0.70  # "included 70% of the crawled users"
+    PATH_LENGTH_DIRECTED_MEAN = 5.9
+    PATH_LENGTH_DIRECTED_MODE = 6
+    PATH_LENGTH_UNDIRECTED_MEAN = 4.7
+    PATH_LENGTH_UNDIRECTED_MODE = 5
+    DIAMETER_DIRECTED = 19
+    DIAMETER_UNDIRECTED = 13
+    BFS_SAMPLE_START = 2_000
+    BFS_SAMPLE_MAX = 10_000
+
+    # Section 3.1 — top users.
+    TOP20_IT_COUNT = 7
+
+    # Section 4 — geography.
+    LOCATED_FRACTION = 0.2675
+    LOCATED_USERS = 6_621_644
+    FRIENDS_WITHIN_1000_MILES = 0.58
+    FRIENDS_WITHIN_10_MILES = 0.15
+    TOP_COUNTRY_SHARES = {
+        "US": 0.3138,
+        "IN": 0.1671,
+        "BR": 0.0576,
+        "GB": 0.0335,
+        "CA": 0.0230,
+    }
+    TEL_COUNTRY_SHARES = {
+        "US": 0.0892,
+        "IN": 0.3190,
+        "BR": 0.0472,
+        "GB": 0.0219,
+        "CA": 0.0152,
+    }
+    #: Figure 10 self-loop weights (read off the published figure).
+    SELF_LOOPS = {
+        "US": 0.79,
+        "IN": 0.77,
+        "BR": 0.78,
+        "GB": 0.30,
+        "CA": 0.33,
+        "DE": 0.49,
+        "ID": 0.74,
+        "MX": 0.46,
+        "IT": 0.56,
+        "ES": 0.49,
+    }
+    #: Figure 8 qualitative ordering endpoints.
+    MOST_OPEN_COUNTRIES = ("ID", "MX")
+    MOST_CONSERVATIVE_COUNTRY = "DE"
+    #: Table 3 gender splits.
+    GENDER_ALL = {"Male": 0.6765, "Female": 0.3146, "Other": 0.0089}
+    GENDER_TEL = {"Male": 0.8599, "Female": 0.1126, "Other": 0.0275}
+    #: Table 3 headline relationship contrasts.
+    SINGLE_ALL = 0.4282
+    SINGLE_TEL = 0.5724

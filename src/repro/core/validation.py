@@ -1,0 +1,89 @@
+"""Crawl validation against ground truth.
+
+The simulator knows the true world; a crawl only saw public pages. This
+module quantifies the gap — edge recall/precision, profile coverage,
+public-field recall, privacy leaks (which must be zero), tel-user
+agreement — both to test the crawler and to let users studying crawl
+methodology measure exactly what a page-scraping measurement loses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crawler.dataset import CrawlDataset
+from repro.synth.world import SyntheticWorld
+
+
+@dataclass(frozen=True)
+class CrawlValidation:
+    """Fidelity report of one crawl against its generating world."""
+
+    n_true_edges: int
+    n_crawled_edges: int
+    n_false_edges: int
+    profile_coverage: float
+    field_recall: float
+    privacy_leaks: int
+    tel_user_agreement: bool
+    missing_tel_users: int
+
+    @property
+    def edge_recall(self) -> float:
+        if self.n_true_edges == 0:
+            return 1.0
+        return (self.n_crawled_edges - self.n_false_edges) / self.n_true_edges
+
+    @property
+    def edge_precision(self) -> float:
+        if self.n_crawled_edges == 0:
+            return 1.0
+        return 1.0 - self.n_false_edges / self.n_crawled_edges
+
+    def is_sound(self) -> bool:
+        """A crawl is sound when it invents nothing and leaks nothing."""
+        return self.n_false_edges == 0 and self.privacy_leaks == 0
+
+
+def validate_crawl(world: SyntheticWorld, dataset: CrawlDataset) -> CrawlValidation:
+    """Compare a crawl dataset with the world that produced it."""
+    true_edges = set(
+        zip(world.graph.sources.tolist(), world.graph.targets.tolist())
+    )
+    crawled_edges = set(
+        zip(dataset.sources.tolist(), dataset.targets.tolist())
+    )
+    false_edges = len(crawled_edges - true_edges)
+
+    fields_seen = 0
+    fields_public = 0
+    privacy_leaks = 0
+    for user_id, parsed in dataset.profiles.items():
+        truth = world.profiles[user_id]
+        public_keys = set(truth.public_field_keys()) - {"name"}
+        fields_public += len(public_keys)
+        for key in parsed.fields:
+            entry = truth.fields.get(key)
+            if entry is None or not entry.is_public():
+                privacy_leaks += 1
+            else:
+                fields_seen += 1
+
+    true_tel = {
+        uid
+        for uid in range(world.n_users)
+        if world.population.tel_users[uid] and uid in dataset.profiles
+    }
+    crawled_tel = {
+        p.user_id for p in dataset.profiles.values() if p.shares_phone()
+    }
+    return CrawlValidation(
+        n_true_edges=len(true_edges),
+        n_crawled_edges=len(crawled_edges),
+        n_false_edges=false_edges,
+        profile_coverage=len(dataset.profiles) / max(1, world.n_users),
+        field_recall=fields_seen / max(1, fields_public),
+        privacy_leaks=privacy_leaks,
+        tel_user_agreement=crawled_tel == true_tel,
+        missing_tel_users=len(true_tel - crawled_tel),
+    )

@@ -1,0 +1,38 @@
+"""Bidirectional BFS crawler over the simulated Google+ service."""
+
+from .bfs import BidirectionalBFSCrawler, CrawlConfig
+from .dataset import CrawlDataset, CrawlStats
+from .fetch import Fetcher, FetchError, FetchStats
+from .frontier import BFSFrontier
+from .graph_sampling import (
+    MHRWSampler,
+    RandomWalkSampler,
+    reweighted_mean_degree,
+    SamplingBiasReport,
+    WalkSample,
+)
+from .lost_edges import estimate_lost_edges, LostEdgeEstimate, naive_truncation_loss
+from .parse import parse_profile_page, ParsedProfile
+from .workers import MachinePool
+
+__all__ = [
+    "BFSFrontier",
+    "BidirectionalBFSCrawler",
+    "CrawlConfig",
+    "CrawlDataset",
+    "CrawlStats",
+    "estimate_lost_edges",
+    "Fetcher",
+    "FetchError",
+    "FetchStats",
+    "LostEdgeEstimate",
+    "MachinePool",
+    "MHRWSampler",
+    "RandomWalkSampler",
+    "reweighted_mean_degree",
+    "SamplingBiasReport",
+    "WalkSample",
+    "naive_truncation_loss",
+    "parse_profile_page",
+    "ParsedProfile",
+]

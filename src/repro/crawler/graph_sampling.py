@@ -1,0 +1,177 @@
+"""Alternative graph-sampling strategies: the Section 2.2 caveat, built.
+
+The paper acknowledges that BFS crawling "exhibits several well-known
+limitations such as the bias towards sampling high degree nodes, which
+may affect the degree distribution", citing Gjoka et al. and Ribeiro &
+Towsley. This module implements the estimators those works study, all
+operating — like the BFS crawler — purely through public profile pages:
+
+* :class:`RandomWalkSampler` — a simple random walk over the undirected
+  contact structure; stationary probability ∝ degree, so raw RW samples
+  are degree-biased;
+* :class:`MHRWSampler` — Metropolis-Hastings random walk, which rejects
+  moves toward high-degree users with probability 1 - deg(u)/deg(v) and
+  therefore samples *uniformly* in the limit;
+* :func:`reweighted_mean_degree` — the Hansen-Hurwitz (1/degree)
+  correction that unbiases plain RW estimates.
+
+Together with the BFS-coverage ablation these quantify how much of the
+paper's measured degree distribution is crawler artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.platform.pages import ProfilePage
+
+from .fetch import Fetcher
+from .parse import parse_profile_page
+
+
+@dataclass
+class WalkSample:
+    """The product of a walk: the visited user ids and their degrees."""
+
+    user_ids: list[int] = field(default_factory=list)
+    degrees: list[int] = field(default_factory=list)
+    rejected_moves: int = 0
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.user_ids)
+
+    def mean_degree(self) -> float:
+        if not self.degrees:
+            return float("nan")
+        return float(np.mean(self.degrees))
+
+    def unique_users(self) -> int:
+        return len(set(self.user_ids))
+
+
+def _neighbors_and_degree(page: ProfilePage) -> tuple[list[int], int, bool]:
+    """Undirected contact list, degree, and list visibility from a page.
+
+    The degree estimate uses the *declared* counts (not the truncated
+    lists), as a careful measurement study would. Users who hide their
+    circle lists (``visible=False``) are dead ends for a walker — the
+    samplers refuse to move onto them.
+    """
+    profile = parse_profile_page(page)
+    visible = profile.in_list is not None or profile.out_list is not None
+    neighbors: set[int] = set()
+    if profile.out_list is not None:
+        neighbors.update(profile.out_list)
+    if profile.in_list is not None:
+        neighbors.update(profile.in_list)
+    declared = profile.declared_in + profile.declared_out
+    return sorted(neighbors), max(declared, len(neighbors)), visible
+
+
+class RandomWalkSampler:
+    """Plain random walk; stationary distribution ∝ node degree."""
+
+    def __init__(self, fetcher: Fetcher, rng: np.random.Generator):
+        self._fetcher = fetcher
+        self._rng = rng
+
+    def walk(self, seed: int, n_steps: int, burn_in: int = 0) -> WalkSample:
+        """Walk ``n_steps`` recorded steps after ``burn_in`` unrecorded ones.
+
+        Moves onto users whose circle lists are hidden are refused (the
+        walker cannot continue from there); the walk stays put for that
+        step instead, which is what a real page-scraping walker does.
+        """
+        sample = WalkSample()
+        current = seed
+        page = self._fetcher.fetch_profile(current)
+        if page is None:
+            raise ValueError(f"seed user {seed} not crawlable")
+        neighbors, degree, visible = _neighbors_and_degree(page)
+        if not visible or not neighbors:
+            raise ValueError(f"seed user {seed} exposes no contacts to walk on")
+        total = burn_in + n_steps
+        for step in range(total):
+            if step >= burn_in:
+                sample.user_ids.append(current)
+                sample.degrees.append(degree)
+            candidate = int(self._rng.choice(neighbors))
+            candidate_page = self._fetcher.fetch_profile(candidate)
+            if candidate_page is None:
+                continue
+            c_neighbors, c_degree, c_visible = _neighbors_and_degree(candidate_page)
+            if not c_visible or not c_neighbors:
+                sample.rejected_moves += 1
+                continue
+            current, neighbors, degree = candidate, c_neighbors, c_degree
+        return sample
+
+
+class MHRWSampler:
+    """Metropolis-Hastings random walk — asymptotically uniform samples."""
+
+    def __init__(self, fetcher: Fetcher, rng: np.random.Generator):
+        self._fetcher = fetcher
+        self._rng = rng
+
+    def walk(self, seed: int, n_steps: int, burn_in: int = 0) -> WalkSample:
+        sample = WalkSample()
+        page = self._fetcher.fetch_profile(seed)
+        if page is None:
+            raise ValueError(f"seed user {seed} not crawlable")
+        current = seed
+        neighbors, degree, visible = _neighbors_and_degree(page)
+        if not visible or not neighbors:
+            raise ValueError(f"seed user {seed} exposes no contacts to walk on")
+        total = burn_in + n_steps
+        for step in range(total):
+            if step >= burn_in:
+                sample.user_ids.append(current)
+                sample.degrees.append(degree)
+            candidate = int(self._rng.choice(neighbors))
+            candidate_page = self._fetcher.fetch_profile(candidate)
+            if candidate_page is None:
+                continue
+            c_neighbors, c_degree, c_visible = _neighbors_and_degree(candidate_page)
+            if not c_visible or not c_neighbors:
+                sample.rejected_moves += 1
+                continue
+            # Accept with min(1, deg(u)/deg(v)); rejecting keeps us put.
+            if self._rng.random() <= degree / max(1, c_degree):
+                current, neighbors, degree = candidate, c_neighbors, c_degree
+            else:
+                sample.rejected_moves += 1
+        return sample
+
+
+def reweighted_mean_degree(sample: WalkSample) -> float:
+    """Hansen-Hurwitz estimator: unbiases a plain-RW degree estimate.
+
+    Under a degree-proportional sample, E[1/d] weighting recovers the
+    uniform mean: ``mean = n / sum(1/d_i)`` (harmonic mean of degrees).
+    """
+    degrees = np.array(sample.degrees, dtype=float)
+    degrees = degrees[degrees > 0]
+    if len(degrees) == 0:
+        return float("nan")
+    return float(len(degrees) / np.sum(1.0 / degrees))
+
+
+@dataclass(frozen=True)
+class SamplingBiasReport:
+    """Mean-degree estimates per strategy, against the uniform truth."""
+
+    true_mean_degree: float
+    bfs_mean_degree: float
+    rw_mean_degree: float
+    rw_reweighted_mean_degree: float
+    mhrw_mean_degree: float
+
+    def bias_of(self, estimate: float) -> float:
+        """Relative bias of an estimate vs the uniform truth."""
+        if self.true_mean_degree == 0:
+            return float("nan")
+        return estimate / self.true_mean_degree - 1.0

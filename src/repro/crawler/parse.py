@@ -1,0 +1,95 @@
+"""Parsing of fetched profile pages into crawl records.
+
+The authors scraped HTML profile pages; our simulated service serves
+structured :class:`~repro.platform.pages.ProfilePage` documents, and this
+module plays the role of the scraper's extraction layer: it turns a page
+into a :class:`ParsedProfile` — the unit stored in the crawl dataset —
+pulling out the public fields, the declared circle-list counts and the
+(possibly truncated) neighbor lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.platform.models import ContactInfo, Gender, Place, Relationship
+from repro.platform.pages import ProfilePage
+
+
+@dataclass(frozen=True)
+class ParsedProfile:
+    """One crawled profile: public fields plus circle-list observations.
+
+    ``in_list`` / ``out_list`` are the user ids shown on the page (capped
+    at the display limit); ``declared_in`` / ``declared_out`` are the true
+    counts the page reports. ``None`` lists mean the owner hid them.
+    """
+
+    user_id: int
+    name: str
+    fields: dict[str, Any] = field(default_factory=dict)
+    in_list: tuple[int, ...] | None = None
+    out_list: tuple[int, ...] | None = None
+    declared_in: int = 0
+    declared_out: int = 0
+
+    def has_field(self, key: str) -> bool:
+        return key == "name" or key in self.fields
+
+    def count_fields(self, include_contacts: bool = False) -> int:
+        """Number of public fields, Figure 2/8 convention by default."""
+        contact_keys = ("work_contact", "home_contact")
+        total = 1  # name
+        for key in self.fields:
+            if not include_contacts and key in contact_keys:
+                continue
+            total += 1
+        return total
+
+    def shares_phone(self) -> bool:
+        """Tel-user test on crawled data (Section 3.2)."""
+        for key in ("work_contact", "home_contact"):
+            value = self.fields.get(key)
+            if isinstance(value, ContactInfo) and value.has_phone():
+                return True
+        return False
+
+    def gender(self) -> Gender | None:
+        value = self.fields.get("gender")
+        return value if isinstance(value, Gender) else None
+
+    def relationship(self) -> Relationship | None:
+        value = self.fields.get("relationship")
+        return value if isinstance(value, Relationship) else None
+
+    def current_place(self) -> Place | None:
+        places = self.fields.get("places_lived")
+        if places:
+            return places[-1]
+        return None
+
+    def country(self) -> str | None:
+        place = self.current_place()
+        return place.country if place is not None else None
+
+
+def parse_profile_page(page: ProfilePage) -> ParsedProfile:
+    """Extract a crawl record from a served profile page."""
+    in_list = out_list = None
+    declared_in = declared_out = 0
+    if page.in_list is not None:
+        in_list = page.in_list.user_ids
+        declared_in = page.in_list.declared_count
+    if page.out_list is not None:
+        out_list = page.out_list.user_ids
+        declared_out = page.out_list.declared_count
+    return ParsedProfile(
+        user_id=page.user_id,
+        name=page.name,
+        fields=dict(page.fields),
+        in_list=in_list,
+        out_list=out_list,
+        declared_in=declared_in,
+        declared_out=declared_out,
+    )

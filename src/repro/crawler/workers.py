@@ -1,0 +1,57 @@
+"""The crawl fleet: several machines with distinct IP addresses.
+
+The authors used 11 machines to spread the request load (Section 2.2);
+:class:`MachinePool` models that fleet on the simulated clock. Requests
+are issued round-robin, which both balances load and keeps every IP under
+the server's per-IP rate limit.
+"""
+
+from __future__ import annotations
+
+from repro.platform.http import HttpFrontend
+from repro.platform.pages import ProfilePage
+
+from .fetch import Fetcher, FetchStats
+
+
+class MachinePool:
+    """Round-robin scheduler over a fleet of crawl machines."""
+
+    def __init__(
+        self,
+        frontend: HttpFrontend,
+        n_machines: int = 11,
+        request_latency: float = 0.02,
+    ):
+        if n_machines < 1:
+            raise ValueError("need at least one crawl machine")
+        self.fetchers = [
+            Fetcher(
+                frontend=frontend,
+                ip=f"10.0.0.{i + 1}",
+                request_latency=request_latency,
+                parallelism=n_machines,
+            )
+            for i in range(n_machines)
+        ]
+        self._next = 0
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.fetchers)
+
+    def fetch_profile(self, user_id: int) -> ProfilePage | None:
+        """Fetch via the next machine in rotation."""
+        fetcher = self.fetchers[self._next]
+        self._next = (self._next + 1) % len(self.fetchers)
+        return fetcher.fetch_profile(user_id)
+
+    def combined_stats(self) -> FetchStats:
+        total = FetchStats()
+        for fetcher in self.fetchers:
+            total.pages_fetched += fetcher.stats.pages_fetched
+            total.not_found += fetcher.stats.not_found
+            total.throttled += fetcher.stats.throttled
+            total.server_errors += fetcher.stats.server_errors
+            total.time_waiting += fetcher.stats.time_waiting
+        return total

@@ -1,0 +1,17 @@
+"""Experiment harness: one renderer per paper artifact, plus a runner."""
+
+from .registry import Experiment, EXPERIMENTS
+from .render import AsciiPlot, format_number, format_table, percent
+from .runner import main, render_comparison_table, run_experiments
+
+__all__ = [
+    "AsciiPlot",
+    "Experiment",
+    "EXPERIMENTS",
+    "format_number",
+    "format_table",
+    "main",
+    "percent",
+    "render_comparison_table",
+    "run_experiments",
+]

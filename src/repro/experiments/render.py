@@ -1,0 +1,162 @@
+"""Text rendering of tables and figures.
+
+The benches and the experiment runner print every artifact the way the
+paper presents it: tables as aligned columns, figures as compact ASCII
+scatter plots (log or linear axes), so a terminal diff against the
+paper's rows/series is possible without any plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    if value != value:  # NaN
+        return "n/a"
+    return f"{100.0 * value:.{digits}f}%"
+
+
+class AsciiPlot:
+    """A tiny scatter/step plotter for terminal figures.
+
+    Series are drawn with one marker character each; axes can be linear
+    or log10. Intended for CCDF/CDF shape checks, not pixel fidelity.
+    """
+
+    def __init__(
+        self,
+        width: int = 64,
+        height: int = 16,
+        x_log: bool = False,
+        y_log: bool = False,
+        title: str = "",
+    ):
+        self.width = width
+        self.height = height
+        self.x_log = x_log
+        self.y_log = y_log
+        self.title = title
+        self._series: list[tuple[np.ndarray, np.ndarray, str, str]] = []
+
+    def add_series(self, x, y, marker: str, label: str = "") -> None:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        keep = np.isfinite(x) & np.isfinite(y)
+        if self.x_log:
+            keep &= x > 0
+        if self.y_log:
+            keep &= y > 0
+        self._series.append((x[keep], y[keep], marker[0], label))
+
+    def _transform(self, values: np.ndarray, log: bool) -> np.ndarray:
+        return np.log10(values) if log else values
+
+    def render(self) -> str:
+        drawable = [s for s in self._series if len(s[0])]
+        if not drawable:
+            return f"{self.title}\n(no data)"
+        all_x = np.concatenate([self._transform(s[0], self.x_log) for s in drawable])
+        all_y = np.concatenate([self._transform(s[1], self.y_log) for s in drawable])
+        x_lo, x_hi = float(all_x.min()), float(all_x.max())
+        y_lo, y_hi = float(all_y.min()), float(all_y.max())
+        x_span = (x_hi - x_lo) or 1.0
+        y_span = (y_hi - y_lo) or 1.0
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for x, y, marker, _ in drawable:
+            tx = self._transform(x, self.x_log)
+            ty = self._transform(y, self.y_log)
+            cols = np.clip(
+                ((tx - x_lo) / x_span * (self.width - 1)).round().astype(int),
+                0,
+                self.width - 1,
+            )
+            rows = np.clip(
+                ((ty - y_lo) / y_span * (self.height - 1)).round().astype(int),
+                0,
+                self.height - 1,
+            )
+            for c, r in zip(cols, rows):
+                grid[self.height - 1 - r][c] = marker
+
+        def axis_label(v: float, log: bool) -> str:
+            if log:
+                return f"1e{v:.1f}" if not float(v).is_integer() else f"1e{int(v)}"
+            return f"{v:.3g}"
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        top = axis_label(y_hi, self.y_log)
+        bottom = axis_label(y_lo, self.y_log)
+        margin = max(len(top), len(bottom))
+        for i, row in enumerate(grid):
+            label = top if i == 0 else (bottom if i == self.height - 1 else "")
+            lines.append(f"{label.rjust(margin)} |{''.join(row)}")
+        lines.append(" " * margin + " +" + "-" * self.width)
+        left = axis_label(x_lo, self.x_log)
+        right = axis_label(x_hi, self.x_log)
+        pad = self.width - len(left) - len(right)
+        lines.append(" " * (margin + 2) + left + " " * max(1, pad) + right)
+        legend = "   ".join(f"{m}={label}" for _, _, m, label in drawable if label)
+        if legend:
+            lines.append(legend)
+        return "\n".join(lines)
+
+
+def render_ccdf_plot(
+    series: list[tuple[np.ndarray, np.ndarray, str, str]],
+    title: str,
+    x_log: bool = True,
+    y_log: bool = True,
+) -> str:
+    """Convenience wrapper: a CCDF-style plot from (x, p, marker, label)."""
+    plot = AsciiPlot(x_log=x_log, y_log=y_log, title=title)
+    for x, p, marker, label in series:
+        plot.add_series(x, p, marker, label)
+    return plot.render()
+
+
+def format_number(value: float) -> str:
+    """Humanised counts: 575,141,097 style for ints, 3 sig figs otherwise."""
+    if value != value:
+        return "n/a"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return f"{int(value):,}"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.3g}"
+
+
+def log_bins(values: np.ndarray, n_bins: int = 40) -> np.ndarray:
+    """Log-spaced bin edges covering a positive sample."""
+    values = values[values > 0]
+    if len(values) == 0:
+        return np.array([1.0, 10.0])
+    lo, hi = float(values.min()), float(values.max())
+    if lo == hi:
+        hi = lo * 10
+    return np.logspace(math.log10(lo), math.log10(hi), n_bins)

@@ -1,0 +1,105 @@
+"""Experiment runner: regenerate every table and figure in one go.
+
+Usage (module CLI)::
+
+    python -m repro.experiments                 # all artifacts, default world
+    python -m repro.experiments --users 30000 --seed 11 table1 fig3
+
+The runner performs exactly one study (world + crawl + analyses) and
+renders the requested artifacts from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.compare import compare_results
+from repro.core.pipeline import MeasurementStudy, StudyConfig, StudyResults
+
+from .registry import EXPERIMENTS
+from .render import format_table
+
+
+def run_experiments(
+    results: StudyResults, artifact_ids: Iterable[str] | None = None
+) -> dict[str, str]:
+    """Render the requested artifacts (all when none named)."""
+    ids = list(artifact_ids) if artifact_ids else list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown artifacts: {unknown}; known: {sorted(EXPERIMENTS)}")
+    return {i: EXPERIMENTS[i].render(results) for i in ids}
+
+
+def save_artifacts(
+    results: StudyResults,
+    directory: str | Path,
+    artifact_ids: Iterable[str] | None = None,
+) -> list[Path]:
+    """Render artifacts to ``<directory>/<id>.txt``; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for artifact_id, text in run_experiments(results, artifact_ids).items():
+        path = directory / f"{artifact_id}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def render_comparison_table(results: StudyResults) -> str:
+    """The paper-vs-measured summary (EXPERIMENTS.md material)."""
+    rows = []
+    for comparison in compare_results(results):
+        rows.append(
+            (
+                comparison.artifact,
+                comparison.metric,
+                f"{comparison.paper:.4g}",
+                f"{comparison.measured:.4g}",
+                "scale" if comparison.scale_sensitive else "",
+                comparison.shape_note,
+            )
+        )
+    return format_table(
+        ["Artifact", "Metric", "Paper", "Measured", "", "Note"],
+        rows,
+        title="Paper vs measured",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("artifacts", nargs="*", help="artifact ids (default: all)")
+    parser.add_argument("--users", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="also print the paper-vs-measured summary table",
+    )
+    parser.add_argument(
+        "--save", metavar="DIR", default=None,
+        help="also write each artifact to DIR/<id>.txt",
+    )
+    args = parser.parse_args(argv)
+    study = MeasurementStudy(StudyConfig(n_users=args.users, seed=args.seed))
+    results = study.run()
+    for artifact_id, text in run_experiments(results, args.artifacts or None).items():
+        print(f"\n=== {artifact_id}: {EXPERIMENTS[artifact_id].title} ===")
+        print(text)
+    if args.compare:
+        print()
+        print(render_comparison_table(results))
+    if args.save:
+        written = save_artifacts(results, args.save, args.artifacts or None)
+        print(f"\nwrote {len(written)} artifacts to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Geo analytics: distances, country resolution, path miles, link geography."""
+
+from .country_links import build_country_link_graph, CountryLinkGraph
+from .distance import EARTH_RADIUS_MILES, haversine_miles, pairwise_miles
+from .index import build_geo_index, GeoIndex
+from .pathmiles import (
+    average_path_mile_by_country,
+    compute_path_miles,
+    PathMileSamples,
+)
+from .resolve import CountryResolver, DEFAULT_MAX_MILES
+
+__all__ = [
+    "average_path_mile_by_country",
+    "build_country_link_graph",
+    "build_geo_index",
+    "compute_path_miles",
+    "CountryLinkGraph",
+    "CountryResolver",
+    "DEFAULT_MAX_MILES",
+    "EARTH_RADIUS_MILES",
+    "GeoIndex",
+    "haversine_miles",
+    "pairwise_miles",
+    "PathMileSamples",
+]

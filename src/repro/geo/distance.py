@@ -1,0 +1,31 @@
+"""Great-circle distances (the "path miles" of Section 4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Mean Earth radius in miles.
+EARTH_RADIUS_MILES = 3958.7613
+
+
+def haversine_miles(lat1, lon1, lat2, lon2) -> np.ndarray:
+    """Great-circle distance in miles between coordinate arrays (degrees).
+
+    Fully vectorised: inputs broadcast against each other; scalars work
+    too and return a 0-d array.
+    """
+    lat1, lon1, lat2, lon2 = (
+        np.radians(np.asarray(a, dtype=float)) for a in (lat1, lon1, lat2, lon2)
+    )
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    # Clip guards the arcsin against floating-point overshoot at antipodes.
+    return 2.0 * EARTH_RADIUS_MILES * np.arcsin(np.sqrt(np.clip(h, 0.0, 1.0)))
+
+
+def pairwise_miles(
+    lats: np.ndarray, lons: np.ndarray, pairs_a: np.ndarray, pairs_b: np.ndarray
+) -> np.ndarray:
+    """Distances for index pairs into shared coordinate arrays."""
+    return haversine_miles(lats[pairs_a], lons[pairs_a], lats[pairs_b], lons[pairs_b])

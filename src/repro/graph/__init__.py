@@ -1,0 +1,102 @@
+"""From-scratch directed-graph library powering the structural analyses."""
+
+from .clustering import (
+    average_clustering,
+    clustering_coefficient,
+    clustering_coefficients,
+    sampled_clustering,
+)
+from .correlations import (
+    degree_assortativity,
+    in_out_degree_correlation,
+    mean_neighbor_degree,
+)
+from .components import (
+    ComponentDecomposition,
+    scc_size_ccdf_input,
+    strongly_connected_components,
+    UnionFind,
+    weakly_connected_components,
+)
+from .csr import CSRGraph
+from .degree import (
+    ccdf,
+    cdf,
+    degree_distributions,
+    DegreeDistributions,
+    EmpiricalCCDF,
+)
+from .digraph import DiGraph
+from .paths import (
+    bfs_distances,
+    DIRECTED,
+    estimate_diameter,
+    PathLengthDistribution,
+    sampled_path_lengths,
+    UNDIRECTED,
+)
+from .powerlaw import (
+    fit_powerlaw,
+    fit_powerlaw_ccdf,
+    PowerLawFit,
+    sample_powerlaw_degrees,
+)
+from .reciprocity import (
+    global_reciprocity,
+    reciprocated_edge_mask,
+    reciprocity_cdf_input,
+    relation_reciprocity,
+)
+from .sampling import sample_edges, sample_node_pairs, sample_nodes
+from .stats import GraphSummary, summarize_graph
+from .triads import (
+    transitivity_signature,
+    TRIAD_TYPES,
+    triad_census_exact,
+    triad_census_sampled,
+)
+
+__all__ = [
+    "average_clustering",
+    "bfs_distances",
+    "ccdf",
+    "cdf",
+    "clustering_coefficient",
+    "clustering_coefficients",
+    "degree_assortativity",
+    "ComponentDecomposition",
+    "CSRGraph",
+    "degree_distributions",
+    "DegreeDistributions",
+    "DiGraph",
+    "DIRECTED",
+    "EmpiricalCCDF",
+    "estimate_diameter",
+    "fit_powerlaw",
+    "fit_powerlaw_ccdf",
+    "global_reciprocity",
+    "in_out_degree_correlation",
+    "mean_neighbor_degree",
+    "GraphSummary",
+    "PathLengthDistribution",
+    "PowerLawFit",
+    "reciprocated_edge_mask",
+    "reciprocity_cdf_input",
+    "relation_reciprocity",
+    "sample_edges",
+    "sample_node_pairs",
+    "sample_nodes",
+    "sample_powerlaw_degrees",
+    "sampled_clustering",
+    "sampled_path_lengths",
+    "scc_size_ccdf_input",
+    "strongly_connected_components",
+    "summarize_graph",
+    "transitivity_signature",
+    "TRIAD_TYPES",
+    "triad_census_exact",
+    "triad_census_sampled",
+    "UnionFind",
+    "UNDIRECTED",
+    "weakly_connected_components",
+]

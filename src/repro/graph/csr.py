@@ -1,0 +1,144 @@
+"""Compressed-sparse-row form of the social graph.
+
+All heavy structural algorithms (SCC decomposition, BFS sweeps, clustering
+coefficients, reciprocity) run on this immutable numpy-backed form. Nodes
+are re-labelled to the contiguous range ``0..n-1``; ``node_ids[i]`` maps a
+compact index back to the original user id.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+class CSRGraph:
+    """Immutable directed graph in CSR form with forward and reverse indexes.
+
+    Attributes:
+        n: number of nodes.
+        indptr / indices: forward adjacency — out-neighbors of compact node
+            ``i`` are ``indices[indptr[i]:indptr[i+1]]``, sorted ascending.
+        rindptr / rindices: reverse adjacency (in-neighbors), sorted.
+        node_ids: original id of each compact node, ascending.
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        rindptr: np.ndarray,
+        rindices: np.ndarray,
+        node_ids: np.ndarray,
+    ):
+        self.indptr = indptr
+        self.indices = indices
+        self.rindptr = rindptr
+        self.rindices = rindices
+        self.node_ids = node_ids
+        self.n = len(node_ids)
+        if len(indptr) != self.n + 1 or len(rindptr) != self.n + 1:
+            raise ValueError("indptr length must be n_nodes + 1")
+        if indptr[-1] != len(indices) or rindptr[-1] != len(rindices):
+            raise ValueError("indptr terminal must equal edge count")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        node_ids: np.ndarray | None = None,
+    ) -> "CSRGraph":
+        """Build from parallel edge arrays of original node ids.
+
+        ``node_ids`` may list extra isolated nodes; ids appearing in edges
+        are always included. Duplicate edges are collapsed.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape:
+            raise ValueError("sources and targets must have equal length")
+        pools = [sources, targets]
+        if node_ids is not None:
+            pools.append(np.asarray(node_ids, dtype=np.int64))
+        all_ids = np.unique(np.concatenate(pools))
+        src = np.searchsorted(all_ids, sources)
+        dst = np.searchsorted(all_ids, targets)
+        return cls._from_compact_edges(src, dst, all_ids)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[int, int]]) -> "CSRGraph":
+        """Convenience constructor from an iterable of (u, v) pairs."""
+        pairs = list(edges)
+        if not pairs:
+            return cls._from_compact_edges(
+                np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, np.int64)
+            )
+        arr = np.asarray(pairs, dtype=np.int64)
+        return cls.from_edge_arrays(arr[:, 0], arr[:, 1])
+
+    @classmethod
+    def _from_compact_edges(
+        cls, src: np.ndarray, dst: np.ndarray, node_ids: np.ndarray
+    ) -> "CSRGraph":
+        n = len(node_ids)
+        if src.size:
+            # Deduplicate parallel edges via a combined 128-bit-safe key.
+            order = np.lexsort((dst, src))
+            src, dst = src[order], dst[order]
+            keep = np.ones(len(src), dtype=bool)
+            keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+            src, dst = src[keep], dst[keep]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        indices = dst.copy()
+        # Reverse adjacency: sort edges by target.
+        rorder = np.lexsort((src, dst))
+        rindptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(rindptr, dst + 1, 1)
+        np.cumsum(rindptr, out=rindptr)
+        rindices = src[rorder]
+        return cls(indptr, indices, rindptr, rindices, node_ids)
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.indptr[-1])
+
+    def out_neighbors(self, i: int) -> np.ndarray:
+        """Sorted compact out-neighbors of compact node ``i``."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def in_neighbors(self, i: int) -> np.ndarray:
+        """Sorted compact in-neighbors of compact node ``i``."""
+        return self.rindices[self.rindptr[i] : self.rindptr[i + 1]]
+
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        return np.diff(self.rindptr)
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """True when compact edge ``i -> j`` exists (binary search)."""
+        row = self.out_neighbors(i)
+        pos = np.searchsorted(row, j)
+        # bool() matters: numpy bools saturate under +, breaking callers
+        # that count edges arithmetically.
+        return bool(pos < len(row) and row[pos] == j)
+
+    def compact_index(self, original_id: int) -> int:
+        """Map an original user id to its compact index."""
+        pos = int(np.searchsorted(self.node_ids, original_id))
+        if pos >= self.n or self.node_ids[pos] != original_id:
+            raise KeyError(f"unknown node id: {original_id}")
+        return pos
+
+    def undirected_neighbors(self, i: int) -> np.ndarray:
+        """Union of in- and out-neighbors, sorted and deduplicated."""
+        return np.union1d(self.out_neighbors(i), self.in_neighbors(i))

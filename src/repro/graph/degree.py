@@ -1,0 +1,94 @@
+"""Degree statistics and empirical distribution functions.
+
+Provides the CCDF machinery behind Figure 3 (degree distributions) and
+all other CCDF/CDF plots in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class EmpiricalCCDF:
+    """An empirical complementary CDF: ``P(X >= x)`` at each unique value.
+
+    ``x`` is ascending and ``p`` is non-increasing; ``p[0]`` is 1.0 when
+    all observations are at least ``x[0]``.
+    """
+
+    x: np.ndarray
+    p: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.p):
+            raise ValueError("x and p must have equal length")
+        if len(self.x) > 1 and not np.all(np.diff(self.x) > 0):
+            raise ValueError("x must be strictly increasing")
+
+    def evaluate(self, values) -> np.ndarray:
+        """P(X >= v) for each v, by step-function lookup."""
+        values = np.atleast_1d(np.asarray(values, dtype=float))
+        idx = np.searchsorted(self.x, values, side="left")
+        out = np.empty(len(values))
+        inside = idx < len(self.x)
+        out[~inside] = 0.0
+        # For v <= x[idx], P(X >= v) >= P(X >= x[idx]); exact on support points.
+        below_support = values < (self.x[0] if len(self.x) else np.inf)
+        out[inside] = self.p[idx[inside]]
+        out[below_support] = 1.0
+        return out
+
+
+def ccdf(values) -> EmpiricalCCDF:
+    """Empirical CCDF ``P(X >= x)`` of a sample, at its unique values."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot build a CCDF from an empty sample")
+    unique, counts = np.unique(values, return_counts=True)
+    # P(X >= unique[i]) = (count of values >= unique[i]) / n
+    tail = np.cumsum(counts[::-1])[::-1]
+    return EmpiricalCCDF(unique, tail / values.size)
+
+
+def cdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF ``P(X <= x)`` as ``(x, p)`` arrays at unique values."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot build a CDF from an empty sample")
+    unique, counts = np.unique(values, return_counts=True)
+    return unique, np.cumsum(counts) / values.size
+
+
+@dataclass(frozen=True)
+class DegreeDistributions:
+    """In- and out-degree arrays plus their CCDFs for one graph."""
+
+    in_degrees: np.ndarray
+    out_degrees: np.ndarray
+    in_ccdf: EmpiricalCCDF
+    out_ccdf: EmpiricalCCDF
+
+    @property
+    def mean_in_degree(self) -> float:
+        return float(self.in_degrees.mean())
+
+    @property
+    def mean_out_degree(self) -> float:
+        return float(self.out_degrees.mean())
+
+
+def degree_distributions(graph: CSRGraph) -> DegreeDistributions:
+    """Compute Figure 3's raw material for a graph."""
+    in_deg = graph.in_degrees()
+    out_deg = graph.out_degrees()
+    return DegreeDistributions(
+        in_degrees=in_deg,
+        out_degrees=out_deg,
+        in_ccdf=ccdf(in_deg),
+        out_ccdf=ccdf(out_deg),
+    )

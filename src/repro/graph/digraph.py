@@ -1,0 +1,126 @@
+"""A minimal directed-graph container.
+
+The paper models Google+ as a directed graph ``G(V, E)`` where an edge
+``(u, v)`` means user ``u`` added user ``v`` to a circle. This class is a
+mutable adjacency-set container optimised for graph construction; the
+heavy structural algorithms (SCC, BFS sweeps, clustering) operate on the
+frozen CSR form produced by :meth:`DiGraph.to_csr`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+class DiGraph:
+    """Directed graph over integer node ids, with in- and out-adjacency."""
+
+    def __init__(self) -> None:
+        self._out: dict[int, set[int]] = {}
+        self._in: dict[int, set[int]] = {}
+        self._n_edges = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[int, int]]) -> "DiGraph":
+        """Build a graph from an iterable of ``(source, target)`` pairs."""
+        graph = cls()
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    def add_node(self, node: int) -> None:
+        """Add an isolated node; adding an existing node is a no-op."""
+        if node not in self._out:
+            self._out[node] = set()
+            self._in[node] = set()
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add the directed edge ``u -> v``; returns True if it was new.
+
+        Self-loops are rejected — a user cannot add herself to a circle.
+        """
+        if u == v:
+            raise ValueError("self-loops are not allowed in the social graph")
+        self.add_node(u)
+        self.add_node(v)
+        if v in self._out[u]:
+            return False
+        self._out[u].add(v)
+        self._in[v].add(u)
+        self._n_edges += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove ``u -> v``; raises KeyError when absent."""
+        if not self.has_edge(u, v):
+            raise KeyError(f"no edge {u} -> {v}")
+        self._out[u].remove(v)
+        self._in[v].remove(u)
+        self._n_edges -= 1
+
+    # -- queries --------------------------------------------------------------
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._out
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._out)
+
+    @property
+    def n_edges(self) -> int:
+        return self._n_edges
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return u in self._out and v in self._out[u]
+
+    def nodes(self) -> Iterator[int]:
+        return iter(self._out)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for u, targets in self._out.items():
+            for v in targets:
+                yield u, v
+
+    def out_neighbors(self, node: int) -> set[int]:
+        """OS(u): users ``node`` has added to circles (read-only view)."""
+        return self._out[node]
+
+    def in_neighbors(self, node: int) -> set[int]:
+        """IS(u): users that added ``node`` to circles (read-only view)."""
+        return self._in[node]
+
+    def out_degree(self, node: int) -> int:
+        return len(self._out[node])
+
+    def in_degree(self, node: int) -> int:
+        return len(self._in[node])
+
+    # -- export -----------------------------------------------------------------
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return parallel (sources, targets) int64 arrays of all edges."""
+        sources = np.empty(self._n_edges, dtype=np.int64)
+        targets = np.empty(self._n_edges, dtype=np.int64)
+        i = 0
+        for u, outs in self._out.items():
+            k = len(outs)
+            sources[i : i + k] = u
+            targets[i : i + k] = np.fromiter(outs, dtype=np.int64, count=k)
+            i += k
+        return sources, targets
+
+    def to_csr(self) -> "CSRGraph":
+        """Freeze into the CSR form used by the structural algorithms."""
+        from .csr import CSRGraph
+
+        node_ids = np.fromiter(self._out, dtype=np.int64, count=len(self._out))
+        sources, targets = self.edge_arrays()
+        return CSRGraph.from_edge_arrays(sources, targets, node_ids=node_ids)

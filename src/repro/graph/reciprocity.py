@@ -1,0 +1,68 @@
+"""Reciprocity metrics (Section 3.3.2).
+
+Two quantities from the paper:
+
+* **Relation Reciprocity** of a node,
+  ``RR(u) = |OS(u) ∩ IS(u)| / |OS(u)|`` — the fraction of a user's
+  followees that follow back (Equation 1);
+* **global reciprocity** — the fraction of all directed edges whose
+  reverse edge also exists (32% for Google+ vs 22.1% for Twitter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+
+def _edge_keys(graph: CSRGraph) -> np.ndarray:
+    """Sorted array of ``u * n + v`` keys for every edge, for O(log m) lookup."""
+    n = np.int64(graph.n)
+    sources = np.repeat(np.arange(graph.n, dtype=np.int64), graph.out_degrees())
+    keys = sources * n + graph.indices
+    keys.sort()
+    return keys
+
+
+def reciprocated_edge_mask(graph: CSRGraph) -> np.ndarray:
+    """Boolean mask over edges (CSR order): True when the reverse exists."""
+    n = np.int64(graph.n)
+    sources = np.repeat(np.arange(graph.n, dtype=np.int64), graph.out_degrees())
+    keys = _edge_keys(graph)
+    reverse = graph.indices.astype(np.int64) * n + sources
+    pos = np.searchsorted(keys, reverse)
+    pos = np.minimum(pos, len(keys) - 1) if len(keys) else pos
+    return keys[pos] == reverse if len(keys) else np.zeros(0, dtype=bool)
+
+
+def global_reciprocity(graph: CSRGraph) -> float:
+    """Fraction of directed edges whose reverse edge also exists."""
+    if graph.n_edges == 0:
+        return 0.0
+    return float(reciprocated_edge_mask(graph).mean())
+
+
+def relation_reciprocity(graph: CSRGraph, nodes: np.ndarray | None = None) -> np.ndarray:
+    """RR(u) per node (Equation 1); NaN for nodes with out-degree 0.
+
+    Uses the fact that both adjacency rows are sorted, so the intersection
+    size is a linear merge via :func:`numpy.intersect1d`.
+    """
+    if nodes is None:
+        nodes = np.arange(graph.n)
+    result = np.full(len(nodes), np.nan)
+    for slot, u in enumerate(np.asarray(nodes)):
+        outs = graph.out_neighbors(int(u))
+        if len(outs) == 0:
+            continue
+        ins = graph.in_neighbors(int(u))
+        mutual = np.intersect1d(outs, ins, assume_unique=True)
+        result[slot] = len(mutual) / len(outs)
+    return result
+
+
+def reciprocity_cdf_input(graph: CSRGraph) -> np.ndarray:
+    """RR values of all nodes with out-degree > 0 (Figure 4a's sample)."""
+    rr = relation_reciprocity(graph)
+    return rr[~np.isnan(rr)]

@@ -1,0 +1,61 @@
+"""Node- and pair-sampling helpers shared by the analyses.
+
+The paper relies on random sampling for its expensive measurements —
+one million nodes for clustering (Fig 4b), up to 10,000 BFS sources for
+path lengths (Fig 5), and 20 million random user pairs for the path-mile
+baseline (Fig 9a). These helpers centralise seeded, reproducible sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+
+def sample_nodes(
+    graph: CSRGraph, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform node sample without replacement (all nodes when size >= n)."""
+    if size >= graph.n:
+        return np.arange(graph.n)
+    return rng.choice(graph.n, size=size, replace=False)
+
+
+def sample_node_pairs(
+    n: int, size: int, rng: np.random.Generator, forbid_equal: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random (u, v) pairs drawn uniformly with replacement over pairs.
+
+    ``forbid_equal`` resamples the few collisions so u != v, matching the
+    "randomly chosen pairs of users (not linked)" baseline of Figure 9a —
+    the caller filters out linked pairs separately when required.
+    """
+    if n < 2 and forbid_equal:
+        raise ValueError("need at least two nodes for distinct pairs")
+    u = rng.integers(0, n, size=size)
+    v = rng.integers(0, n, size=size)
+    if forbid_equal:
+        clash = u == v
+        while clash.any():
+            v[clash] = rng.integers(0, n, size=int(clash.sum()))
+            clash = u == v
+    return u, v
+
+
+def sample_edges(
+    graph: CSRGraph, size: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniform sample of directed edges, as (sources, targets) arrays."""
+    m = graph.n_edges
+    if m == 0:
+        return np.empty(0, np.int64), np.empty(0, np.int64)
+    chosen = (
+        np.arange(m)
+        if size >= m
+        else rng.choice(m, size=size, replace=False)
+    )
+    chosen.sort()
+    # Recover source of each edge offset from indptr via searchsorted.
+    sources = np.searchsorted(graph.indptr, chosen, side="right") - 1
+    return sources.astype(np.int64), graph.indices[chosen].astype(np.int64)

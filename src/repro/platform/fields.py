@@ -1,0 +1,79 @@
+"""Registry of Google+ profile fields (Table 2 of the paper).
+
+The paper enumerates seventeen profile attributes, of which only three
+("relationship", "looking for" and gender) are *restricted* — the user
+chooses among fixed options — while the rest are free-form *open* fields.
+The "name" field is mandatory and always public.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FieldKind(enum.Enum):
+    """Whether a field offers fixed choices or free-form text."""
+
+    RESTRICTED = "restricted"
+    OPEN = "open"
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Static description of one profile field.
+
+    Attributes:
+        key: machine name used in profile dictionaries and page documents.
+        label: human-readable label as printed in Table 2 of the paper.
+        kind: restricted (fixed options) or open (free text).
+        mandatory: True only for the name field, which cannot be hidden.
+        contact: True for the two contact blocks (work / home), which the
+            paper excludes when counting "fields shared" (Figures 2 and 8).
+    """
+
+    key: str
+    label: str
+    kind: FieldKind = FieldKind.OPEN
+    mandatory: bool = False
+    contact: bool = False
+
+
+#: All seventeen profile attributes, in Table 2 order.
+FIELD_SPECS: tuple[FieldSpec, ...] = (
+    FieldSpec("name", "Name", mandatory=True),
+    FieldSpec("gender", "Gender", kind=FieldKind.RESTRICTED),
+    FieldSpec("education", "Education"),
+    FieldSpec("places_lived", "Places lived"),
+    FieldSpec("employment", "Employment"),
+    FieldSpec("phrase", "Phrase"),
+    FieldSpec("other_profiles", "Other profiles"),
+    FieldSpec("occupation", "Occupation"),
+    FieldSpec("contributor_to", "Contributor to"),
+    FieldSpec("introduction", "Introduction"),
+    FieldSpec("other_names", "Other names"),
+    FieldSpec("relationship", "Relationship", kind=FieldKind.RESTRICTED),
+    FieldSpec("bragging_rights", "Braggin rights"),
+    FieldSpec("recommended_links", "Recommended links"),
+    FieldSpec("looking_for", "Looking for", kind=FieldKind.RESTRICTED),
+    FieldSpec("work_contact", "Work (contact)", contact=True),
+    FieldSpec("home_contact", "Home (contact)", contact=True),
+)
+
+#: Lookup by machine key.
+FIELDS_BY_KEY: dict[str, FieldSpec] = {spec.key: spec for spec in FIELD_SPECS}
+
+#: Field keys counted by Figures 2 and 8 ("fields shared", contacts excluded).
+COUNTABLE_FIELD_KEYS: tuple[str, ...] = tuple(
+    spec.key for spec in FIELD_SPECS if not spec.contact
+)
+
+#: Field keys a user may hide (everything but the mandatory name).
+OPTIONAL_FIELD_KEYS: tuple[str, ...] = tuple(
+    spec.key for spec in FIELD_SPECS if not spec.mandatory
+)
+
+
+def field_label(key: str) -> str:
+    """Return the Table 2 label for a field key."""
+    return FIELDS_BY_KEY[key].label

@@ -1,0 +1,160 @@
+"""Simulated HTTP front end of the Google+ service.
+
+The authors collected profiles "by making HTTP requests to publicly
+available user profile pages" from 11 machines with different IP addresses
+(Section 2.2). This module reproduces the transport-level conditions a
+large crawl faces — per-IP rate limiting, transient server errors, and a
+simulated clock — without any real network I/O, so crawls are fast and
+perfectly deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+#: HTTP-ish status codes the simulated server can return.
+STATUS_OK = 200
+STATUS_NOT_FOUND = 404
+STATUS_TOO_MANY_REQUESTS = 429
+STATUS_SERVER_ERROR = 503
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request: a path such as ``/u/123`` from a client IP."""
+
+    path: str
+    client_ip: str
+
+
+@dataclass(frozen=True)
+class Response:
+    """The server's reply. ``payload`` carries the page document on 200."""
+
+    status: int
+    payload: Any = None
+    retry_after: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class SimulatedClock:
+    """A monotonically advancing virtual clock shared by server and clients."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("the clock only moves forward")
+        self._now += seconds
+        return self._now
+
+
+@dataclass
+class TokenBucket:
+    """Classic token-bucket limiter: ``rate`` tokens/s, burst of ``capacity``."""
+
+    rate: float
+    capacity: float
+    tokens: float = field(default=-1.0)
+    last_refill: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.capacity <= 0:
+            raise ValueError("rate and capacity must be positive")
+        if self.tokens < 0:
+            self.tokens = self.capacity
+
+    def try_take(self, now: float) -> tuple[bool, float]:
+        """Attempt to consume one token at virtual time ``now``.
+
+        Returns ``(granted, retry_after)``; ``retry_after`` is the delay
+        until a token will be available when the request is refused.
+        """
+        elapsed = max(0.0, now - self.last_refill)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+        self.last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-client-IP token buckets, as a web front end would maintain."""
+
+    def __init__(self, rate_per_ip: float, burst: float, clock: SimulatedClock):
+        self._rate = rate_per_ip
+        self._burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def admit(self, ip: str) -> tuple[bool, float]:
+        bucket = self._buckets.get(ip)
+        if bucket is None:
+            bucket = TokenBucket(self._rate, self._burst)
+            bucket.last_refill = self._clock.now()
+            self._buckets[ip] = bucket
+        return bucket.try_take(self._clock.now())
+
+
+class FlakinessModel:
+    """Injects transient 503s with a seeded RNG so crawls stay deterministic."""
+
+    def __init__(self, error_rate: float = 0.0, seed: int = 0):
+        if not 0.0 <= error_rate < 1.0:
+            raise ValueError("error_rate must be in [0, 1)")
+        self._error_rate = error_rate
+        self._rng = np.random.default_rng(seed)
+
+    def should_fail(self) -> bool:
+        if self._error_rate == 0.0:
+            return False
+        return bool(self._rng.random() < self._error_rate)
+
+
+class HttpFrontend:
+    """Ties the rate limiter and flakiness model in front of a page handler.
+
+    The handler is any callable mapping a path to ``(status, payload)``;
+    :class:`repro.platform.service.GooglePlusService` provides one.
+    """
+
+    def __init__(
+        self,
+        handler,
+        clock: SimulatedClock | None = None,
+        rate_per_ip: float = 50.0,
+        burst: float = 100.0,
+        error_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        self._handler = handler
+        self.clock = clock if clock is not None else SimulatedClock()
+        self._limiter = RateLimiter(rate_per_ip, burst, self.clock)
+        self._flakiness = FlakinessModel(error_rate, seed)
+        self.requests_served = 0
+        self.requests_throttled = 0
+        self.requests_failed = 0
+
+    def handle(self, request: Request) -> Response:
+        """Serve one request, applying throttling and failure injection."""
+        granted, retry_after = self._limiter.admit(request.client_ip)
+        if not granted:
+            self.requests_throttled += 1
+            return Response(STATUS_TOO_MANY_REQUESTS, retry_after=retry_after)
+        if self._flakiness.should_fail():
+            self.requests_failed += 1
+            return Response(STATUS_SERVER_ERROR, retry_after=1.0)
+        status, payload = self._handler(request.path)
+        self.requests_served += 1
+        return Response(status, payload)

@@ -1,0 +1,59 @@
+"""Per-field visibility model of Google+ profiles.
+
+Google+ let a user pick, for every profile field except the mandatory
+name, one of five visibility levels (Section 3.1 of the paper):
+
+1. ``PUBLIC`` — anyone on the Internet,
+2. ``EXTENDED_CIRCLES`` — people in circles and the circles of those,
+3. ``YOUR_CIRCLES`` — people in the owner's circles,
+4. ``ONLY_YOU`` — the owner alone,
+5. ``CUSTOM`` — an explicit set of circles.
+
+The crawler in this reproduction is an anonymous HTTP client, so only
+``PUBLIC`` fields are harvested — exactly the situation the authors faced.
+The richer levels still matter: the platform enforces them whenever a
+profile is viewed *as* another user, and tests exercise those paths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Visibility(enum.Enum):
+    """The five visibility levels of a Google+ profile field."""
+
+    PUBLIC = "public"
+    EXTENDED_CIRCLES = "extended circles"
+    YOUR_CIRCLES = "your circles"
+    ONLY_YOU = "only you"
+    CUSTOM = "custom"
+
+
+@dataclass(frozen=True)
+class FieldPrivacy:
+    """Visibility setting attached to one profile field.
+
+    ``custom_circles`` is only meaningful when ``visibility`` is
+    :attr:`Visibility.CUSTOM`; it names the owner's circles whose members
+    may view the field.
+    """
+
+    visibility: Visibility = Visibility.PUBLIC
+    custom_circles: frozenset[str] = field(default_factory=frozenset)
+
+    def is_public(self) -> bool:
+        """True when any anonymous visitor may view the field."""
+        return self.visibility is Visibility.PUBLIC
+
+
+PUBLIC = FieldPrivacy(Visibility.PUBLIC)
+ONLY_YOU = FieldPrivacy(Visibility.ONLY_YOU)
+YOUR_CIRCLES = FieldPrivacy(Visibility.YOUR_CIRCLES)
+EXTENDED_CIRCLES = FieldPrivacy(Visibility.EXTENDED_CIRCLES)
+
+
+def custom(*circles: str) -> FieldPrivacy:
+    """Build a CUSTOM privacy setting restricted to the given circles."""
+    return FieldPrivacy(Visibility.CUSTOM, frozenset(circles))

@@ -1,0 +1,319 @@
+"""The simulated Google+ service.
+
+This is the substrate the paper measures: account signup (invitation-only
+field trial, then open signup), circle management with the out-circle cap
+and whitelist, follower tracking, per-field privacy enforcement, and the
+public profile pages the crawler scrapes. A lightweight content layer
+(posts with circle-scoped visibility, reshares and +1s) rounds out the
+platform description of Section 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .circles import CIRCLE_DISPLAY_LIMIT, CircleStore, DEFAULT_CIRCLE
+from .errors import (
+    AlreadyRegisteredError,
+    SignupClosedError,
+    UnknownUserError,
+)
+from .http import STATUS_NOT_FOUND, STATUS_OK
+from .models import UserProfile
+from .pages import ProfilePage, truncate_list
+from .privacy import Visibility
+
+
+@dataclass(frozen=True)
+class Notification:
+    """An in-app notification.
+
+    Section 2.1: "A user can identify all the others who included the
+    user in their circles (i.e., followers), because the user receives a
+    notification when someone adds him to a circle."
+    """
+
+    kind: str
+    actor_id: int
+    subject_id: int | None = None
+
+
+@dataclass
+class Post:
+    """A stream item: content shared to a set of the author's circles.
+
+    ``to_circles`` of ``None`` means shared publicly.
+    """
+
+    post_id: int
+    author_id: int
+    content: str
+    to_circles: frozenset[str] | None = None
+    plus_ones: set[int] = field(default_factory=set)
+    reshared_from: int | None = None
+
+
+@dataclass
+class _Account:
+    """Internal per-user record: profile, circles, and follower index."""
+
+    profile: UserProfile
+    circles: CircleStore
+    followers: dict[int, None] = field(default_factory=dict)
+    notifications: list[Notification] = field(default_factory=list)
+
+
+class GooglePlusService:
+    """In-process simulation of the Google+ social networking service."""
+
+    def __init__(
+        self,
+        open_signup: bool = False,
+        circle_display_limit: int = CIRCLE_DISPLAY_LIMIT,
+    ):
+        if circle_display_limit < 1:
+            raise ValueError("circle display limit must be positive")
+        self._accounts: dict[int, _Account] = {}
+        self._posts: dict[int, Post] = {}
+        self._next_post_id = 1
+        self.open_signup = open_signup
+        self.circle_display_limit = circle_display_limit
+
+    # -- account lifecycle -------------------------------------------------
+
+    def register(
+        self,
+        profile: UserProfile,
+        invited_by: int | None = None,
+        exempt_from_circle_limit: bool = False,
+    ) -> None:
+        """Create an account.
+
+        During the field trial (``open_signup`` False) a valid inviter who
+        is already a member is required, mirroring the invitation-viral
+        growth phase described in Section 2.1.
+        """
+        if profile.user_id in self._accounts:
+            raise AlreadyRegisteredError(profile.user_id)
+        if not self.open_signup:
+            if invited_by is None:
+                raise SignupClosedError(
+                    "signups are invitation-only during the field trial"
+                )
+            if invited_by not in self._accounts:
+                raise UnknownUserError(invited_by)
+        store = CircleStore(profile.user_id, exempt_from_limit=exempt_from_circle_limit)
+        store.create_circle(DEFAULT_CIRCLE)
+        self._accounts[profile.user_id] = _Account(profile=profile, circles=store)
+
+    def enable_open_signup(self) -> None:
+        """End the field trial: anyone may sign up (September 20th, 2011)."""
+        self.open_signup = True
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._accounts
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    def user_ids(self) -> Iterator[int]:
+        return iter(self._accounts)
+
+    def profile(self, user_id: int) -> UserProfile:
+        return self._account(user_id).profile
+
+    def _account(self, user_id: int) -> _Account:
+        try:
+            return self._accounts[user_id]
+        except KeyError:
+            raise UnknownUserError(user_id) from None
+
+    # -- circles / social links --------------------------------------------
+
+    def add_to_circle(
+        self, user_id: int, target_id: int, circle: str = DEFAULT_CIRCLE
+    ) -> bool:
+        """``user_id`` adds ``target_id`` to a circle (no confirmation needed).
+
+        Returns True when a new directed social link was created.
+        """
+        account = self._account(user_id)
+        target = self._account(target_id)
+        is_new_link = account.circles.add(target_id, circle)
+        if is_new_link:
+            target.followers[user_id] = None
+            # Section 2.1: the added user is notified (circle name stays
+            # private — only the fact of the add is revealed).
+            target.notifications.append(
+                Notification(kind="added_to_circle", actor_id=user_id)
+            )
+        return is_new_link
+
+    def remove_from_circle(
+        self, user_id: int, target_id: int, circle: str | None = None
+    ) -> bool:
+        """Remove a contact from one circle (or all). True if the link died."""
+        account = self._account(user_id)
+        link_removed = account.circles.remove(target_id, circle)
+        if link_removed:
+            self._account(target_id).followers.pop(user_id, None)
+        return link_removed
+
+    def followees(self, user_id: int) -> list[int]:
+        """Users ``user_id`` has in circles ("In user's circles")."""
+        return self._account(user_id).circles.flattened()
+
+    def followers(self, user_id: int) -> list[int]:
+        """Users that have ``user_id`` in circles ("Have user in circles")."""
+        return list(self._account(user_id).followers)
+
+    def out_degree(self, user_id: int) -> int:
+        return self._account(user_id).circles.out_degree()
+
+    def in_degree(self, user_id: int) -> int:
+        return len(self._account(user_id).followers)
+
+    # -- privacy-aware profile views ----------------------------------------
+
+    def can_view_field(self, owner_id: int, viewer_id: int | None, key: str) -> bool:
+        """Decide whether ``viewer_id`` (None = anonymous) may see a field."""
+        if key == "name":
+            return True
+        owner = self._account(owner_id)
+        entry = owner.profile.fields.get(key)
+        if entry is None:
+            return False
+        if viewer_id == owner_id:
+            return True
+        visibility = entry.privacy.visibility
+        if visibility is Visibility.PUBLIC:
+            return True
+        if viewer_id is None:
+            return False
+        if visibility is Visibility.ONLY_YOU:
+            return False
+        if visibility is Visibility.YOUR_CIRCLES:
+            return owner.circles.contains(viewer_id)
+        if visibility is Visibility.EXTENDED_CIRCLES:
+            if owner.circles.contains(viewer_id):
+                return True
+            return any(
+                self._account(contact).circles.contains(viewer_id)
+                for contact in owner.circles.flattened()
+            )
+        # CUSTOM: the viewer must be in one of the named circles.
+        return any(
+            viewer_id in owner.circles.members_by_circle.get(name, {})
+            for name in entry.privacy.custom_circles
+        )
+
+    def profile_page(self, user_id: int, viewer_id: int | None = None) -> ProfilePage:
+        """Render the profile page as seen by ``viewer_id`` (None = crawler)."""
+        account = self._account(user_id)
+        profile = account.profile
+        visible = {
+            key: entry.value
+            for key, entry in profile.fields.items()
+            if self.can_view_field(user_id, viewer_id, key)
+        }
+        in_list = out_list = None
+        if profile.lists_public or viewer_id == user_id:
+            in_list = truncate_list(list(account.followers), self.circle_display_limit)
+            out_list = truncate_list(
+                account.circles.flattened(), self.circle_display_limit
+            )
+        return ProfilePage(
+            user_id=user_id,
+            name=profile.name,
+            fields=visible,
+            in_list=in_list,
+            out_list=out_list,
+        )
+
+    # -- content layer (stream, +1, reshare) --------------------------------
+
+    def publish(
+        self,
+        author_id: int,
+        content: str,
+        to_circles: frozenset[str] | None = None,
+        reshared_from: int | None = None,
+    ) -> Post:
+        """Publish a post to the author's stream, optionally circle-scoped."""
+        account = self._account(author_id)
+        if to_circles is not None:
+            unknown = to_circles - set(account.circles.circle_names())
+            if unknown:
+                raise ValueError(f"author has no circles named {sorted(unknown)}")
+        if reshared_from is not None and reshared_from not in self._posts:
+            raise KeyError(f"unknown post id: {reshared_from}")
+        post = Post(
+            post_id=self._next_post_id,
+            author_id=author_id,
+            content=content,
+            to_circles=to_circles,
+            reshared_from=reshared_from,
+        )
+        self._next_post_id += 1
+        self._posts[post.post_id] = post
+        return post
+
+    def notifications(self, user_id: int, clear: bool = False) -> list[Notification]:
+        """The user's notification feed (optionally consuming it)."""
+        account = self._account(user_id)
+        items = list(account.notifications)
+        if clear:
+            account.notifications.clear()
+        return items
+
+    def plus_one(self, user_id: int, post_id: int) -> None:
+        """Record a +1: a public recommendation of a post."""
+        self._account(user_id)
+        try:
+            post = self._posts[post_id]
+        except KeyError:
+            raise KeyError(f"unknown post id: {post_id}") from None
+        if user_id not in post.plus_ones:
+            post.plus_ones.add(user_id)
+            self._account(post.author_id).notifications.append(
+                Notification(kind="plus_one", actor_id=user_id, subject_id=post_id)
+            )
+
+    def can_view_post(self, post_id: int, viewer_id: int | None) -> bool:
+        """Circle-scoped posts are visible to members of the named circles."""
+        post = self._posts[post_id]
+        if post.to_circles is None:
+            return True
+        if viewer_id is None:
+            return False
+        if viewer_id == post.author_id:
+            return True
+        author = self._account(post.author_id)
+        return any(
+            viewer_id in author.circles.members_by_circle.get(name, {})
+            for name in post.to_circles
+        )
+
+    def stream_for(self, viewer_id: int) -> list[Post]:
+        """Posts flowing into a user's stream from the circles they follow."""
+        followed = set(self.followees(viewer_id))
+        return [
+            post
+            for post in self._posts.values()
+            if post.author_id in followed and self.can_view_post(post.post_id, viewer_id)
+        ]
+
+    # -- HTTP handler ---------------------------------------------------------
+
+    def handle_path(self, path: str) -> tuple[int, ProfilePage | None]:
+        """Serve ``/u/<id>`` paths for :class:`repro.platform.http.HttpFrontend`."""
+        if not path.startswith("/u/"):
+            return STATUS_NOT_FOUND, None
+        try:
+            user_id = int(path[3:])
+        except ValueError:
+            return STATUS_NOT_FOUND, None
+        if user_id not in self._accounts:
+            return STATUS_NOT_FOUND, None
+        return STATUS_OK, self.profile_page(user_id, viewer_id=None)

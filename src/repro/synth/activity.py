@@ -1,0 +1,191 @@
+"""Content activity simulation — the paper's second future-work item.
+
+Section 7: *"having seen the key differences of Google+ from other online
+social networks, we would like to understand how different privacy
+settings and openness impact the types of conversations and the patterns
+of content sharing."*
+
+This module generates posting and resharing activity *through the
+platform API* (:class:`repro.platform.service.GooglePlusService`): users
+publish posts — public or scoped to one of their circles, with the
+public/scoped split driven by the same per-country openness culture that
+shapes their profiles — and content then cascades: followers who can see
+a post may +1 it or reshare it to their own audience, reshares of
+reshares forming diffusion trees. The analysis side lives in
+:mod:`repro.analysis.diffusion`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.platform.service import GooglePlusService, Post
+
+from .world import SyntheticWorld
+
+
+@dataclass(frozen=True)
+class ActivityConfig:
+    """Knobs of the activity simulation.
+
+    * ``posts_per_user`` — mean original posts per user (Poisson);
+      scaled by the user's disclosure propensity, so prolific sharers
+      are also the privacy risk-takers, as Section 3.2 suggests;
+    * ``public_post_base`` — base probability a post is public rather
+      than circle-scoped; multiplied by the author country's openness;
+    * ``reshare_prob`` / ``plus_one_prob`` — per-viewing follower
+      engagement probabilities (reshares decay with depth);
+    * ``reshare_depth_decay`` — multiplicative decay of the reshare
+      probability per cascade level;
+    * ``max_audience_sample`` — at most this many followers are offered
+      each post (keeps celebrity cascades tractable).
+    """
+
+    posts_per_user: float = 0.4
+    public_post_base: float = 0.55
+    reshare_prob: float = 0.05
+    plus_one_prob: float = 0.12
+    reshare_depth_decay: float = 0.6
+    max_audience_sample: int = 150
+    max_cascade_size: int = 2_000
+
+
+@dataclass
+class Cascade:
+    """One original post and everything that grew from it."""
+
+    root_post_id: int
+    author_id: int
+    is_public: bool
+    reshare_post_ids: list[int] = field(default_factory=list)
+    resharer_ids: list[int] = field(default_factory=list)
+    depth: int = 0
+    plus_ones: int = 0
+    audience: int = 0  # distinct users who saw the root or a reshare
+
+    @property
+    def size(self) -> int:
+        """Nodes in the diffusion tree (root + reshares)."""
+        return 1 + len(self.reshare_post_ids)
+
+
+@dataclass
+class ActivityLog:
+    """The full product of one activity simulation."""
+
+    cascades: list[Cascade]
+    n_posts: int = 0
+    n_reshares: int = 0
+    n_plus_ones: int = 0
+
+    def public_cascades(self) -> list[Cascade]:
+        return [c for c in self.cascades if c.is_public]
+
+    def scoped_cascades(self) -> list[Cascade]:
+        return [c for c in self.cascades if not c.is_public]
+
+
+def _audience_of(
+    service: GooglePlusService,
+    user_id: int,
+    rng: np.random.Generator,
+    cap: int,
+) -> list[int]:
+    """A sample of a user's followers who would see a new post."""
+    followers = service.followers(user_id)
+    if len(followers) <= cap:
+        return followers
+    chosen = rng.choice(len(followers), size=cap, replace=False)
+    return [followers[i] for i in chosen]
+
+
+def simulate_activity(
+    world: SyntheticWorld,
+    config: ActivityConfig | None = None,
+    seed: int = 0,
+    max_users: int | None = None,
+) -> ActivityLog:
+    """Generate posts, +1s and reshare cascades over a world's service.
+
+    ``max_users`` limits how many users author original posts (highest
+    ids first are skipped), which keeps large worlds affordable; the
+    engagement side always uses the full follower structure.
+    """
+    config = config if config is not None else ActivityConfig()
+    rng = np.random.default_rng(seed)
+    service = world.service
+    population = world.population
+    n_authors = population.n if max_users is None else min(max_users, population.n)
+
+    post_counts = rng.poisson(
+        config.posts_per_user * np.minimum(population.disclosure[:n_authors], 3.0)
+    )
+    log = ActivityLog(cascades=[])
+    for author_id in range(n_authors):
+        for _ in range(int(post_counts[author_id])):
+            cascade = _run_cascade(service, population, author_id, config, rng)
+            log.cascades.append(cascade)
+            log.n_posts += 1
+            log.n_reshares += len(cascade.reshare_post_ids)
+            log.n_plus_ones += cascade.plus_ones
+    return log
+
+
+def _pick_visibility(
+    population, author_id: int, config: ActivityConfig, rng: np.random.Generator
+) -> frozenset[str] | None:
+    """Public (None) or a single-circle scope, by the author's culture."""
+    openness = population.openness_of(author_id)
+    if rng.random() < min(0.98, config.public_post_base * openness):
+        return None
+    return frozenset({"friends"})
+
+
+def _run_cascade(
+    service: GooglePlusService,
+    population,
+    author_id: int,
+    config: ActivityConfig,
+    rng: np.random.Generator,
+) -> Cascade:
+    to_circles = _pick_visibility(population, author_id, config, rng)
+    root = service.publish(author_id, f"post by {author_id}", to_circles=to_circles)
+    cascade = Cascade(
+        root_post_id=root.post_id,
+        author_id=author_id,
+        is_public=to_circles is None,
+    )
+    seen: set[int] = {author_id}
+    # Queue of (post, poster, depth): followers of `poster` may engage.
+    queue: deque[tuple[Post, int, int]] = deque([(root, author_id, 0)])
+    while queue:
+        post, poster, depth = queue.popleft()
+        if cascade.size >= config.max_cascade_size:
+            break
+        audience = _audience_of(service, poster, rng, config.max_audience_sample)
+        reshare_p = config.reshare_prob * config.reshare_depth_decay**depth
+        rolls = rng.random((len(audience), 2))
+        for follower, (reshare_roll, plus_roll) in zip(audience, rolls):
+            if follower in seen:
+                continue
+            if not service.can_view_post(post.post_id, follower):
+                continue
+            seen.add(follower)
+            if plus_roll < config.plus_one_prob:
+                service.plus_one(follower, post.post_id)
+                cascade.plus_ones += 1
+            if reshare_roll < reshare_p:
+                reshare = service.publish(
+                    follower,
+                    f"reshare of {post.post_id}",
+                    reshared_from=post.post_id,
+                )
+                cascade.reshare_post_ids.append(reshare.post_id)
+                cascade.resharer_ids.append(follower)
+                cascade.depth = max(cascade.depth, depth + 1)
+                queue.append((reshare, follower, depth + 1))
+    cascade.audience = len(seen) - 1
+    return cascade

@@ -1,0 +1,95 @@
+"""Celebrity seeding: the hubs of the synthetic Google+ graph.
+
+Table 1 of the paper lists the twenty most-followed users; seven of the
+twenty are IT-industry figures, which the paper calls out as the service's
+signature. The synthetic world plants a matching set of *global* celebrity
+archetypes (same names, occupations and countries) plus ten per-country
+celebrities per top-10 country carrying the exact Table 5 occupation
+sequences. The graph generator gives celebrities Zipf-decaying attachment
+weight so the crawled in-degree ranking reproduces both tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.models import Occupation
+
+from .occupations import CELEBRITY_OCCUPATIONS
+
+
+@dataclass(frozen=True)
+class CelebritySpec:
+    """One seeded celebrity: rank drives attachment weight."""
+
+    name: str
+    about: str
+    occupation: Occupation
+    country: str
+    global_rank: int  # 1 = most followed; 0 = per-country celebrity
+
+
+#: Table 1: the global top-20, with occupation codes and home countries.
+GLOBAL_CELEBRITIES: tuple[CelebritySpec, ...] = (
+    CelebritySpec("Larry Page", "IT (Google)", Occupation.IT, "US", 1),
+    CelebritySpec("Mark Zuckerberg", "IT (Facebook)", Occupation.IT, "US", 2),
+    CelebritySpec("Britney Spears", "Musician", Occupation.MUSICIAN, "US", 3),
+    CelebritySpec("Snoop Dogg", "Musician", Occupation.MUSICIAN, "US", 4),
+    CelebritySpec("Sergey Brin", "IT (Google)", Occupation.IT, "US", 5),
+    CelebritySpec("Tyra Banks", "Model", Occupation.MODEL, "US", 6),
+    CelebritySpec("Vic Gundotra", "IT (Google)", Occupation.IT, "US", 7),
+    CelebritySpec("Paris Hilton", "Socialite", Occupation.SOCIALITE, "US", 8),
+    CelebritySpec("Richard Branson", "Businessman (Virgin Group)",
+                  Occupation.BUSINESSMAN, "GB", 9),
+    CelebritySpec("Dane Cook", "Comedian", Occupation.COMEDIAN, "US", 10),
+    CelebritySpec("Jessi June", "Model", Occupation.MODEL, "US", 11),
+    CelebritySpec("Trey Ratcliff", "Blogger", Occupation.BLOGGER, "US", 12),
+    CelebritySpec("will.i.am", "Musician", Occupation.MUSICIAN, "US", 13),
+    CelebritySpec("Felicia Day", "Actor", Occupation.ACTOR, "US", 14),
+    CelebritySpec("Thomas Hawk", "Blogger", Occupation.BLOGGER, "US", 15),
+    CelebritySpec("Tom Anderson", "IT (Myspace)", Occupation.IT, "US", 16),
+    CelebritySpec("Pete Cashmore", "IT (Mashable)", Occupation.IT, "US", 17),
+    CelebritySpec("Guy Kawasaki", "IT (Apple) & Writer", Occupation.IT, "US", 18),
+    CelebritySpec("Wil Wheaton", "Actor & Writer", Occupation.ACTOR, "US", 19),
+    CelebritySpec("Ron Garan", "Astronaut (NASA)", Occupation.ASTRONAUT, "US", 20),
+)
+
+
+def national_celebrities() -> list[CelebritySpec]:
+    """Ten synthetic celebrities per top-10 country (Table 5 sequences)."""
+    specs: list[CelebritySpec] = []
+    for country, occupations in CELEBRITY_OCCUPATIONS.items():
+        for position, occupation in enumerate(occupations, start=1):
+            specs.append(
+                CelebritySpec(
+                    name=f"{country} Celebrity {position}",
+                    about=f"Top user #{position} in {country}",
+                    occupation=occupation,
+                    country=country,
+                    global_rank=0,
+                )
+            )
+    return specs
+
+
+def attachment_weight(
+    spec: CelebritySpec,
+    n_users: int,
+    country_users: int,
+    national_position: int = 0,
+) -> float:
+    """Zipf-decaying preferential-attachment boost for a celebrity.
+
+    Weights scale with the population so the celebrities' share of all
+    edges is size-invariant: the paper's top user (Larry Page, 3.7M
+    circles) holds roughly 0.6% of all 575M edges. Global celebrities get
+    ``~3.5% of initial tokens / rank``; national celebrities a boost
+    proportional to their country's user count with a *shallow* Zipf
+    decay (``p^-0.7``), so all ten of them outrank organic users in the
+    national in-degree ranking (the Table 5 rows) without distorting the
+    global tail.
+    """
+    if spec.global_rank > 0:
+        return 0.035 * n_users / spec.global_rank
+    base = min(0.09 * max(60, country_users), 0.015 * n_users)
+    return base / max(1, national_position) ** 0.7

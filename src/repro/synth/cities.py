@@ -1,0 +1,273 @@
+"""City gazetteer: real coordinates for "places lived" generation.
+
+Google+ geocoded free-text place names; the synthetic world instead
+samples a city from this gazetteer (population-weighted within the user's
+country) and jitters the coordinates by a few hundredths of a degree, so
+same-city users sit within ~10 miles of each other — the short-range mass
+of Figure 9a. Coordinates are approximate city centres; weights are rough
+metro populations in millions and only matter relatively, per country.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class City:
+    """One gazetteer entry."""
+
+    name: str
+    country: str
+    latitude: float
+    longitude: float
+    weight: float
+
+
+#: (name, lat, lon, weight) per country code.
+_RAW_GAZETTEER: dict[str, tuple[tuple[str, float, float, float], ...]] = {
+    "US": (
+        ("New York", 40.71, -74.01, 19.0),
+        ("Los Angeles", 34.05, -118.24, 12.9),
+        ("Chicago", 41.88, -87.63, 9.5),
+        ("Houston", 29.76, -95.37, 6.1),
+        ("San Francisco", 37.77, -122.42, 4.5),
+        ("Seattle", 47.61, -122.33, 3.5),
+        ("Miami", 25.76, -80.19, 5.6),
+        ("Boston", 42.36, -71.06, 4.6),
+    ),
+    "IN": (
+        ("Mumbai", 19.08, 72.88, 20.7),
+        ("Delhi", 28.61, 77.21, 21.8),
+        ("Bangalore", 12.97, 77.59, 8.5),
+        ("Chennai", 13.08, 80.27, 8.7),
+        ("Kolkata", 22.57, 88.36, 14.1),
+        ("Hyderabad", 17.39, 78.49, 7.7),
+    ),
+    "BR": (
+        ("Sao Paulo", -23.55, -46.63, 19.9),
+        ("Rio de Janeiro", -22.91, -43.17, 12.0),
+        ("Belo Horizonte", -19.92, -43.94, 5.4),
+        ("Brasilia", -15.79, -47.88, 3.8),
+        ("Salvador", -12.97, -38.50, 3.9),
+        ("Porto Alegre", -30.03, -51.23, 4.0),
+    ),
+    "GB": (
+        ("London", 51.51, -0.13, 13.6),
+        ("Manchester", 53.48, -2.24, 2.7),
+        ("Birmingham", 52.49, -1.89, 2.4),
+        ("Glasgow", 55.86, -4.25, 1.2),
+        ("Leeds", 53.80, -1.55, 1.9),
+    ),
+    "CA": (
+        ("Toronto", 43.65, -79.38, 5.9),
+        ("Montreal", 45.50, -73.57, 3.9),
+        ("Vancouver", 49.28, -123.12, 2.4),
+        ("Calgary", 51.05, -114.07, 1.3),
+        ("Ottawa", 45.42, -75.70, 1.3),
+    ),
+    "DE": (
+        ("Berlin", 52.52, 13.41, 4.3),
+        ("Hamburg", 53.55, 9.99, 3.1),
+        ("Munich", 48.14, 11.58, 2.6),
+        ("Cologne", 50.94, 6.96, 2.0),
+        ("Frankfurt", 50.11, 8.68, 2.3),
+    ),
+    "ID": (
+        ("Jakarta", -6.21, 106.85, 28.0),
+        ("Surabaya", -7.25, 112.75, 5.6),
+        ("Bandung", -6.92, 107.61, 6.9),
+        ("Medan", 3.59, 98.67, 4.1),
+    ),
+    "MX": (
+        ("Mexico City", 19.43, -99.13, 20.1),
+        ("Guadalajara", 20.67, -103.35, 4.4),
+        ("Monterrey", 25.69, -100.32, 4.1),
+        ("Puebla", 19.04, -98.21, 2.7),
+    ),
+    "IT": (
+        ("Rome", 41.90, 12.50, 4.3),
+        ("Milan", 45.46, 9.19, 5.2),
+        ("Naples", 40.85, 14.27, 3.7),
+        ("Turin", 45.07, 7.69, 1.7),
+    ),
+    "ES": (
+        ("Madrid", 40.42, -3.70, 6.3),
+        ("Barcelona", 41.39, 2.17, 5.4),
+        ("Valencia", 39.47, -0.38, 1.7),
+        ("Seville", 37.39, -5.99, 1.5),
+    ),
+    "VN": (
+        ("Ho Chi Minh City", 10.82, 106.63, 7.4),
+        ("Hanoi", 21.03, 105.85, 6.5),
+        ("Da Nang", 16.05, 108.22, 1.0),
+    ),
+    "FR": (
+        ("Paris", 48.86, 2.35, 12.2),
+        ("Lyon", 45.76, 4.84, 2.2),
+        ("Marseille", 43.30, 5.37, 1.7),
+        ("Toulouse", 43.60, 1.44, 1.3),
+    ),
+    "RU": (
+        ("Moscow", 55.76, 37.62, 16.2),
+        ("Saint Petersburg", 59.93, 30.34, 5.0),
+        ("Novosibirsk", 55.03, 82.92, 1.5),
+        ("Yekaterinburg", 56.84, 60.65, 1.4),
+    ),
+    "TH": (
+        ("Bangkok", 13.76, 100.50, 14.6),
+        ("Chiang Mai", 18.79, 98.98, 1.0),
+        ("Phuket", 7.89, 98.40, 0.4),
+    ),
+    "JP": (
+        ("Tokyo", 35.68, 139.69, 37.0),
+        ("Osaka", 34.69, 135.50, 19.3),
+        ("Nagoya", 35.18, 136.91, 9.1),
+        ("Fukuoka", 33.59, 130.40, 5.5),
+    ),
+    "CN": (
+        ("Beijing", 39.90, 116.41, 19.6),
+        ("Shanghai", 31.23, 121.47, 22.3),
+        ("Guangzhou", 23.13, 113.26, 11.1),
+        ("Shenzhen", 22.54, 114.06, 10.4),
+        ("Chengdu", 30.57, 104.07, 7.7),
+    ),
+    "TW": (
+        ("Taipei", 25.03, 121.57, 6.9),
+        ("Kaohsiung", 22.63, 120.30, 2.8),
+        ("Taichung", 24.15, 120.67, 2.7),
+    ),
+    "AR": (
+        ("Buenos Aires", -34.60, -58.38, 13.6),
+        ("Cordoba", -31.42, -64.18, 1.5),
+        ("Rosario", -32.94, -60.64, 1.3),
+    ),
+    "AU": (
+        ("Sydney", -33.87, 151.21, 4.6),
+        ("Melbourne", -37.81, 144.96, 4.1),
+        ("Brisbane", -27.47, 153.03, 2.1),
+        ("Perth", -31.95, 115.86, 1.7),
+    ),
+    "IR": (
+        ("Tehran", 35.69, 51.39, 12.2),
+        ("Mashhad", 36.26, 59.62, 2.8),
+        ("Isfahan", 32.65, 51.67, 1.8),
+    ),
+    "PL": (
+        ("Warsaw", 52.23, 21.01, 3.1),
+        ("Krakow", 50.06, 19.94, 1.4),
+        ("Wroclaw", 51.11, 17.04, 1.0),
+    ),
+    "NL": (
+        ("Amsterdam", 52.37, 4.90, 2.4),
+        ("Rotterdam", 51.92, 4.48, 1.4),
+        ("The Hague", 52.08, 4.31, 1.0),
+    ),
+    "TR": (
+        ("Istanbul", 41.01, 28.98, 13.3),
+        ("Ankara", 39.93, 32.86, 4.6),
+        ("Izmir", 38.42, 27.14, 3.4),
+    ),
+    "PH": (
+        ("Manila", 14.60, 120.98, 11.9),
+        ("Cebu", 10.32, 123.89, 2.6),
+        ("Davao", 7.19, 125.46, 1.5),
+    ),
+    "ZA": (
+        ("Johannesburg", -26.20, 28.05, 7.9),
+        ("Cape Town", -33.92, 18.42, 3.7),
+        ("Durban", -29.86, 31.02, 3.4),
+    ),
+    "NG": (
+        ("Lagos", 6.52, 3.38, 11.2),
+        ("Abuja", 9.06, 7.49, 2.2),
+        ("Kano", 12.00, 8.52, 3.6),
+    ),
+    "EG": (
+        ("Cairo", 30.04, 31.24, 17.3),
+        ("Alexandria", 31.20, 29.92, 4.4),
+        ("Giza", 30.01, 31.21, 3.6),
+    ),
+    "KR": (
+        ("Seoul", 37.57, 126.98, 23.5),
+        ("Busan", 35.18, 129.08, 3.4),
+        ("Incheon", 37.46, 126.71, 2.8),
+    ),
+    "SE": (
+        ("Stockholm", 59.33, 18.07, 2.1),
+        ("Gothenburg", 57.71, 11.97, 1.0),
+        ("Malmo", 55.60, 13.00, 0.7),
+    ),
+    "PT": (
+        ("Lisbon", 38.72, -9.14, 2.8),
+        ("Porto", 41.15, -8.61, 1.7),
+    ),
+    "RO": (
+        ("Bucharest", 44.43, 26.10, 1.9),
+        ("Cluj-Napoca", 46.77, 23.62, 0.4),
+    ),
+    "CO": (
+        ("Bogota", 4.71, -74.07, 9.0),
+        ("Medellin", 6.24, -75.58, 3.6),
+        ("Cali", 3.45, -76.53, 2.6),
+    ),
+    "CL": (
+        ("Santiago", -33.45, -70.67, 6.7),
+        ("Valparaiso", -33.05, -71.62, 1.0),
+    ),
+    "MY": (
+        ("Kuala Lumpur", 3.14, 101.69, 6.9),
+        ("Penang", 5.42, 100.33, 1.6),
+    ),
+    "PK": (
+        ("Karachi", 24.86, 67.01, 13.9),
+        ("Lahore", 31.55, 74.34, 8.7),
+        ("Islamabad", 33.68, 73.05, 1.4),
+    ),
+}
+
+
+def build_gazetteer() -> dict[str, tuple[City, ...]]:
+    """Gazetteer keyed by country code."""
+    return {
+        code: tuple(City(name, code, lat, lon, w) for name, lat, lon, w in rows)
+        for code, rows in _RAW_GAZETTEER.items()
+    }
+
+
+class CitySampler:
+    """Population-weighted city sampling per country, with coordinate jitter.
+
+    ``jitter_deg`` spreads users across the metro area (0.05 degrees is
+    roughly 3.5 miles at the equator), keeping same-city pairs within the
+    ~10-mile bucket of Figure 9a.
+    """
+
+    def __init__(self, jitter_deg: float = 0.04):
+        self._gazetteer = build_gazetteer()
+        self._jitter = jitter_deg
+        self._weights: dict[str, np.ndarray] = {}
+        for code, cities in self._gazetteer.items():
+            weights = np.array([c.weight for c in cities], dtype=float)
+            self._weights[code] = weights / weights.sum()
+
+    def countries(self) -> list[str]:
+        return list(self._gazetteer)
+
+    def cities_of(self, country: str) -> tuple[City, ...]:
+        return self._gazetteer[country]
+
+    def sample_city_index(self, country: str, rng: np.random.Generator) -> int:
+        """Pick a city index within a country, population-weighted."""
+        return int(rng.choice(len(self._gazetteer[country]), p=self._weights[country]))
+
+    def coordinates_for(
+        self, country: str, city_index: int, rng: np.random.Generator
+    ) -> tuple[float, float]:
+        """Jittered (lat, lon) for a resident of the given city."""
+        city = self._gazetteer[country][city_index]
+        lat = city.latitude + rng.normal(0.0, self._jitter)
+        lon = city.longitude + rng.normal(0.0, self._jitter)
+        return float(np.clip(lat, -90.0, 90.0)), float((lon + 180.0) % 360.0 - 180.0)

@@ -1,0 +1,203 @@
+"""Country database, circa 2011.
+
+Static per-country facts used throughout Section 4 of the paper:
+population, Internet penetration rate (IPR, the share of the population
+online — the paper sources internetworldstats.com), GDP per capita (PPP),
+and region. On top of the facts sit the *calibration targets* the
+synthetic world is tuned to reproduce:
+
+* ``gplus_share`` — the country's *pre-crawl* share of located users.
+  The BFS crawl (seeded at a US celebrity, stopped at ~78% coverage)
+  over-samples countries socially close to the seed, exactly the bias
+  the paper's Section 2.2 caveats; these ground-truth shares are
+  therefore bias-compensated so the *crawled* shares land on the
+  paper's Figure 6 / Table 3 numbers (US 31.4%, IN 16.7%, ...);
+* ``tel_affinity`` — relative propensity of the country's users to share
+  a phone number (Table 3's tel-user location mix);
+* ``openness`` — multiplier on field-sharing propensity (Figure 8's
+  ranking: Indonesia and Mexico most open, Germany most conservative);
+* ``domesticity`` — probability that an out-link stays in-country and
+  ``us_flux`` — probability it goes to the US (Figure 10).
+
+Population figures are in millions; penetration in [0, 1]; GDP per capita
+in PPP dollars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Country:
+    """Facts and calibration targets for one country."""
+
+    code: str
+    name: str
+    region: str
+    population_m: float
+    internet_penetration: float
+    gdp_per_capita_ppp: float
+    gplus_share: float
+    tel_affinity: float = 1.0
+    openness: float = 1.0
+    domesticity: float = 0.5
+    us_flux: float = 0.15
+    english_speaking: bool = False
+
+    @property
+    def internet_population_m(self) -> float:
+        """Internet users in millions — the GPR denominator (Equation 2)."""
+        return self.population_m * self.internet_penetration
+
+
+#: The twenty countries of Figure 7, with calibration targets.
+MAJOR_COUNTRIES: tuple[Country, ...] = (
+    Country("US", "United States", "North America", 311.0, 0.78, 48_100,
+            gplus_share=0.278, tel_affinity=0.28, openness=1.00,
+            domesticity=0.76, us_flux=0.0, english_speaking=True),
+    Country("IN", "India", "Asia", 1241.0, 0.08, 3_700,
+            gplus_share=0.21, tel_affinity=1.91, openness=0.78,
+            domesticity=0.88, us_flux=0.06, english_speaking=True),
+    Country("BR", "Brazil", "Latin America", 196.0, 0.45, 11_600,
+            gplus_share=0.078, tel_affinity=0.82, openness=0.95,
+            domesticity=0.88, us_flux=0.05),
+    Country("GB", "United Kingdom", "Europe", 63.0, 0.84, 36_000,
+            gplus_share=0.026, tel_affinity=0.65, openness=0.92,
+            domesticity=0.30, us_flux=0.36, english_speaking=True),
+    Country("CA", "Canada", "North America", 34.0, 0.83, 40_500,
+            gplus_share=0.021, tel_affinity=0.66, openness=0.82,
+            domesticity=0.33, us_flux=0.38, english_speaking=True),
+    Country("DE", "Germany", "Europe", 82.0, 0.83, 38_100,
+            gplus_share=0.019, tel_affinity=0.60, openness=0.45,
+            domesticity=0.56, us_flux=0.20),
+    Country("ID", "Indonesia", "Asia", 242.0, 0.18, 4_700,
+            gplus_share=0.0185, tel_affinity=1.60, openness=1.35,
+            domesticity=0.86, us_flux=0.07),
+    Country("MX", "Mexico", "Latin America", 115.0, 0.365, 15_100,
+            gplus_share=0.0172, tel_affinity=1.10, openness=1.25,
+            domesticity=0.52, us_flux=0.22),
+    Country("IT", "Italy", "Europe", 61.0, 0.58, 30_100,
+            gplus_share=0.0167, tel_affinity=0.80, openness=0.78,
+            domesticity=0.62, us_flux=0.14),
+    Country("ES", "Spain", "Europe", 46.0, 0.67, 30_600,
+            gplus_share=0.0145, tel_affinity=0.85, openness=0.85,
+            domesticity=0.56, us_flux=0.18),
+    Country("VN", "Vietnam", "Asia", 88.0, 0.34, 3_400,
+            gplus_share=0.0135, tel_affinity=1.70, openness=1.10,
+            domesticity=0.70, us_flux=0.12),
+    Country("FR", "France", "Europe", 65.0, 0.80, 35_000,
+            gplus_share=0.014, tel_affinity=0.70, openness=0.80,
+            domesticity=0.55, us_flux=0.18),
+    Country("RU", "Russia", "Europe", 143.0, 0.49, 16_700,
+            gplus_share=0.013, tel_affinity=1.00, openness=0.90,
+            domesticity=0.65, us_flux=0.12),
+    Country("TH", "Thailand", "Asia", 67.0, 0.30, 9_700,
+            gplus_share=0.0135, tel_affinity=1.40, openness=1.15,
+            domesticity=0.68, us_flux=0.12),
+    Country("JP", "Japan", "Asia", 128.0, 0.80, 34_300,
+            gplus_share=0.0113, tel_affinity=0.60, openness=0.70,
+            domesticity=0.72, us_flux=0.12),
+    Country("CN", "China", "Asia", 1344.0, 0.38, 8_400,
+            gplus_share=0.0087, tel_affinity=1.20, openness=0.90,
+            domesticity=0.70, us_flux=0.12),
+    Country("TW", "Taiwan", "Asia", 23.0, 0.75, 37_900,
+            gplus_share=0.0106, tel_affinity=1.10, openness=1.00,
+            domesticity=0.60, us_flux=0.15),
+    Country("AR", "Argentina", "Latin America", 41.0, 0.67, 17_400,
+            gplus_share=0.0075, tel_affinity=1.00, openness=1.05,
+            domesticity=0.55, us_flux=0.12),
+    Country("AU", "Australia", "Oceania", 22.0, 0.89, 40_800,
+            gplus_share=0.0069, tel_affinity=0.70, openness=0.90,
+            domesticity=0.40, us_flux=0.30, english_speaking=True),
+    Country("IR", "Iran", "Middle East", 75.0, 0.21, 13_200,
+            gplus_share=0.0085, tel_affinity=1.40, openness=0.95,
+            domesticity=0.70, us_flux=0.12),
+)
+
+#: Minor countries sharing the remaining user mass ("Other" in Table 3).
+MINOR_COUNTRIES: tuple[Country, ...] = (
+    Country("PL", "Poland", "Europe", 38.0, 0.62, 20_100, 0.0,
+            tel_affinity=1.0, openness=0.95, domesticity=0.55, us_flux=0.15),
+    Country("NL", "Netherlands", "Europe", 17.0, 0.89, 42_300, 0.0,
+            tel_affinity=0.8, openness=0.85, domesticity=0.45, us_flux=0.20),
+    Country("TR", "Turkey", "Middle East", 74.0, 0.42, 14_600, 0.0,
+            tel_affinity=1.3, openness=1.05, domesticity=0.65, us_flux=0.12),
+    Country("PH", "Philippines", "Asia", 95.0, 0.29, 4_100, 0.0,
+            tel_affinity=1.5, openness=1.20, domesticity=0.60, us_flux=0.25,
+            english_speaking=True),
+    Country("ZA", "South Africa", "Africa", 51.0, 0.21, 11_000, 0.0,
+            tel_affinity=1.3, openness=1.00, domesticity=0.55, us_flux=0.18,
+            english_speaking=True),
+    Country("NG", "Nigeria", "Africa", 162.0, 0.28, 2_600, 0.0,
+            tel_affinity=1.7, openness=1.10, domesticity=0.60, us_flux=0.18,
+            english_speaking=True),
+    Country("EG", "Egypt", "Middle East", 83.0, 0.26, 6_500, 0.0,
+            tel_affinity=1.5, openness=1.05, domesticity=0.65, us_flux=0.12),
+    Country("KR", "South Korea", "Asia", 50.0, 0.81, 31_700, 0.0,
+            tel_affinity=0.9, openness=0.85, domesticity=0.70, us_flux=0.12),
+    Country("SE", "Sweden", "Europe", 9.5, 0.92, 40_600, 0.0,
+            tel_affinity=0.8, openness=0.85, domesticity=0.45, us_flux=0.18),
+    Country("PT", "Portugal", "Europe", 10.6, 0.55, 23_400, 0.0,
+            tel_affinity=0.9, openness=0.95, domesticity=0.50, us_flux=0.15),
+    Country("RO", "Romania", "Europe", 21.4, 0.44, 12_600, 0.0,
+            tel_affinity=1.3, openness=1.10, domesticity=0.55, us_flux=0.15),
+    Country("CO", "Colombia", "Latin America", 47.0, 0.50, 10_200, 0.0,
+            tel_affinity=1.2, openness=1.10, domesticity=0.55, us_flux=0.15),
+    Country("CL", "Chile", "Latin America", 17.3, 0.54, 17_300, 0.0,
+            tel_affinity=1.0, openness=1.00, domesticity=0.55, us_flux=0.14),
+    Country("MY", "Malaysia", "Asia", 28.9, 0.61, 16_200, 0.0,
+            tel_affinity=1.3, openness=1.10, domesticity=0.60, us_flux=0.15,
+            english_speaking=True),
+    Country("PK", "Pakistan", "Asia", 177.0, 0.09, 2_800, 0.0,
+            tel_affinity=1.7, openness=0.95, domesticity=0.65, us_flux=0.15,
+            english_speaking=True),
+)
+
+
+#: Ceiling on any minor country's user share — kept below the smallest
+#: top-10 share (ES, 1.7%) so minors never intrude into the Figure 6 bars.
+_MINOR_SHARE_CAP = 0.0125
+
+
+def build_country_table() -> dict[str, Country]:
+    """All countries keyed by ISO code, with minor-country shares filled in.
+
+    The major countries' explicit shares sum below 1; the remainder is
+    split across minor countries in proportion to Internet population,
+    capped at :data:`_MINOR_SHARE_CAP`, reproducing the long "Other" tail
+    of Table 3 (~40% outside the top 5) without letting any minor country
+    crack the Figure 6 top-10. Shares are renormalised downstream, so a
+    sub-1.0 total only scales everything proportionally.
+    """
+    majors = {c.code: c for c in MAJOR_COUNTRIES}
+    explicit = sum(c.gplus_share for c in MAJOR_COUNTRIES)
+    remainder = max(0.0, 1.0 - explicit)
+    weight_total = sum(c.internet_population_m for c in MINOR_COUNTRIES)
+    table = dict(majors)
+    for country in MINOR_COUNTRIES:
+        share = min(
+            _MINOR_SHARE_CAP,
+            remainder * country.internet_population_m / weight_total,
+        )
+        table[country.code] = Country(
+            code=country.code,
+            name=country.name,
+            region=country.region,
+            population_m=country.population_m,
+            internet_penetration=country.internet_penetration,
+            gdp_per_capita_ppp=country.gdp_per_capita_ppp,
+            gplus_share=share,
+            tel_affinity=country.tel_affinity,
+            openness=country.openness,
+            domesticity=country.domesticity,
+            us_flux=country.us_flux,
+            english_speaking=country.english_speaking,
+        )
+    return table
+
+
+#: The ten countries of Figures 6, 8, 9b and 10 and Table 5, paper order.
+TOP10_CODES: tuple[str, ...] = (
+    "US", "IN", "BR", "GB", "CA", "DE", "ID", "MX", "IT", "ES",
+)

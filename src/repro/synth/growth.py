@@ -1,0 +1,167 @@
+"""Temporal growth of the network — the paper's first future-work item.
+
+Section 7: *"we are interested in measuring the speed at which a new
+social network service grows and whether we can predict the phase
+transitions in the growth sparks (e.g., tipping point when a network
+suddenly shows a rapid growth or the point where the growth stabilizes).
+By collecting multiple snapshots of the Google+ topology, we hope to gain
+insight in the dynamic changes in the internal structure."*
+
+This module makes those snapshots available without re-generating the
+graph: every user gets a **join day** drawn from the service's adoption
+curve (invitation-viral field trial for the first 90 days, an open-signup
+spike, then logistic saturation — the arc Google+ actually followed
+between June 2011 and the crawl), and every edge gets a **creation day**
+after both endpoints joined. A snapshot at day *t* is then just a mask
+over users and edges.
+
+The growth arc also explains the paper's Section 5 observation (via
+Leskovec et al.) that young networks are sparse and long-pathed and
+*densify* over time: snapshots of the same world exhibit the
+``E(t) ∝ N(t)^a`` densification power law with ``a > 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graphgen import GeneratedGraph
+
+#: Day the service opened to everyone (September 20th, 2011 — day 90
+#: after the June 28th launch).
+OPEN_SIGNUP_DAY = 90.0
+
+#: Day of the crawl snapshot (late 2011 — roughly day 180).
+CRAWL_DAY = 180.0
+
+
+@dataclass(frozen=True)
+class GrowthConfig:
+    """Shape of the adoption curve.
+
+    * ``viral_doubling_days`` — doubling time during the invitation-only
+      field trial (Google+ famously reached 20M visitors in 21 days);
+    * ``open_spike_fraction`` — share of open-signup users who pile in
+      within ``open_spike_days`` of the gates opening;
+    * ``saturation_scale_days`` — time constant of the post-spike
+      logistic tail.
+    """
+
+    viral_doubling_days: float = 9.0
+    open_spike_fraction: float = 0.35
+    open_spike_days: float = 14.0
+    saturation_scale_days: float = 45.0
+    #: Mean lag between the later endpoint joining and an edge forming.
+    edge_lag_days: float = 12.0
+
+
+def assign_join_days(
+    n_users: int,
+    field_trial_fraction: float,
+    rng: np.random.Generator,
+    config: GrowthConfig | None = None,
+) -> np.ndarray:
+    """Join day per user id.
+
+    The earliest ids join first (the world seats celebrities at low ids,
+    which matches reality: the field trial was dominated by tech-savvy
+    early adopters and public figures).
+    """
+    config = config if config is not None else GrowthConfig()
+    n_trial = max(1, int(round(field_trial_fraction * n_users)))
+    n_open = n_users - n_trial
+
+    # Field trial: exponential viral growth => join times are the order
+    # statistics of an exponential ramp, i.e. log-uniform in rank.
+    rank = np.arange(1, n_trial + 1)
+    growth_rate = np.log(2.0) / config.viral_doubling_days
+    trial_days = np.log(rank / rank[-1] * (np.exp(growth_rate * OPEN_SIGNUP_DAY) - 1) + 1) / growth_rate
+    trial_days = np.clip(trial_days, 0.0, OPEN_SIGNUP_DAY)
+
+    # Open signup: a spike then a saturating tail. Both are *truncated*
+    # exponentials so that every user has joined by the crawl day without
+    # piling probability mass onto the final day.
+    def truncated_exponential(scale: float, horizon: float, size: int) -> np.ndarray:
+        if size <= 0:
+            return np.empty(0)
+        ceiling = 1.0 - np.exp(-horizon / scale)
+        return -scale * np.log1p(-rng.uniform(0.0, ceiling, size=size))
+
+    n_spike = int(round(config.open_spike_fraction * n_open))
+    spike_days = OPEN_SIGNUP_DAY + truncated_exponential(
+        config.open_spike_days / 2.0, CRAWL_DAY - OPEN_SIGNUP_DAY, n_spike
+    )
+    tail_start = OPEN_SIGNUP_DAY + config.open_spike_days
+    tail_days = tail_start + truncated_exponential(
+        config.saturation_scale_days, CRAWL_DAY - tail_start, n_open - n_spike
+    )
+    open_days = np.concatenate([spike_days, tail_days])
+    rng.shuffle(open_days)
+    days = np.concatenate([trial_days, open_days])
+    return days[:n_users]
+
+
+def assign_edge_days(
+    graph: GeneratedGraph,
+    join_days: np.ndarray,
+    rng: np.random.Generator,
+    config: GrowthConfig | None = None,
+) -> np.ndarray:
+    """Creation day per edge: after both endpoints joined, short lag."""
+    config = config if config is not None else GrowthConfig()
+    both_joined = np.maximum(join_days[graph.sources], join_days[graph.targets])
+    lag = rng.exponential(config.edge_lag_days, size=graph.n_edges)
+    return np.minimum(both_joined + lag, CRAWL_DAY)
+
+
+@dataclass
+class GrowthTimeline:
+    """A world annotated with join/edge days, sliceable into snapshots."""
+
+    graph: GeneratedGraph
+    join_days: np.ndarray
+    edge_days: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.join_days) != self.graph.n_users:
+            raise ValueError("one join day per user required")
+        if len(self.edge_days) != self.graph.n_edges:
+            raise ValueError("one creation day per edge required")
+
+    def nodes_by(self, day: float) -> np.ndarray:
+        """User ids joined on or before ``day``."""
+        return np.flatnonzero(self.join_days <= day)
+
+    def edge_mask_by(self, day: float) -> np.ndarray:
+        return self.edge_days <= day
+
+    def snapshot(self, day: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(node_ids, sources, targets) of the network as of ``day``."""
+        mask = self.edge_mask_by(day)
+        return (
+            self.nodes_by(day),
+            self.graph.sources[mask],
+            self.graph.targets[mask],
+        )
+
+    def adoption_curve(self, days: np.ndarray) -> np.ndarray:
+        """Cumulative registered users at each day."""
+        sorted_joins = np.sort(self.join_days)
+        return np.searchsorted(sorted_joins, days, side="right")
+
+
+def build_timeline(
+    graph: GeneratedGraph,
+    field_trial_fraction: float,
+    seed: int,
+    config: GrowthConfig | None = None,
+) -> GrowthTimeline:
+    """Annotate a generated graph with a full growth timeline."""
+    rng = np.random.default_rng(seed)
+    join_days = assign_join_days(
+        graph.n_users, field_trial_fraction, rng, config
+    )
+    edge_days = assign_edge_days(graph, join_days, rng, config)
+    return GrowthTimeline(graph=graph, join_days=join_days, edge_days=edge_days)

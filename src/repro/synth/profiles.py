@@ -1,0 +1,388 @@
+"""Population and profile generation for the synthetic world.
+
+Two stages:
+
+1. :func:`generate_population` draws the ground truth — country, city and
+   coordinates, gender, relationship status, occupation, disclosure
+   propensity, follow-back propensity, celebrity seeding, tel-user flags;
+2. :func:`build_profiles` turns ground truth into
+   :class:`repro.platform.models.UserProfile` objects with per-field
+   privacy settings, so that *publicly visible* field availability matches
+   Table 2 and the per-country openness ordering of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.platform.models import (
+    ContactInfo,
+    Gender,
+    LookingFor,
+    Occupation,
+    OCCUPATION_LABELS,
+    Place,
+    Relationship,
+    UserProfile,
+)
+from repro.platform.privacy import (
+    EXTENDED_CIRCLES,
+    FieldPrivacy,
+    ONLY_YOU,
+    PUBLIC,
+    YOUR_CIRCLES,
+)
+
+from .celebrities import (
+    CelebritySpec,
+    GLOBAL_CELEBRITIES,
+    attachment_weight,
+    national_celebrities,
+)
+from .cities import CitySampler
+from .config import WorldConfig
+from .countries import Country, build_country_table
+from .demographics import (
+    DemographicsSampler,
+    FIELD_SHARE_PROBABILITY,
+    tel_user_weights,
+)
+from .occupations import OccupationSampler
+
+#: Non-public fields draw their privacy uniformly from these levels.
+_HIDDEN_LEVELS: tuple[FieldPrivacy, ...] = (
+    EXTENDED_CIRCLES,
+    YOUR_CIRCLES,
+    ONLY_YOU,
+)
+
+
+@dataclass
+class Population:
+    """Ground truth of the synthetic user base (arrays indexed by user id).
+
+    User ids are the compact range ``0..n-1``. ``celebrity_weight[i]`` is
+    the preferential-attachment boost (0 for ordinary users);
+    ``celebrity_spec`` maps seeded celebrity ids to their archetypes.
+    """
+
+    n: int
+    country_codes: list[str]
+    city_indices: np.ndarray
+    latitudes: np.ndarray
+    longitudes: np.ndarray
+    genders: list[Gender]
+    relationships: list[Relationship]
+    occupations: list[Occupation]
+    disclosure: np.ndarray
+    followback: np.ndarray
+    celebrity_weight: np.ndarray
+    celebrity_spec: dict[int, CelebritySpec] = field(default_factory=dict)
+    tel_users: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+    countries: dict[str, Country] = field(default_factory=dict)
+
+    def openness_of(self, user_id: int) -> float:
+        return self.countries[self.country_codes[user_id]].openness
+
+    def is_celebrity(self, user_id: int) -> bool:
+        return user_id in self.celebrity_spec
+
+
+def _assign_countries(
+    n: int, countries: dict[str, Country], rng: np.random.Generator
+) -> list[str]:
+    codes = list(countries)
+    shares = np.array([countries[c].gplus_share for c in codes])
+    shares = shares / shares.sum()
+    drawn = rng.choice(len(codes), size=n, p=shares)
+    return [codes[i] for i in drawn]
+
+
+def generate_population(config: WorldConfig, rng: np.random.Generator) -> Population:
+    """Draw the full ground-truth population for a world config."""
+    n = config.n_users
+    countries = build_country_table()
+    sampler = CitySampler()
+    demographics = DemographicsSampler(rng)
+    occupations = OccupationSampler(rng)
+
+    country_codes = _assign_countries(n, countries, rng)
+    city_indices = np.empty(n, dtype=np.int64)
+    latitudes = np.empty(n)
+    longitudes = np.empty(n)
+    for i, code in enumerate(country_codes):
+        city = sampler.sample_city_index(code, rng)
+        city_indices[i] = city
+        latitudes[i], longitudes[i] = sampler.coordinates_for(code, city, rng)
+
+    population = Population(
+        n=n,
+        country_codes=country_codes,
+        city_indices=city_indices,
+        latitudes=latitudes,
+        longitudes=longitudes,
+        genders=demographics.sample_genders(n),
+        relationships=demographics.sample_relationships(n),
+        occupations=occupations.sample(n),
+        disclosure=demographics.sample_disclosure(n),
+        followback=rng.beta(
+            config.graph.followback_beta_a, config.graph.followback_beta_b, size=n
+        ),
+        celebrity_weight=np.zeros(n),
+        countries=countries,
+    )
+    _seed_celebrities(population, config, rng)
+    _select_tel_users(population, config, rng)
+    return population
+
+
+def _seed_celebrities(
+    population: Population, config: WorldConfig, rng: np.random.Generator
+) -> None:
+    """Plant the Table 1 global top-20 and the Table 5 national top-10s.
+
+    Celebrities are assigned to users living in the right country (the
+    lowest-id users of each country, deterministically), given Zipf
+    attachment weight, near-zero follow-back, and their canonical
+    occupation. In very small worlds a country may not have enough
+    residents; the seeder then relocates a high-id user into the country
+    so every celebrity archetype always exists.
+    """
+    specs = list(GLOBAL_CELEBRITIES) + national_celebrities()
+    by_country: dict[str, list[int]] = {}
+    for user_id, code in enumerate(population.country_codes):
+        by_country.setdefault(code, []).append(user_id)
+    cursor: dict[str, int] = {code: 0 for code in by_country}
+    national_position: dict[str, int] = {}
+    scale = config.graph.celebrity_weight_scale
+    sampler = CitySampler()
+    relocate_cursor = population.n - 1
+    for spec in specs:
+        pool = by_country.setdefault(spec.country, [])
+        index = cursor.get(spec.country, 0)
+        if index >= len(pool):
+            # Relocate the highest-id non-celebrity user into the country.
+            while relocate_cursor in population.celebrity_spec:
+                relocate_cursor -= 1
+            user_id = relocate_cursor
+            relocate_cursor -= 1
+            old_code = population.country_codes[user_id]
+            if user_id in by_country.get(old_code, []):
+                by_country[old_code].remove(user_id)
+            population.country_codes[user_id] = spec.country
+            city = sampler.sample_city_index(spec.country, rng)
+            population.city_indices[user_id] = city
+            lat, lon = sampler.coordinates_for(spec.country, city, rng)
+            population.latitudes[user_id] = lat
+            population.longitudes[user_id] = lon
+            pool.append(user_id)
+        else:
+            user_id = pool[index]
+        cursor[spec.country] = index + 1
+        position = national_position.get(spec.country, 0) + 1
+        national_position[spec.country] = position
+        weight = (
+            attachment_weight(
+                spec,
+                n_users=population.n,
+                country_users=len(pool),
+                national_position=position,
+            )
+            * scale
+        )
+        population.celebrity_weight[user_id] = weight
+        population.celebrity_spec[user_id] = spec
+        population.occupations[user_id] = spec.occupation
+        population.followback[user_id] = config.graph.celebrity_followback
+        # Celebrities run open, curated profiles.
+        population.disclosure[user_id] = max(2.0, population.disclosure[user_id])
+
+
+def _select_tel_users(
+    population: Population, config: WorldConfig, rng: np.random.Generator
+) -> None:
+    """Choose exactly ``round(rate * n)`` phone-sharing users, Table 3 skews."""
+    n = population.n
+    count = int(round(config.tel_user_rate * n))
+    tel_flags = np.zeros(n, dtype=bool)
+    if count > 0:
+        affinity = np.array(
+            [population.countries[c].tel_affinity for c in population.country_codes]
+        )
+        weights = tel_user_weights(
+            population.genders,
+            population.relationships,
+            population.disclosure,
+            affinity,
+        )
+        # Celebrities publish managed contact pages, not personal phones.
+        for user_id in population.celebrity_spec:
+            weights[user_id] = 0.0
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("tel-user weights vanished; check demographics tables")
+        chosen = rng.choice(n, size=min(count, n), replace=False, p=weights / total)
+        tel_flags[chosen] = True
+    population.tel_users = tel_flags
+
+
+def _share_probability(base: float, openness: float, disclosure: float) -> float:
+    """Probability a field is publicly shared, given culture and trait."""
+    return float(min(0.995, base * openness * disclosure))
+
+
+def _privacy_for_hidden(rng: np.random.Generator) -> FieldPrivacy:
+    return _HIDDEN_LEVELS[int(rng.integers(0, len(_HIDDEN_LEVELS)))]
+
+
+def _places_for(
+    population: Population,
+    user_id: int,
+    sampler: CitySampler,
+    config: WorldConfig,
+    rng: np.random.Generator,
+) -> list[Place]:
+    """1-3 places lived; the last is the user's actual current city."""
+    code = population.country_codes[user_id]
+    places: list[Place] = []
+    if rng.random() < config.profiles.multi_place_prob:
+        extra = int(rng.integers(1, 3))
+        for _ in range(extra):
+            if rng.random() < config.profiles.foreign_previous_place_prob:
+                previous_code = str(rng.choice(sampler.countries()))
+            else:
+                previous_code = code
+            city_idx = sampler.sample_city_index(previous_code, rng)
+            lat, lon = sampler.coordinates_for(previous_code, city_idx, rng)
+            city = sampler.cities_of(previous_code)[city_idx]
+            places.append(Place(city.name, lat, lon, previous_code))
+    home_city = sampler.cities_of(code)[int(population.city_indices[user_id])]
+    places.append(
+        Place(
+            home_city.name,
+            float(population.latitudes[user_id]),
+            float(population.longitudes[user_id]),
+            code,
+        )
+    )
+    return places
+
+
+def _contact_blocks(
+    population: Population,
+    user_id: int,
+    config: WorldConfig,
+    rng: np.random.Generator,
+) -> dict[str, ContactInfo]:
+    """Public contact blocks for a tel-user (both / work-only / home-only)."""
+    code = population.country_codes[user_id]
+    phone = f"+{(hash(code) % 90) + 10} 555 {user_id % 10_000:04d}"
+    contact = ContactInfo(phone=phone, email=f"user{user_id}@example.com")
+    roll = rng.random()
+    profiles = config.profiles
+    if roll < profiles.tel_both_fraction:
+        return {"work_contact": contact, "home_contact": contact}
+    if roll < profiles.tel_both_fraction + profiles.tel_work_only_fraction:
+        return {"work_contact": contact}
+    return {"home_contact": contact}
+
+
+def build_profiles(
+    population: Population, config: WorldConfig, rng: np.random.Generator
+) -> dict[int, UserProfile]:
+    """Materialise privacy-annotated profiles for the whole population."""
+    sampler = CitySampler()
+    looking_for_options = list(LookingFor)
+    profiles: dict[int, UserProfile] = {}
+    for user_id in range(population.n):
+        spec = population.celebrity_spec.get(user_id)
+        name = spec.name if spec else f"User {user_id:06d}"
+        profile = UserProfile(
+            user_id=user_id,
+            name=name,
+            lists_public=rng.random() >= config.profiles.private_lists_prob,
+        )
+        openness = population.openness_of(user_id)
+        disclosure = float(population.disclosure[user_id])
+        is_celebrity = spec is not None
+
+        def decide(
+            field_key: str, value, culture_factor: float | None = None
+        ) -> None:
+            base_p = FIELD_SHARE_PROBABILITY[field_key]
+            factor = openness if culture_factor is None else culture_factor
+            if is_celebrity and field_key in (
+                "occupation", "places_lived", "employment", "gender",
+            ):
+                profile.set_field(field_key, value, PUBLIC)
+                return
+            if rng.random() < _share_probability(base_p, factor, disclosure):
+                profile.set_field(field_key, value, PUBLIC)
+            elif rng.random() < config.profiles.hidden_field_prob:
+                profile.set_field(field_key, value, _privacy_for_hidden(rng))
+
+        # Gender availability barely varies by culture (97.7% overall), so
+        # openness enters with a soft exponent only.
+        gender_p = FIELD_SHARE_PROBABILITY["gender"] * openness**0.05
+        if rng.random() < min(0.999, gender_p):
+            profile.set_field("gender", population.genders[user_id], PUBLIC)
+        else:
+            profile.set_field(
+                "gender", population.genders[user_id], _privacy_for_hidden(rng)
+            )
+
+        # Places-lived sharing is kept culture-independent so the located
+        # subsample preserves the country mix (Figure 6 is computed over
+        # located users); openness still shapes every *other* field
+        # (Figure 8 conditions on located users and counts the rest).
+        decide(
+            "places_lived",
+            _places_for(population, user_id, sampler, config, rng),
+            culture_factor=1.0,
+        )
+        decide("education", f"Studied at University {user_id % 409}")
+        decide("employment", f"Works at Company {user_id % 997}")
+        decide("phrase", "Carpe diem")
+        decide("other_profiles", [f"https://social.example/{user_id}"])
+        decide("occupation", OCCUPATION_LABELS[population.occupations[user_id]])
+        decide("contributor_to", [f"https://blog.example/{user_id % 211}"])
+        decide("introduction", "Hi, I joined Google+!")
+        decide("other_names", f"U{user_id:06d}")
+        # Tel-users disproportionately publish their relationship status:
+        # Table 3 rests on 29,068 of 72,736 tel-users (40%) sharing it,
+        # versus 4.3% of the population.
+        if population.tel_users[user_id]:
+            if rng.random() < 0.40:
+                profile.set_field(
+                    "relationship", population.relationships[user_id], PUBLIC
+                )
+            else:
+                profile.set_field(
+                    "relationship",
+                    population.relationships[user_id],
+                    _privacy_for_hidden(rng),
+                )
+        else:
+            decide("relationship", population.relationships[user_id])
+        decide("bragging_rights", "Survived the invite queue")
+        decide("recommended_links", [f"https://links.example/{user_id % 53}"])
+        decide(
+            "looking_for",
+            looking_for_options[int(rng.integers(0, len(looking_for_options)))],
+        )
+
+        if population.tel_users[user_id]:
+            for key, contact in _contact_blocks(population, user_id, config, rng).items():
+                profile.set_field(key, contact, PUBLIC)
+        else:
+            # A sliver of users keeps a hidden contact block on file.
+            if rng.random() < 0.01:
+                profile.set_field(
+                    "work_contact",
+                    ContactInfo(email=f"user{user_id}@example.com"),
+                    _privacy_for_hidden(rng),
+                )
+        profiles[user_id] = profile
+    return profiles

@@ -1,0 +1,126 @@
+"""Assembly of a complete synthetic Google+ world.
+
+:class:`SyntheticWorld` ties the generator stages together: population →
+profiles → social graph → a populated :class:`GooglePlusService` behind a
+rate-limited HTTP front end. It keeps the ground truth around so tests
+and ablation benches can compare crawled measurements against the truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.http import HttpFrontend, SimulatedClock
+from repro.platform.models import UserProfile
+from repro.platform.service import GooglePlusService
+
+from .config import WorldConfig
+from .graphgen import GeneratedGraph, generate_graph
+from .profiles import Population, build_profiles, generate_population
+
+#: Circle labels used when planting social links, to exercise named circles.
+_CIRCLE_LABELS = ("friends", "family", "colleagues", "following")
+
+
+@dataclass
+class SyntheticWorld:
+    """A fully assembled world: service + front end + ground truth."""
+
+    config: WorldConfig
+    population: Population
+    profiles: dict[int, UserProfile]
+    graph: GeneratedGraph
+    service: GooglePlusService
+    clock: SimulatedClock
+
+    def frontend(
+        self,
+        rate_per_ip: float = 200.0,
+        burst: float = 400.0,
+        error_rate: float = 0.0,
+    ) -> HttpFrontend:
+        """A fresh HTTP front end over this world's service."""
+        return HttpFrontend(
+            self.service.handle_path,
+            clock=self.clock,
+            rate_per_ip=rate_per_ip,
+            burst=burst,
+            error_rate=error_rate,
+            seed=self.config.seed + 101,
+        )
+
+    @property
+    def n_users(self) -> int:
+        return self.population.n
+
+    def true_edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Ground-truth (sources, targets) arrays of the social graph."""
+        return self.graph.sources, self.graph.targets
+
+    def seed_user_id(self) -> int:
+        """The crawl seed: the rank-2 global celebrity (Mark Zuckerberg).
+
+        The paper began its BFS at Mark Zuckerberg's profile; the world
+        guarantees a rank-2 global celebrity exists.
+        """
+        for user_id, spec in self.population.celebrity_spec.items():
+            if spec.global_rank == 2:
+                return user_id
+        raise RuntimeError("world has no rank-2 global celebrity")
+
+
+def _populate_service(
+    world_config: WorldConfig,
+    population: Population,
+    profiles: dict[int, UserProfile],
+    graph: GeneratedGraph,
+    rng: np.random.Generator,
+) -> GooglePlusService:
+    """Register accounts (field trial then open signup) and plant edges."""
+    service = GooglePlusService(
+        open_signup=True,
+        circle_display_limit=world_config.circle_display_limit,
+    )
+    n = population.n
+    trial_count = max(1, int(round(world_config.field_trial_fraction * n)))
+    # Bootstrap account, then invitation-only field trial.
+    service.register(profiles[0], exempt_from_circle_limit=population.is_celebrity(0))
+    service.open_signup = False
+    inviter_rolls = rng.integers(0, trial_count, size=n)
+    for user_id in range(1, trial_count):
+        service.register(
+            profiles[user_id],
+            invited_by=int(inviter_rolls[user_id] % user_id),
+            exempt_from_circle_limit=population.is_celebrity(user_id),
+        )
+    # September 20th, 2011: open signup.
+    service.enable_open_signup()
+    for user_id in range(trial_count, n):
+        service.register(
+            profiles[user_id],
+            exempt_from_circle_limit=population.is_celebrity(user_id),
+        )
+    circle_rolls = rng.integers(0, len(_CIRCLE_LABELS), size=graph.n_edges)
+    for offset, (u, v) in enumerate(zip(graph.sources, graph.targets)):
+        service.add_to_circle(int(u), int(v), _CIRCLE_LABELS[circle_rolls[offset]])
+    return service
+
+
+def build_world(config: WorldConfig | None = None) -> SyntheticWorld:
+    """Generate a complete world from a config (or the calibrated default)."""
+    config = config if config is not None else WorldConfig()
+    rng = np.random.default_rng(config.seed)
+    population = generate_population(config, rng)
+    profiles = build_profiles(population, config, rng)
+    graph = generate_graph(population, config.graph, rng)
+    service = _populate_service(config, population, profiles, graph, rng)
+    return SyntheticWorld(
+        config=config,
+        population=population,
+        profiles=profiles,
+        graph=graph,
+        service=service,
+        clock=SimulatedClock(),
+    )

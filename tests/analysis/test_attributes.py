@@ -1,0 +1,58 @@
+"""Tests for Table 2 attribute availability."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.attributes import attribute_availability
+from repro.crawler.dataset import CrawlDataset
+from repro.crawler.parse import ParsedProfile
+
+
+class TestOnHandData:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        profiles = {
+            1: ParsedProfile(user_id=1, name="a", fields={"phrase": "x"}),
+            2: ParsedProfile(user_id=2, name="b", fields={"phrase": "y", "education": "z"}),
+            3: ParsedProfile(user_id=3, name="c"),
+        }
+        dataset = CrawlDataset(
+            profiles=profiles,
+            sources=np.empty(0, dtype=np.int64),
+            targets=np.empty(0, dtype=np.int64),
+        )
+        return attribute_availability(dataset)
+
+    def test_name_first_and_universal(self, rows):
+        assert rows[0].key == "name"
+        assert rows[0].percent == 100.0
+
+    def test_counts(self, rows):
+        by_key = {r.key: r for r in rows}
+        assert by_key["phrase"].available == 2
+        assert by_key["education"].available == 1
+        assert by_key["gender"].available == 0
+
+    def test_sorted_by_availability(self, rows):
+        counts = [r.available for r in rows[1:]]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_all_seventeen_fields_listed(self, rows):
+        assert len(rows) == 17
+
+
+class TestOnStudy:
+    def test_table2_shape_reproduced(self, study_results):
+        by_key = {r.key: r for r in study_results.table2_attributes}
+        assert by_key["name"].percent == 100.0
+        assert by_key["gender"].percent == pytest.approx(97.67, abs=1.5)
+        # Mid-tier fields: education/places/employment in the 20-35% band.
+        for key in ("education", "places_lived", "employment"):
+            assert 15 < by_key[key].percent < 40
+        # Contact blocks are rare.
+        assert by_key["work_contact"].percent < 1.5
+        assert by_key["home_contact"].percent < 1.5
+
+    def test_total_is_profile_count(self, study_results):
+        for row in study_results.table2_attributes:
+            assert row.total == study_results.dataset.n_profiles

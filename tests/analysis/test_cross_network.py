@@ -1,0 +1,35 @@
+"""Tests for the measured cross-network Table 4."""
+
+import pytest
+
+from repro.analysis.cross_network import compare_networks
+
+
+@pytest.fixture(scope="module")
+def comparison(study_results):
+    return compare_networks(
+        study_results.graph, seed=1, baseline_n=2_000, path_samples=150
+    )
+
+
+class TestCrossNetwork:
+    def test_all_four_networks_measured(self, comparison):
+        assert set(comparison.rows) == {
+            "Google+", "Twitter-like", "Facebook-like", "Orkut-like",
+        }
+
+    def test_reciprocity_ordering(self, comparison):
+        """Twitter 22% < Google+ 32% < Facebook/Orkut 100% (Table 4)."""
+        assert comparison.reciprocity_ordering_holds()
+
+    def test_degree_ordering(self, comparison):
+        assert comparison.degree_ordering_holds()
+
+    def test_all_rows_connected_enough(self, comparison):
+        for name, summary in comparison.rows.items():
+            assert summary.giant_scc_fraction > 0.3, name
+
+    def test_path_lengths_finite(self, comparison):
+        for name, summary in comparison.rows.items():
+            assert summary.avg_path_length > 1.0, name
+            assert summary.diameter >= summary.avg_path_length / 2, name

@@ -1,0 +1,87 @@
+"""Tests for the diffusion analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diffusion import analyze_diffusion, ReachComparison
+from repro.synth.activity import Cascade, ActivityLog, simulate_activity
+
+
+@pytest.fixture(scope="module")
+def analysis(small_world):
+    log = simulate_activity(small_world, seed=3)
+    return analyze_diffusion(log, small_world.population)
+
+
+class TestOnSimulatedActivity:
+    def test_sizes_and_depths_aligned(self, analysis):
+        assert len(analysis.cascade_sizes) == len(analysis.cascade_depths)
+        assert analysis.cascade_sizes.min() >= 1
+        assert analysis.cascade_depths.min() >= 0
+
+    def test_heavy_tail(self, analysis):
+        """A few cascades dwarf the median — hubs seed the big trees."""
+        assert analysis.max_cascade() > 5 * np.median(analysis.cascade_sizes)
+
+    def test_public_posts_reach_farther(self, analysis):
+        assert analysis.reach.reach_ratio > 2.0
+
+    def test_public_share_sane(self, analysis):
+        assert 0.2 < analysis.reach.public_share < 0.9
+
+    def test_viral_fraction_bounds(self, analysis):
+        assert 0.0 <= analysis.viral_fraction() <= 1.0
+
+    def test_country_breakdown(self, small_world):
+        log = simulate_activity(small_world, seed=3)
+        analysis = analyze_diffusion(
+            log, small_world.population, countries=["US", "DE"]
+        )
+        assert set(analysis.by_country) <= {"US", "DE"}
+        us = analysis.by_country["US"]
+        assert us.n_posts > 0
+        assert 0.0 <= us.public_share <= 1.0
+
+    def test_open_cultures_post_more_publicly(self, small_world):
+        """The §4.3 openness ordering shows up in posting behaviour."""
+        log = simulate_activity(small_world, seed=3)
+        analysis = analyze_diffusion(
+            log, small_world.population, countries=["ID", "DE"]
+        )
+        if {"ID", "DE"} <= set(analysis.by_country):
+            assert (
+                analysis.by_country["ID"].public_share
+                > analysis.by_country["DE"].public_share
+            )
+
+
+class TestOnHandData:
+    def make_log(self):
+        cascades = [
+            Cascade(1, 0, True, reshare_post_ids=[2, 3], resharer_ids=[1, 2],
+                    depth=2, plus_ones=5, audience=40),
+            Cascade(4, 1, False, audience=4),
+            Cascade(5, 2, False, audience=6),
+        ]
+        return ActivityLog(cascades=cascades, n_posts=3, n_reshares=2, n_plus_ones=5)
+
+    def test_reach_comparison(self, small_world):
+        analysis = analyze_diffusion(self.make_log(), small_world.population)
+        reach = analysis.reach
+        assert reach.n_public == 1
+        assert reach.n_scoped == 2
+        assert reach.public_mean_audience == 40.0
+        assert reach.scoped_mean_audience == 5.0
+        assert reach.reach_ratio == pytest.approx(8.0)
+        assert reach.public_share == pytest.approx(1 / 3)
+
+    def test_reach_ratio_degenerate(self):
+        reach = ReachComparison(1, 0, 10.0, 0.0, 1.0)
+        assert reach.reach_ratio == float("inf")
+
+    def test_empty_log(self, small_world):
+        analysis = analyze_diffusion(
+            ActivityLog(cascades=[]), small_world.population
+        )
+        assert analysis.max_cascade() == 0
+        assert np.isnan(analysis.viral_fraction())

@@ -1,0 +1,85 @@
+"""Tests for the growth-phase analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.growth import (
+    analyze_growth,
+    find_stabilization,
+    find_tipping_point,
+    fit_densification,
+    SnapshotMetrics,
+)
+from repro.synth.growth import build_timeline, OPEN_SIGNUP_DAY
+
+
+@pytest.fixture(scope="module")
+def growth(small_world):
+    timeline = build_timeline(
+        small_world.graph, small_world.config.field_trial_fraction, seed=21
+    )
+    return analyze_growth(timeline, seed=2, n_snapshots=6, path_samples=60)
+
+
+class TestPhaseDetection:
+    def test_tipping_point_at_open_signup(self, growth):
+        assert growth.tipping_day == pytest.approx(OPEN_SIGNUP_DAY, abs=10)
+
+    def test_stabilization_after_tipping(self, growth):
+        assert growth.stabilization_day > growth.tipping_day
+
+    def test_on_synthetic_curve(self):
+        days = np.arange(0, 100.0)
+        # Flat, then a jump at day 50, then flat growth again.
+        adoption = np.where(days < 50, days, 50 + 20 * (days - 49))
+        assert find_tipping_point(days, adoption) == pytest.approx(50, abs=2)
+
+    def test_stabilization_on_synthetic_curve(self):
+        days = np.arange(0, 100.0)
+        daily = np.where((days >= 40) & (days < 60), 50.0, 1.0)
+        adoption = np.cumsum(daily)
+        stabilization = find_stabilization(days, adoption)
+        assert 59 <= stabilization <= 70
+
+
+class TestDensification:
+    def test_superlinear_edge_growth(self, growth):
+        """Leskovec densification: a > 1 (paper Section 5)."""
+        assert growth.densifies()
+        assert 1.0 < growth.densification_exponent < 3.0
+
+    def test_fit_on_exact_power_law(self):
+        snapshots = [
+            SnapshotMetrics(0, n, int(n**1.5), 0, float("nan"), 0)
+            for n in (100, 1_000, 10_000)
+        ]
+        assert fit_densification(snapshots) == pytest.approx(1.5, abs=0.01)
+
+    def test_fit_needs_two_points(self):
+        assert np.isnan(fit_densification([]))
+
+
+class TestSnapshotSeries:
+    def test_monotone_nodes_and_edges(self, growth):
+        nodes = [s.n_nodes for s in growth.snapshots]
+        edges = [s.n_edges for s in growth.snapshots]
+        assert nodes == sorted(nodes)
+        assert edges == sorted(edges)
+
+    def test_mean_degree_grows(self, growth):
+        degrees = [s.mean_degree for s in growth.snapshots]
+        assert degrees[-1] > degrees[0]
+
+    def test_reciprocity_develops_over_time(self, growth):
+        assert growth.snapshots[-1].reciprocity > 0.2
+
+    def test_mature_paths_shorter_than_adolescent(self, growth):
+        """The paper's hypothesis: the young (just-opened) network has
+        longer paths than the mature one — densification shrinks them."""
+        defined = [
+            s for s in growth.snapshots if np.isfinite(s.mean_path_length)
+        ]
+        adolescent = max(defined, key=lambda s: s.mean_path_length)
+        mature = defined[-1]
+        assert adolescent.mean_path_length >= mature.mean_path_length
+        assert adolescent.day <= mature.day

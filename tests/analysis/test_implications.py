@@ -1,0 +1,66 @@
+"""Tests for the Section 6 implications engine."""
+
+import pytest
+
+from repro.analysis.implications import campaign_countries, derive_strategies
+from repro.platform.models import Occupation
+from repro.synth.countries import TOP10_CODES
+
+
+@pytest.fixture(scope="module")
+def strategies(study_results):
+    return derive_strategies(study_results)
+
+
+class TestDeriveStrategies:
+    def test_covers_top10(self, strategies):
+        assert set(strategies) == set(TOP10_CODES)
+
+    def test_inward_countries_get_domestic_recommendations(self, strategies):
+        """§6: 'recommend domestic users and their content for those
+        countries that have high degree of self-loop such as Brazil and
+        India'."""
+        for code in ("US", "IN", "BR"):
+            assert strategies[code].recommend_scope == "domestic"
+
+    def test_outward_countries_get_foreign_recommendations(self, strategies):
+        """§6: '...recommend foreign users and content to those in
+        Germany and United Kingdom due to their low fraction of
+        self-loops' (GB/CA are the clear cases at our scale)."""
+        assert strategies["GB"].recommend_scope == "foreign"
+        assert strategies["CA"].recommend_scope == "foreign"
+
+    def test_self_loop_carried(self, strategies, study_results):
+        graph = study_results.fig10_links.graph
+        for code, strategy in strategies.items():
+            assert strategy.self_loop == pytest.approx(graph.self_loop(code))
+
+    def test_privacy_posture_tiers(self, strategies):
+        postures = {s.privacy_posture for s in strategies.values()}
+        assert postures <= {"open", "moderate", "conservative"}
+        assert sum(
+            1 for s in strategies.values() if s.privacy_posture == "open"
+        ) == 3
+
+    def test_featured_occupation_labelled(self, strategies):
+        for strategy in strategies.values():
+            assert isinstance(strategy.featured_label, str)
+            assert strategy.featured_label
+
+
+class TestCampaigns:
+    def test_spain_is_the_political_market(self, strategies):
+        """§6: 'running a political campaign ... may not turn out
+        successful for many countries, except for in Spain'."""
+        viable = campaign_countries(strategies)
+        if strategies["ES"].featured_occupation is not None:
+            # Politicians only appear in the Spanish top list (Table 5).
+            assert set(viable) <= {"ES"}
+
+    def test_viability_matches_occupations(self, strategies, study_results):
+        by_country = {
+            row.country: row.occupations
+            for row in study_results.table5_occupations
+        }
+        for code in campaign_countries(strategies):
+            assert Occupation.POLITICIAN in set(by_country[code])

@@ -1,0 +1,85 @@
+"""Tests for the hub-robustness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.robustness import (
+    analyze_robustness,
+    removal_curve,
+    RobustnessCurve,
+)
+from repro.graph.csr import CSRGraph
+
+
+def star_plus_ring(n_leaves: int = 30) -> CSRGraph:
+    """A hub feeding leaves, plus a thin ring keeping leaves connected."""
+    edges = [(0, i) for i in range(1, n_leaves + 1)]
+    return CSRGraph.from_edges(edges)
+
+
+class TestRemovalCurve:
+    def test_zero_removal_is_baseline(self, rng):
+        graph = star_plus_ring()
+        curve = removal_curve(graph, "targeted", rng, np.array([0.0]))
+        assert curve.giant_fractions[0] == pytest.approx(1.0)
+
+    def test_targeted_attack_kills_star(self, rng):
+        graph = star_plus_ring()
+        curve = removal_curve(
+            graph, "targeted", rng, np.array([0.0, 1.5 / 31])
+        )
+        # Removing just the hub (plus one leaf) shatters the star...
+        # the star's hub is node 0 with OUT-degree; targeted uses
+        # IN-degree, so attack the most-followed leaf first. Build an
+        # in-star instead for the real check below.
+        edges = [(i, 0) for i in range(1, 31)]
+        in_star = CSRGraph.from_edges(edges)
+        curve = removal_curve(in_star, "targeted", rng, np.array([0.0, 0.04]))
+        assert curve.giant_fractions[1] < 0.1
+
+    def test_random_failures_gentle(self, rng):
+        edges = [(i, 0) for i in range(1, 31)]
+        in_star = CSRGraph.from_edges(edges)
+        curve = removal_curve(in_star, "random", rng, np.array([0.05]))
+        # Removing a random ~1 node of 31 almost certainly misses the hub.
+        assert curve.giant_fractions[0] > 0.5
+
+    def test_monotone_decay_under_targeted(self, study_results, rng):
+        curve = removal_curve(
+            study_results.graph, "targeted", rng,
+            np.array([0.0, 0.01, 0.05, 0.1]),
+        )
+        assert (np.diff(curve.giant_fractions) <= 1e-9).all()
+
+    def test_unknown_strategy(self, rng):
+        with pytest.raises(ValueError):
+            removal_curve(star_plus_ring(), "sideways", rng)
+
+    def test_collapse_point(self):
+        curve = RobustnessCurve(
+            removed_fractions=np.array([0.0, 0.1, 0.2]),
+            giant_fractions=np.array([1.0, 0.6, 0.3]),
+            strategy="targeted",
+        )
+        assert curve.collapse_point(0.5) == pytest.approx(0.2)
+        assert np.isnan(curve.collapse_point(0.1))
+
+
+class TestOnStudyGraph:
+    def test_hubs_are_central(self, study_results, rng):
+        """Targeted attack hurts far more than random failure — the
+        measured form of 'hubs play a central role' (Section 3.3.1)."""
+        analysis = analyze_robustness(
+            study_results.graph, rng,
+            fractions=np.array([0.0, 0.05, 0.2]),
+        )
+        # The follow-back mesh keeps the WCC robust at shallow removal
+        # (as in real OSNs); the targeted-vs-random gap opens with depth.
+        assert analysis.hub_dependence(0.2) > 0.05
+        assert analysis.targeted.giant_at(0.05) < analysis.random.giant_at(0.05)
+
+    def test_random_failures_barely_noticed(self, study_results, rng):
+        curve = removal_curve(
+            study_results.graph, "random", rng, np.array([0.05])
+        )
+        assert curve.giant_fractions[0] > 0.8

@@ -1,0 +1,116 @@
+"""Tests for the structural analyses (Figures 3-5, Table 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.structure import (
+    analyze_clustering,
+    analyze_degrees,
+    analyze_path_lengths,
+    analyze_reciprocity,
+    analyze_sccs,
+)
+from repro.graph.csr import CSRGraph
+
+
+class TestDegreeAnalysis:
+    def test_power_law_shapes_on_study(self, study_results):
+        f3 = study_results.fig3_degrees
+        assert 1.0 < f3.in_fit.alpha < 2.0  # paper: 1.3
+        assert 0.9 < f3.out_fit.alpha < 1.8  # paper: 1.2
+        assert f3.in_fit.r_squared > 0.9
+
+    def test_out_fit_windowed_at_cap(self, study_results):
+        assert study_results.fig3_degrees.out_fit.x_max <= 5_000
+
+    def test_on_hand_graph(self, rng):
+        edges = [(i, j) for i in range(1, 40) for j in range(i)]
+        analysis = analyze_degrees(CSRGraph.from_edges(edges))
+        assert analysis.distributions.mean_in_degree > 0
+
+
+class TestReciprocityAnalysis:
+    def test_paper_ballpark(self, study_results):
+        rr = study_results.fig4a_reciprocity
+        assert 0.2 < rr.global_reciprocity < 0.55  # paper 0.32
+        assert rr.global_reciprocity > 0.221  # higher than Twitter
+
+    def test_rr_values_bounded(self, study_results):
+        values = study_results.fig4a_reciprocity.rr_values
+        assert (values >= 0).all() and (values <= 1).all()
+
+    def test_fraction_above(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 0), (2, 0)])
+        analysis = analyze_reciprocity(graph)
+        assert analysis.fraction_rr_above(0.5) == pytest.approx(2 / 3)
+
+
+class TestClusteringAnalysis:
+    def test_sample_size_default_proportional(self, study_results):
+        cc = study_results.fig4b_clustering
+        assert cc.sample_size >= 1_000
+
+    def test_clustered_well_above_random(self, study_results):
+        """Triadic closure should put mean CC far above the random-graph
+        baseline m/n^2."""
+        graph = study_results.graph
+        baseline = graph.n_edges / graph.n**2
+        assert study_results.fig4b_clustering.mean > 10 * baseline
+
+    def test_fraction_above_bounds(self, study_results):
+        cc = study_results.fig4b_clustering
+        assert 0.0 <= cc.fraction_above(0.2) <= 1.0
+
+
+class TestSCCAnalysis:
+    def test_giant_component_exists(self, study_results):
+        scc = study_results.fig4c_sccs
+        assert scc.giant_fraction > 0.5
+        assert scc.n_components > 1
+
+    def test_second_component_tiny(self, study_results):
+        """The paper: only ONE component above 100 nodes."""
+        sizes = study_results.fig4c_sccs.sizes()
+        assert sizes[1] <= 100
+
+    def test_on_hand_graph(self):
+        analysis = analyze_sccs(CSRGraph.from_edges([(0, 1), (1, 0), (2, 3)]))
+        assert analysis.giant_size == 2
+
+
+class TestPathLengths:
+    def test_directed_longer_than_undirected(self, study_results):
+        f5 = study_results.fig5_paths
+        assert f5.directed.mean >= f5.undirected.mean
+
+    def test_modes_positive(self, study_results):
+        f5 = study_results.fig5_paths
+        assert f5.directed.mode >= 1
+        assert f5.undirected.mode >= 1
+
+    def test_probabilities_normalised(self, study_results):
+        f5 = study_results.fig5_paths
+        assert f5.directed.probabilities().sum() == pytest.approx(1.0)
+
+
+class TestTable4Row:
+    def test_consistency_with_other_analyses(self, study_results):
+        t4 = study_results.table4_row
+        assert t4.n_nodes == study_results.graph.n
+        assert t4.n_edges == study_results.graph.n_edges
+        assert t4.reciprocity == pytest.approx(
+            study_results.fig4a_reciprocity.global_reciprocity
+        )
+        assert t4.avg_path_length == pytest.approx(
+            study_results.fig5_paths.directed.mean
+        )
+        assert t4.n_sccs == study_results.fig4c_sccs.n_components
+
+    def test_diameter_at_least_max_observed_hop(self, study_results):
+        assert (
+            study_results.table4_row.diameter
+            >= study_results.fig5_paths.directed.max_observed
+        )
+
+    def test_mean_degree_in_paper_ballpark(self, study_results):
+        assert 8 < study_results.table4_row.mean_in_degree < 35  # paper 16.4

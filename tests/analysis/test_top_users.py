@@ -1,0 +1,113 @@
+"""Tests for Table 1 / Table 5 analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.top_users import (
+    it_fraction,
+    occupation_of,
+    top_occupations_by_country,
+    top_users_by_in_degree,
+)
+from repro.platform.models import Occupation
+from repro.synth.countries import TOP10_CODES
+
+
+class TestTable1:
+    def test_ranked_by_in_degree_descending(self, study_results):
+        rows = study_results.table1_top_users
+        degrees = [row.in_degree for row in rows]
+        assert degrees == sorted(degrees, reverse=True)
+        assert len(rows) == 20
+        assert [row.rank for row in rows] == list(range(1, 21))
+
+    def test_degrees_match_graph(self, study_results):
+        graph = study_results.graph
+        in_degrees = graph.in_degrees()
+        top = study_results.table1_top_users[0]
+        assert top.in_degree == int(in_degrees.max())
+
+    def test_global_celebrities_dominate(self, study_results):
+        names = [row.name for row in study_results.table1_top_users[:5]]
+        assert any("Larry Page" in n for n in names)
+
+    def test_it_heavy_top_list(self, study_results):
+        """The paper's signature: IT figures are unusually prominent."""
+        rows = study_results.table1_top_users
+        it_count = sum(1 for r in rows if r.occupation is Occupation.IT)
+        assert it_count >= 3
+
+    def test_custom_k(self, study_results):
+        rows = top_users_by_in_degree(
+            study_results.dataset, study_results.graph, k=5
+        )
+        assert len(rows) == 5
+
+    def test_it_fraction(self):
+        assert it_fraction([]) == 0.0
+
+
+class TestOccupationLookup:
+    def test_maps_label_to_code(self, study_results):
+        dataset = study_results.dataset
+        for row in study_results.table1_top_users:
+            if row.occupation is not None:
+                assert occupation_of(dataset, row.user_id) is row.occupation
+
+    def test_unknown_user(self, study_results):
+        assert occupation_of(study_results.dataset, 10**9) is None
+
+
+class TestTable5:
+    def test_all_top10_countries_reported(self, study_results):
+        rows = study_results.table5_occupations
+        assert [row.country for row in rows] == list(TOP10_CODES)
+
+    def test_us_jaccard_is_one(self, study_results):
+        by_country = {r.country: r for r in study_results.table5_occupations}
+        assert by_country["US"].jaccard_vs_us == pytest.approx(1.0)
+
+    def test_jaccard_in_unit_interval(self, study_results):
+        for row in study_results.table5_occupations:
+            assert 0.0 <= row.jaccard_vs_us <= 1.0
+
+    def test_ten_slots_per_country(self, study_results):
+        for row in study_results.table5_occupations:
+            assert len(row.occupations) == 10
+
+    def test_national_celebrities_lead_their_countries(self, study_results):
+        """Planted celebrities should hold a large share of the per-country
+        top-10 slots (their in-ranking order may shuffle, as Table 5's rows
+        are anyway occupation *sets* for the Jaccard comparison)."""
+        from repro.graph.csr import CSRGraph
+
+        graph = study_results.graph
+        in_degrees = graph.in_degrees()
+        geo = study_results.geo
+        dataset = study_results.dataset
+        celebrity_slots = 0
+        total_slots = 0
+        from repro.synth.countries import TOP10_CODES
+
+        by_country = {code: [] for code in TOP10_CODES}
+        for uid, code in zip(geo.user_ids, geo.countries):
+            if code in by_country:
+                by_country[code].append(int(uid))
+        for code, members in by_country.items():
+            ranked = sorted(
+                members,
+                key=lambda uid: int(in_degrees[graph.compact_index(uid)]),
+                reverse=True,
+            )[:10]
+            total_slots += len(ranked)
+            celebrity_slots += sum(
+                1
+                for uid in ranked
+                if not dataset.profiles[uid].name.startswith("User ")
+            )
+        assert celebrity_slots >= total_slots // 3
+
+    def test_codes_rendering(self, study_results):
+        row = study_results.table5_occupations[0]
+        rendered = row.codes()
+        assert len(rendered.split()) == 10

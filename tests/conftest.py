@@ -1,0 +1,54 @@
+"""Shared fixtures.
+
+Expensive artifacts (world, crawl, full study) are session-scoped: the
+whole suite shares one small world and one full study run, while tests
+needing mutation build their own tiny worlds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MeasurementStudy, StudyConfig, StudyResults
+from repro.crawler import BidirectionalBFSCrawler, CrawlConfig, CrawlDataset
+from repro.synth import build_world, SyntheticWorld, WorldConfig
+
+#: Seeds/sizes used by the shared fixtures (also referenced in tests).
+SMALL_WORLD_USERS = 2_500
+SMALL_WORLD_SEED = 13
+STUDY_USERS = 4_000
+STUDY_SEED = 7
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_world() -> SyntheticWorld:
+    """A compact world shared by read-only tests."""
+    return build_world(WorldConfig(n_users=SMALL_WORLD_USERS, seed=SMALL_WORLD_SEED))
+
+
+@pytest.fixture(scope="session")
+def small_crawl(small_world: SyntheticWorld) -> CrawlDataset:
+    """A complete (100%-coverage) crawl of the small world."""
+    crawler = BidirectionalBFSCrawler(
+        small_world.frontend(), CrawlConfig(n_machines=4)
+    )
+    return crawler.crawl([small_world.seed_user_id()])
+
+
+@pytest.fixture(scope="session")
+def study_results() -> StudyResults:
+    """One full measurement study shared by the analysis-layer tests."""
+    config = StudyConfig(
+        n_users=STUDY_USERS,
+        seed=STUDY_SEED,
+        path_sample_start=200,
+        path_sample_max=600,
+        path_mile_pairs=40_000,
+    )
+    return MeasurementStudy(config).run()

@@ -1,0 +1,56 @@
+"""Sanity tests for the embedded paper reference values."""
+
+import pytest
+
+from repro.core.paper_tables import GooglePlusPaper as P, TABLE4_ROWS
+
+
+class TestTable4Rows:
+    def test_four_networks(self):
+        assert [r.network for r in TABLE4_ROWS] == [
+            "Google+", "Facebook", "Twitter", "Orkut",
+        ]
+
+    def test_google_plus_row_matches_paper(self):
+        gplus = TABLE4_ROWS[0]
+        assert gplus.nodes == 35e6
+        assert gplus.path_length == 5.9
+        assert gplus.reciprocity_percent == 32.0
+        assert gplus.diameter == 19
+
+    def test_orkut_degrees_unreported(self):
+        orkut = TABLE4_ROWS[3]
+        assert orkut.mean_in_degree is None
+
+
+class TestGooglePlusConstants:
+    def test_crawl_counts(self):
+        assert P.CRAWLED_PROFILES == 27_556_390
+        assert P.GRAPH_NODES == 35_114_957
+        assert P.GRAPH_EDGES == 575_141_097
+
+    def test_crawled_fraction_consistent(self):
+        assert P.CRAWLED_PROFILES / P.GRAPH_NODES == pytest.approx(0.78, abs=0.01)
+
+    def test_lost_edge_fraction_consistent(self):
+        lost = (P.CAPPED_DECLARED_EDGES - P.CAPPED_COLLECTED_EDGES) / P.GRAPH_EDGES
+        assert lost == pytest.approx(P.LOST_EDGE_FRACTION, abs=0.002)
+
+    def test_tel_rate_consistent(self):
+        assert P.TEL_USERS / P.CRAWLED_PROFILES == pytest.approx(
+            P.TEL_USER_RATE, abs=2e-4
+        )
+
+    def test_giant_scc_fraction_consistent(self):
+        assert P.GIANT_SCC_SIZE / P.GRAPH_NODES == pytest.approx(0.72, abs=0.01)
+
+    def test_country_shares_sum_below_one(self):
+        assert sum(P.TOP_COUNTRY_SHARES.values()) < 1.0
+        assert sum(P.TEL_COUNTRY_SHARES.values()) < 1.0
+
+    def test_self_loops_cover_top10(self):
+        assert len(P.SELF_LOOPS) == 10
+
+    def test_gender_splits_sum_to_one(self):
+        assert sum(P.GENDER_ALL.values()) == pytest.approx(1.0, abs=0.01)
+        assert sum(P.GENDER_TEL.values()) == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,67 @@
+"""Tests for the end-to-end measurement pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import MeasurementStudy, StudyConfig
+from repro.synth import WorldConfig
+
+
+class TestStudyConfig:
+    def test_default_world_from_top_level_params(self):
+        config = StudyConfig(n_users=3_000, seed=42)
+        world = config.world_config()
+        assert world.n_users == 3_000
+        assert world.seed == 42
+
+    def test_explicit_world_wins(self):
+        world = WorldConfig(n_users=1_000, seed=5)
+        config = StudyConfig(n_users=9_999, world=world)
+        assert config.world_config() is world
+
+
+class TestRun:
+    def test_all_artifacts_present(self, study_results):
+        assert len(study_results.table1_top_users) == 20
+        assert len(study_results.table2_attributes) == 17
+        assert study_results.table3_tel_users.n_all > 0
+        assert study_results.table4_row.n_nodes > 0
+        assert len(study_results.table5_occupations) == 10
+        assert len(study_results.fig6_countries) == 10
+        assert len(study_results.fig7_penetration.points) > 10
+        assert len(study_results.fig8_openness.by_country) == 10
+        assert study_results.lost_edges.total_edges > 0
+
+    def test_crawl_fraction_respected(self, study_results):
+        config = study_results.config
+        expected = int(config.n_users * config.crawl_fraction)
+        assert study_results.dataset.n_profiles == expected
+
+    def test_graph_larger_than_crawl(self, study_results):
+        """Uncrawled endpoints appear in the graph, as in the paper
+        (27.5M crawled of 35.1M nodes)."""
+        assert study_results.graph.n > study_results.dataset.n_profiles
+
+    def test_run_accepts_prebuilt_dataset(self):
+        study = MeasurementStudy(
+            StudyConfig(
+                n_users=1_200,
+                seed=3,
+                crawl_fraction=1.0,
+                path_sample_start=50,
+                path_sample_max=50,
+                path_mile_pairs=2_000,
+            )
+        )
+        dataset = study.crawl()
+        results = study.run(dataset=dataset)
+        assert results.dataset is dataset
+
+    def test_deterministic_crawl(self):
+        def run_crawl():
+            study = MeasurementStudy(StudyConfig(n_users=1_200, seed=9))
+            return study.crawl()
+
+        a, b = run_crawl(), run_crawl()
+        assert np.array_equal(a.sources, b.sources)
+        assert list(a.profiles) == list(b.profiles)

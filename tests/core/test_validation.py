@@ -1,0 +1,61 @@
+"""Tests for crawl validation against ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import validate_crawl
+from repro.crawler.bfs import BidirectionalBFSCrawler, CrawlConfig
+
+
+@pytest.fixture(scope="module")
+def validation(small_world, small_crawl):
+    return validate_crawl(small_world, small_crawl)
+
+
+class TestFullCrawlValidation:
+    def test_sound(self, validation):
+        assert validation.is_sound()
+        assert validation.n_false_edges == 0
+        assert validation.privacy_leaks == 0
+
+    def test_high_recall(self, validation):
+        assert validation.edge_recall > 0.97
+        assert validation.edge_precision == 1.0
+
+    def test_full_coverage(self, validation):
+        assert validation.profile_coverage == 1.0
+
+    def test_field_recall_complete(self, validation):
+        """An anonymous crawler sees exactly the public fields."""
+        assert validation.field_recall == pytest.approx(1.0)
+
+    def test_tel_users_agree(self, validation):
+        assert validation.tel_user_agreement
+        assert validation.missing_tel_users == 0
+
+
+class TestPartialCrawlValidation:
+    def test_partial_coverage_reported(self, small_world):
+        crawler = BidirectionalBFSCrawler(
+            small_world.frontend(), CrawlConfig(n_machines=2, max_pages=500)
+        )
+        dataset = crawler.crawl([small_world.seed_user_id()])
+        validation = validate_crawl(small_world, dataset)
+        assert validation.profile_coverage == pytest.approx(0.2)
+        assert validation.is_sound()
+        assert validation.edge_recall < 1.0
+
+
+class TestDegenerateInputs:
+    def test_empty_crawl(self, small_world):
+        from repro.crawler.dataset import CrawlDataset
+
+        empty = CrawlDataset(
+            profiles={},
+            sources=np.empty(0, dtype=np.int64),
+            targets=np.empty(0, dtype=np.int64),
+        )
+        validation = validate_crawl(small_world, empty)
+        assert validation.edge_recall == 0.0
+        assert validation.edge_precision == 1.0
+        assert validation.is_sound()

@@ -1,0 +1,95 @@
+"""Tests for the crawl dataset container and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.crawler.dataset import CrawlDataset, CrawlStats
+from repro.crawler.parse import ParsedProfile
+from repro.platform.models import ContactInfo, Gender, Place, Relationship
+
+
+@pytest.fixture
+def dataset() -> CrawlDataset:
+    profiles = {
+        1: ParsedProfile(
+            user_id=1,
+            name="Ada",
+            fields={
+                "gender": Gender.FEMALE,
+                "relationship": Relationship.MARRIED,
+                "places_lived": [Place("London", 51.5, -0.1, "GB")],
+                "work_contact": ContactInfo(phone="+44", email="a@b.c"),
+                "other_profiles": ["https://x"],
+            },
+            in_list=(2,),
+            out_list=(2, 3),
+            declared_in=1,
+            declared_out=2,
+        ),
+        2: ParsedProfile(user_id=2, name="Bob"),
+    }
+    return CrawlDataset(
+        profiles=profiles,
+        sources=np.array([1, 1, 2], dtype=np.int64),
+        targets=np.array([2, 3, 1], dtype=np.int64),
+        stats=CrawlStats(pages_fetched=2, n_machines=3),
+    )
+
+
+class TestGraphExport:
+    def test_node_ids_include_uncrawled_endpoints(self, dataset):
+        assert dataset.node_ids().tolist() == [1, 2, 3]
+
+    def test_to_csr(self, dataset):
+        graph = dataset.to_csr()
+        assert graph.n == 3
+        assert graph.n_edges == 3
+        assert graph.has_edge(
+            graph.compact_index(1), graph.compact_index(2)
+        )
+
+    def test_to_digraph(self, dataset):
+        graph = dataset.to_digraph()
+        assert graph.n_nodes == 3
+        assert graph.has_edge(2, 1)
+
+    def test_counts(self, dataset):
+        assert dataset.n_profiles == 2
+        assert dataset.n_edges == 3
+
+
+class TestSerialisation:
+    def test_roundtrip(self, dataset, tmp_path):
+        dataset.save(tmp_path / "crawl")
+        reloaded = CrawlDataset.load(tmp_path / "crawl")
+        assert reloaded.n_profiles == dataset.n_profiles
+        assert np.array_equal(reloaded.sources, dataset.sources)
+        assert np.array_equal(reloaded.targets, dataset.targets)
+        assert reloaded.stats.pages_fetched == 2
+        assert reloaded.stats.n_machines == 3
+
+    def test_typed_fields_survive(self, dataset, tmp_path):
+        dataset.save(tmp_path / "crawl")
+        reloaded = CrawlDataset.load(tmp_path / "crawl")
+        profile = reloaded.profiles[1]
+        assert profile.gender() is Gender.FEMALE
+        assert profile.relationship() is Relationship.MARRIED
+        place = profile.current_place()
+        assert isinstance(place, Place)
+        assert place.country == "GB"
+        contact = profile.fields["work_contact"]
+        assert isinstance(contact, ContactInfo)
+        assert contact.phone == "+44"
+        assert profile.fields["other_profiles"] == ["https://x"]
+
+    def test_lists_and_counts_survive(self, dataset, tmp_path):
+        dataset.save(tmp_path / "crawl")
+        profile = CrawlDataset.load(tmp_path / "crawl").profiles[1]
+        assert profile.in_list == (2,)
+        assert profile.out_list == (2, 3)
+        assert profile.declared_out == 2
+
+    def test_hidden_lists_survive_as_none(self, dataset, tmp_path):
+        dataset.save(tmp_path / "crawl")
+        profile = CrawlDataset.load(tmp_path / "crawl").profiles[2]
+        assert profile.in_list is None

@@ -1,0 +1,58 @@
+"""Tests for dataset export conveniences (networkx, edge list)."""
+
+import numpy as np
+import pytest
+
+from repro.crawler.dataset import CrawlDataset
+from repro.crawler.parse import ParsedProfile
+from repro.platform.models import Place
+
+
+@pytest.fixture
+def dataset() -> CrawlDataset:
+    profiles = {
+        1: ParsedProfile(
+            user_id=1,
+            name="Ada",
+            fields={"places_lived": [Place("London", 51.51, -0.13, "GB")]},
+        ),
+        2: ParsedProfile(user_id=2, name="Bob"),
+    }
+    return CrawlDataset(
+        profiles=profiles,
+        sources=np.array([1, 2], dtype=np.int64),
+        targets=np.array([2, 3], dtype=np.int64),
+    )
+
+
+class TestNetworkxExport:
+    def test_structure(self, dataset):
+        graph = dataset.to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(2, 3)
+
+    def test_node_attributes(self, dataset):
+        graph = dataset.to_networkx()
+        assert graph.nodes[1]["name"] == "Ada"
+        assert graph.nodes[1]["country"] == "GB"
+        assert graph.nodes[1]["crawled"]
+        assert "country" not in graph.nodes[2]
+        assert "crawled" not in graph.nodes[3]  # uncrawled endpoint
+
+
+class TestEdgeList:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "edges.tsv"
+        dataset.write_edge_list(path)
+        lines = path.read_text().splitlines()
+        assert lines == ["1\t2", "2\t3"]
+
+
+class TestOnRealCrawl:
+    def test_networkx_agrees_with_csr(self, small_crawl):
+        nx_graph = small_crawl.to_networkx()
+        csr = small_crawl.to_csr()
+        assert nx_graph.number_of_nodes() == csr.n
+        assert nx_graph.number_of_edges() == csr.n_edges

@@ -1,0 +1,69 @@
+"""Fault-injection tests: the crawl result must not depend on transport
+conditions — throttling, transient 503s, fleet size — only on what the
+service exposes."""
+
+import numpy as np
+import pytest
+
+from repro.crawler.bfs import BidirectionalBFSCrawler, CrawlConfig
+from repro.synth import build_world, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(n_users=800, seed=71))
+
+
+def crawl(world, **frontend_kwargs):
+    frontend = world.frontend(**frontend_kwargs)
+    crawler = BidirectionalBFSCrawler(frontend, CrawlConfig(n_machines=5))
+    return crawler.crawl([world.seed_user_id()])
+
+
+class TestFaultTolerance:
+    def test_flaky_server_yields_identical_dataset(self, world):
+        clean = crawl(world)
+        flaky = crawl(world, error_rate=0.08)
+        assert flaky.n_profiles == clean.n_profiles
+        assert np.array_equal(flaky.sources, clean.sources)
+        assert np.array_equal(flaky.targets, clean.targets)
+        assert flaky.stats.server_errors > 0
+
+    def test_tight_rate_limit_yields_identical_dataset(self, world):
+        clean = crawl(world)
+        throttled = crawl(world, rate_per_ip=5.0, burst=5.0)
+        assert throttled.n_profiles == clean.n_profiles
+        assert np.array_equal(throttled.sources, clean.sources)
+        assert throttled.stats.throttled > 0
+        # Throttling costs virtual time.
+        assert throttled.stats.virtual_duration > clean.stats.virtual_duration
+
+    def test_fleet_size_does_not_change_coverage(self, world):
+        small_fleet = BidirectionalBFSCrawler(
+            world.frontend(), CrawlConfig(n_machines=1)
+        ).crawl([world.seed_user_id()])
+        big_fleet = BidirectionalBFSCrawler(
+            world.frontend(), CrawlConfig(n_machines=11)
+        ).crawl([world.seed_user_id()])
+        assert small_fleet.n_profiles == big_fleet.n_profiles
+        assert small_fleet.n_edges == big_fleet.n_edges
+
+    def test_bigger_fleet_is_faster_in_virtual_time(self, world):
+        small_fleet = BidirectionalBFSCrawler(
+            world.frontend(rate_per_ip=1e9, burst=1e9),
+            CrawlConfig(n_machines=1),
+        ).crawl([world.seed_user_id()])
+        big_fleet = BidirectionalBFSCrawler(
+            world.frontend(rate_per_ip=1e9, burst=1e9),
+            CrawlConfig(n_machines=11),
+        ).crawl([world.seed_user_id()])
+        assert (
+            big_fleet.stats.virtual_duration
+            < small_fleet.stats.virtual_duration
+        )
+
+    def test_combined_faults(self, world):
+        clean = crawl(world)
+        stressed = crawl(world, error_rate=0.05, rate_per_ip=20.0, burst=30.0)
+        assert stressed.n_profiles == clean.n_profiles
+        assert stressed.n_edges == clean.n_edges

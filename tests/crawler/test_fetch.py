@@ -1,0 +1,73 @@
+"""Tests for the retrying fetcher."""
+
+import pytest
+
+from repro.crawler.fetch import Fetcher, FetchError
+from repro.platform.http import (
+    HttpFrontend,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+)
+from repro.platform.models import UserProfile
+from repro.platform.service import GooglePlusService
+
+
+@pytest.fixture
+def service() -> GooglePlusService:
+    svc = GooglePlusService(open_signup=True)
+    svc.register(UserProfile(user_id=1, name="One"))
+    return svc
+
+
+def make_fetcher(service, **frontend_kwargs) -> Fetcher:
+    frontend = HttpFrontend(service.handle_path, **frontend_kwargs)
+    return Fetcher(frontend=frontend, ip="10.0.0.1")
+
+
+class TestFetcher:
+    def test_fetch_ok(self, service):
+        fetcher = make_fetcher(service)
+        page = fetcher.fetch_profile(1)
+        assert page.user_id == 1
+        assert fetcher.stats.pages_fetched == 1
+
+    def test_fetch_missing_returns_none(self, service):
+        fetcher = make_fetcher(service)
+        assert fetcher.fetch_profile(999) is None
+        assert fetcher.stats.not_found == 1
+
+    def test_throttled_then_retried(self, service):
+        fetcher = make_fetcher(service, rate_per_ip=5.0, burst=1.0)
+        for user in (1, 1, 1):
+            assert fetcher.fetch_profile(user) is not None
+        assert fetcher.stats.throttled > 0
+        assert fetcher.stats.time_waiting > 0
+
+    def test_transient_errors_retried(self, service):
+        fetcher = make_fetcher(service, error_rate=0.4, seed=1)
+        pages = [fetcher.fetch_profile(1) for _ in range(20)]
+        assert all(p is not None for p in pages)
+        assert fetcher.stats.server_errors > 0
+
+    def test_retries_exhausted(self, service):
+        fetcher = make_fetcher(service, error_rate=0.97, seed=2)
+        fetcher.max_retries = 2
+        with pytest.raises(FetchError):
+            for _ in range(50):
+                fetcher.fetch_profile(1)
+
+    def test_clock_advances_per_request(self, service):
+        fetcher = make_fetcher(service)
+        before = fetcher.frontend.clock.now()
+        fetcher.fetch_profile(1)
+        assert fetcher.frontend.clock.now() > before
+
+    def test_parallelism_scales_time(self, service):
+        solo = make_fetcher(service)
+        solo.fetch_profile(1)
+        fleet_frontend = HttpFrontend(service.handle_path)
+        fleet = Fetcher(
+            frontend=fleet_frontend, ip="10.0.0.2", parallelism=10
+        )
+        fleet.fetch_profile(1)
+        assert fleet_frontend.clock.now() < solo.frontend.clock.now()

@@ -1,0 +1,45 @@
+"""Tests for the BFS frontier."""
+
+from repro.crawler.frontier import BFSFrontier
+
+
+class TestFrontier:
+    def test_fifo_order(self):
+        frontier = BFSFrontier()
+        frontier.add_all([3, 1, 2])
+        assert [frontier.pop() for _ in range(3)] == [3, 1, 2]
+
+    def test_dedup_on_add(self):
+        frontier = BFSFrontier()
+        assert frontier.add(1)
+        assert not frontier.add(1)
+        assert len(frontier) == 1
+
+    def test_popped_user_cannot_requeue(self):
+        frontier = BFSFrontier()
+        frontier.add(1)
+        frontier.pop()
+        assert not frontier.add(1)
+
+    def test_add_all_counts_new(self):
+        frontier = BFSFrontier()
+        frontier.add(1)
+        assert frontier.add_all([1, 2, 3]) == 2
+
+    def test_visited_and_discovered(self):
+        frontier = BFSFrontier()
+        frontier.add(1)
+        assert frontier.discovered(1)
+        assert not frontier.visited(1)
+        frontier.pop()
+        assert frontier.visited(1)
+        assert frontier.n_visited == 1
+        assert frontier.n_discovered == 1
+
+    def test_bool_reflects_queue(self):
+        frontier = BFSFrontier()
+        assert not frontier
+        frontier.add(1)
+        assert frontier
+        frontier.pop()
+        assert not frontier

@@ -1,0 +1,109 @@
+"""Tests for random-walk and MHRW sampling over profile pages."""
+
+import numpy as np
+import pytest
+
+from repro.crawler.fetch import Fetcher
+from repro.crawler.graph_sampling import (
+    MHRWSampler,
+    RandomWalkSampler,
+    reweighted_mean_degree,
+    SamplingBiasReport,
+    WalkSample,
+)
+
+
+@pytest.fixture(scope="module")
+def fetcher(small_world) -> Fetcher:
+    return Fetcher(frontend=small_world.frontend(), ip="10.9.9.9")
+
+
+class TestWalkSample:
+    def test_mean_degree(self):
+        sample = WalkSample(user_ids=[1, 2], degrees=[10, 20])
+        assert sample.mean_degree() == 15.0
+        assert sample.n_steps == 2
+        assert sample.unique_users() == 2
+
+    def test_empty(self):
+        assert np.isnan(WalkSample().mean_degree())
+
+    def test_reweighted_mean_is_harmonic(self):
+        sample = WalkSample(user_ids=[1, 2], degrees=[10, 40])
+        assert reweighted_mean_degree(sample) == pytest.approx(16.0)
+
+    def test_reweighted_empty(self):
+        assert np.isnan(reweighted_mean_degree(WalkSample()))
+
+
+class TestRandomWalk:
+    def test_walk_length(self, small_world, fetcher):
+        rng = np.random.default_rng(0)
+        sample = RandomWalkSampler(fetcher, rng).walk(
+            small_world.seed_user_id(), 200, burn_in=20
+        )
+        assert sample.n_steps == 200
+        assert sample.unique_users() > 20
+
+    def test_degree_bias_and_correction(self, small_world, fetcher):
+        """RW over-samples high-degree users; 1/d reweighting fixes it."""
+        rng = np.random.default_rng(1)
+        sample = RandomWalkSampler(fetcher, rng).walk(
+            small_world.seed_user_id(), 1_200, burn_in=100
+        )
+        true_mean = 2 * small_world.graph.n_edges / small_world.n_users
+        assert sample.mean_degree() > 1.5 * true_mean
+        assert reweighted_mean_degree(sample) == pytest.approx(
+            true_mean, rel=0.35
+        )
+
+    def test_bad_seed_rejected(self, fetcher):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            RandomWalkSampler(fetcher, rng).walk(10**9, 10)
+
+    def test_deterministic(self, small_world, fetcher):
+        seed = small_world.seed_user_id()
+        a = RandomWalkSampler(fetcher, np.random.default_rng(7)).walk(seed, 50)
+        b = RandomWalkSampler(fetcher, np.random.default_rng(7)).walk(seed, 50)
+        assert a.user_ids == b.user_ids
+
+
+class TestMHRW:
+    def test_rejections_happen(self, small_world, fetcher):
+        rng = np.random.default_rng(2)
+        sample = MHRWSampler(fetcher, rng).walk(
+            small_world.seed_user_id(), 400, burn_in=50
+        )
+        assert sample.rejected_moves > 0
+
+    def test_nearly_unbiased_mean_degree(self, small_world, fetcher):
+        rng = np.random.default_rng(3)
+        sample = MHRWSampler(fetcher, rng).walk(
+            small_world.seed_user_id(), 1_500, burn_in=150
+        )
+        true_mean = 2 * small_world.graph.n_edges / small_world.n_users
+        assert sample.mean_degree() == pytest.approx(true_mean, rel=0.4)
+
+    def test_less_biased_than_rw(self, small_world, fetcher):
+        rng = np.random.default_rng(4)
+        seed = small_world.seed_user_id()
+        rw = RandomWalkSampler(fetcher, rng).walk(seed, 1_000, burn_in=100)
+        mh = MHRWSampler(fetcher, rng).walk(seed, 1_000, burn_in=100)
+        true_mean = 2 * small_world.graph.n_edges / small_world.n_users
+        rw_bias = abs(rw.mean_degree() - true_mean)
+        mh_bias = abs(mh.mean_degree() - true_mean)
+        assert mh_bias < rw_bias
+
+
+class TestBiasReport:
+    def test_bias_of(self):
+        report = SamplingBiasReport(
+            true_mean_degree=20.0,
+            bfs_mean_degree=30.0,
+            rw_mean_degree=60.0,
+            rw_reweighted_mean_degree=21.0,
+            mhrw_mean_degree=19.0,
+        )
+        assert report.bias_of(report.rw_mean_degree) == pytest.approx(2.0)
+        assert report.bias_of(report.mhrw_mean_degree) == pytest.approx(-0.05)

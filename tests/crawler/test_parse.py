@@ -1,0 +1,88 @@
+"""Tests for profile-page parsing."""
+
+from repro.crawler.parse import parse_profile_page, ParsedProfile
+from repro.platform.models import ContactInfo, Gender, Place, Relationship
+from repro.platform.pages import CircleListView, ProfilePage
+
+
+def page_with(fields=None, in_list=None, out_list=None) -> ProfilePage:
+    return ProfilePage(
+        user_id=7,
+        name="Ada",
+        fields=fields or {},
+        in_list=in_list,
+        out_list=out_list,
+    )
+
+
+class TestParse:
+    def test_basic_extraction(self):
+        page = page_with(
+            fields={"occupation": "Engineer"},
+            in_list=CircleListView((1, 2), 2),
+            out_list=CircleListView((3,), 5),
+        )
+        profile = parse_profile_page(page)
+        assert profile.user_id == 7
+        assert profile.fields["occupation"] == "Engineer"
+        assert profile.in_list == (1, 2)
+        assert profile.declared_in == 2
+        assert profile.declared_out == 5
+
+    def test_hidden_lists(self):
+        profile = parse_profile_page(page_with())
+        assert profile.in_list is None
+        assert profile.out_list is None
+        assert profile.declared_in == 0
+
+
+class TestParsedProfileAccessors:
+    def test_count_fields_excludes_contacts_by_default(self):
+        profile = ParsedProfile(
+            user_id=1,
+            name="x",
+            fields={
+                "occupation": "E",
+                "work_contact": ContactInfo(phone="+1"),
+            },
+        )
+        assert profile.count_fields() == 2  # name + occupation
+        assert profile.count_fields(include_contacts=True) == 3
+
+    def test_shares_phone(self):
+        with_phone = ParsedProfile(
+            user_id=1, name="x", fields={"home_contact": ContactInfo(phone="+1")}
+        )
+        without = ParsedProfile(
+            user_id=1, name="x", fields={"home_contact": ContactInfo(email="e")}
+        )
+        assert with_phone.shares_phone()
+        assert not without.shares_phone()
+
+    def test_typed_accessors(self):
+        profile = ParsedProfile(
+            user_id=1,
+            name="x",
+            fields={
+                "gender": Gender.FEMALE,
+                "relationship": Relationship.SINGLE,
+                "places_lived": [Place("A", 1.0, 2.0, "US")],
+            },
+        )
+        assert profile.gender() is Gender.FEMALE
+        assert profile.relationship() is Relationship.SINGLE
+        assert profile.current_place().name == "A"
+        assert profile.country() == "US"
+
+    def test_accessors_none_when_absent(self):
+        profile = ParsedProfile(user_id=1, name="x")
+        assert profile.gender() is None
+        assert profile.relationship() is None
+        assert profile.current_place() is None
+        assert profile.country() is None
+
+    def test_has_field(self):
+        profile = ParsedProfile(user_id=1, name="x", fields={"phrase": "hi"})
+        assert profile.has_field("name")
+        assert profile.has_field("phrase")
+        assert not profile.has_field("education")

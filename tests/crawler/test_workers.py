@@ -1,0 +1,44 @@
+"""Tests for the crawl machine pool."""
+
+import pytest
+
+from repro.crawler.workers import MachinePool
+from repro.platform.http import HttpFrontend
+from repro.platform.models import UserProfile
+from repro.platform.service import GooglePlusService
+
+
+@pytest.fixture
+def frontend() -> HttpFrontend:
+    service = GooglePlusService(open_signup=True)
+    for uid in range(10):
+        service.register(UserProfile(user_id=uid, name=f"U{uid}"))
+    return HttpFrontend(service.handle_path)
+
+
+class TestMachinePool:
+    def test_eleven_machines_default(self, frontend):
+        assert MachinePool(frontend).n_machines == 11
+
+    def test_distinct_ips(self, frontend):
+        pool = MachinePool(frontend, n_machines=5)
+        ips = {fetcher.ip for fetcher in pool.fetchers}
+        assert len(ips) == 5
+
+    def test_round_robin(self, frontend):
+        pool = MachinePool(frontend, n_machines=3)
+        for uid in range(6):
+            pool.fetch_profile(uid)
+        assert [f.stats.pages_fetched for f in pool.fetchers] == [2, 2, 2]
+
+    def test_combined_stats(self, frontend):
+        pool = MachinePool(frontend, n_machines=2)
+        pool.fetch_profile(0)
+        pool.fetch_profile(999)  # 404
+        stats = pool.combined_stats()
+        assert stats.pages_fetched == 1
+        assert stats.not_found == 1
+
+    def test_zero_machines_rejected(self, frontend):
+        with pytest.raises(ValueError):
+            MachinePool(frontend, n_machines=0)

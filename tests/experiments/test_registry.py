@@ -1,0 +1,64 @@
+"""Tests for the experiment registry and runner."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.runner import render_comparison_table, run_experiments
+
+EXPECTED_IDS = {
+    "table1", "table2", "table3", "table4", "table5",
+    "fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig5",
+    "fig6", "fig7", "fig8", "fig9", "fig10", "methodology",
+    "ext_growth", "ext_diffusion", "ext_implications",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_metadata_populated(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.title
+            assert experiment.section
+
+    @pytest.mark.parametrize("artifact_id", sorted(EXPECTED_IDS))
+    def test_renderers_produce_text(self, study_results, artifact_id):
+        text = EXPERIMENTS[artifact_id].render(study_results)
+        assert isinstance(text, str)
+        assert len(text) > 50
+
+    def test_table1_mentions_larry_page(self, study_results):
+        assert "Larry Page" in EXPERIMENTS["table1"].render(study_results)
+
+    def test_table4_quotes_other_networks(self, study_results):
+        text = EXPERIMENTS["table4"].render(study_results)
+        for network in ("Facebook", "Twitter", "Orkut"):
+            assert network in text
+
+    def test_fig3_reports_alphas(self, study_results):
+        text = EXPERIMENTS["fig3"].render(study_results)
+        assert "alpha_in" in text and "alpha_out" in text
+
+    def test_methodology_reports_lost_edges(self, study_results):
+        text = EXPERIMENTS["methodology"].render(study_results)
+        assert "lost-edge fraction" in text
+
+
+class TestRunner:
+    def test_run_all(self, study_results):
+        rendered = run_experiments(study_results)
+        assert set(rendered) == EXPECTED_IDS
+
+    def test_run_selection(self, study_results):
+        rendered = run_experiments(study_results, ["table1", "fig6"])
+        assert set(rendered) == {"table1", "fig6"}
+
+    def test_unknown_artifact_rejected(self, study_results):
+        with pytest.raises(KeyError):
+            run_experiments(study_results, ["fig99"])
+
+    def test_comparison_table(self, study_results):
+        text = render_comparison_table(study_results)
+        assert "Paper vs measured" in text
+        assert "Table 4" in text

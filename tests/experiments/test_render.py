@@ -1,0 +1,100 @@
+"""Tests for text table/plot rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.render import (
+    AsciiPlot,
+    format_number,
+    format_table,
+    log_bins,
+    percent,
+    render_ccdf_plot,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["A", "Longer"], [["x", "y"], ["zz", "w"]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("A ")
+        assert all(len(line) >= 5 for line in lines)
+
+    def test_title(self):
+        text = format_table(["A"], [["1"]], title="My table")
+        assert text.startswith("My table\n")
+
+    def test_non_string_cells(self):
+        text = format_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+
+class TestPercent:
+    def test_basic(self):
+        assert percent(0.5) == "50.00%"
+        assert percent(0.123456, digits=1) == "12.3%"
+
+    def test_nan(self):
+        assert percent(float("nan")) == "n/a"
+
+
+class TestFormatNumber:
+    def test_thousands_separator(self):
+        assert format_number(575141097) == "575,141,097"
+
+    def test_float(self):
+        assert format_number(3.14159) == "3.14"
+
+    def test_nan(self):
+        assert format_number(float("nan")) == "n/a"
+
+
+class TestAsciiPlot:
+    def test_renders_grid(self):
+        plot = AsciiPlot(width=20, height=5, title="T")
+        plot.add_series([1, 2, 3], [1, 2, 3], "*", "s")
+        text = plot.render()
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert "*" in text
+        assert "*=s" in text
+
+    def test_empty_plot(self):
+        plot = AsciiPlot(title="empty")
+        assert "(no data)" in plot.render()
+
+    def test_log_axes_filter_nonpositive(self):
+        plot = AsciiPlot(x_log=True, y_log=True)
+        plot.add_series([0, 1, 10], [0.5, 0.1, 0.0], "x")
+        text = plot.render()  # must not raise on zeros
+        assert "x" in text
+
+    def test_ccdf_helper(self):
+        text = render_ccdf_plot(
+            [(np.array([1, 10, 100]), np.array([1.0, 0.1, 0.01]), "o", "curve")],
+            title="C",
+        )
+        assert text.startswith("C")
+        assert "o=curve" in text
+
+    def test_constant_series_no_zero_division(self):
+        plot = AsciiPlot()
+        plot.add_series([5, 5], [1, 1], "#")
+        plot.render()
+
+
+class TestLogBins:
+    def test_covers_range(self):
+        bins = log_bins(np.array([1.0, 1000.0]), n_bins=10)
+        assert bins[0] == pytest.approx(1.0)
+        assert bins[-1] == pytest.approx(1000.0)
+        assert len(bins) == 10
+
+    def test_degenerate_sample(self):
+        bins = log_bins(np.array([5.0]))
+        assert bins[0] < bins[-1]
+
+    def test_empty_sample(self):
+        bins = log_bins(np.array([]))
+        assert len(bins) == 2

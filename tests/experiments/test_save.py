@@ -1,0 +1,20 @@
+"""Tests for artifact saving."""
+
+from repro.experiments.runner import save_artifacts
+
+
+class TestSaveArtifacts:
+    def test_writes_selected(self, study_results, tmp_path):
+        written = save_artifacts(study_results, tmp_path, ["table2", "fig6"])
+        assert {p.name for p in written} == {"table2.txt", "fig6.txt"}
+        content = (tmp_path / "table2.txt").read_text()
+        assert "Public attributes" in content
+
+    def test_writes_all_by_default(self, study_results, tmp_path):
+        written = save_artifacts(study_results, tmp_path)
+        assert len(written) == 20
+
+    def test_creates_directory(self, study_results, tmp_path):
+        target = tmp_path / "deep" / "dir"
+        save_artifacts(study_results, target, ["fig3"])
+        assert (target / "fig3.txt").exists()

@@ -1,0 +1,68 @@
+"""Tests for the country-to-country link graph."""
+
+import numpy as np
+import pytest
+
+from repro.crawler.dataset import CrawlDataset
+from repro.crawler.parse import ParsedProfile
+from repro.geo.country_links import build_country_link_graph
+from repro.geo.index import build_geo_index
+from repro.platform.models import Place
+
+PLACES = {
+    1: Place("London", 51.51, -0.13, "GB"),
+    2: Place("Manchester", 53.48, -2.24, "GB"),
+    3: Place("New York", 40.71, -74.01, "US"),
+    4: Place("Boston", 42.36, -71.06, "US"),
+}
+
+
+def make_dataset(edges: list[tuple[int, int]]) -> CrawlDataset:
+    profiles = {
+        uid: ParsedProfile(
+            user_id=uid, name=str(uid), fields={"places_lived": [place]}
+        )
+        for uid, place in PLACES.items()
+    }
+    arr = np.array(edges, dtype=np.int64)
+    return CrawlDataset(profiles=profiles, sources=arr[:, 0], targets=arr[:, 1])
+
+
+class TestCountryLinkGraph:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        # GB: 1 domestic edge + 3 to US -> self-loop 0.25.
+        # US: 2 domestic edges -> self-loop 1.0.
+        dataset = make_dataset(
+            [(1, 2), (1, 3), (1, 4), (2, 3), (3, 4), (4, 3)]
+        )
+        index = build_geo_index(dataset)
+        return build_country_link_graph(dataset, index, ["GB", "US"])
+
+    def test_rows_normalised(self, graph):
+        assert graph.weights.sum(axis=1) == pytest.approx([1.0, 1.0])
+
+    def test_self_loops(self, graph):
+        assert graph.self_loop("GB") == pytest.approx(0.25)
+        assert graph.self_loop("US") == pytest.approx(1.0)
+
+    def test_cross_weight(self, graph):
+        assert graph.weight("GB", "US") == pytest.approx(0.75)
+        assert graph.weight("US", "GB") == pytest.approx(0.0)
+
+    def test_node_share(self, graph):
+        assert graph.node_share.tolist() == pytest.approx([0.5, 0.5])
+
+    def test_edges_over_threshold(self, graph):
+        edges = graph.edges_over(0.5)
+        assert ("GB", "US", pytest.approx(0.75)) in [
+            (s, t, w) for s, t, w in edges
+        ]
+        assert all(w >= 0.5 for _, _, w in edges)
+
+    def test_country_without_users_has_zero_row(self):
+        dataset = make_dataset([(1, 2)])
+        index = build_geo_index(dataset)
+        graph = build_country_link_graph(dataset, index, ["GB", "DE"])
+        assert graph.self_loop("DE") == 0.0
+        assert graph.weights[1].sum() == 0.0

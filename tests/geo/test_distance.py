@@ -1,0 +1,71 @@
+"""Tests for haversine distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.distance import EARTH_RADIUS_MILES, haversine_miles, pairwise_miles
+
+lat = st.floats(min_value=-90, max_value=90, allow_nan=False)
+lon = st.floats(min_value=-180, max_value=180, allow_nan=False)
+
+
+class TestKnownDistances:
+    def test_new_york_to_los_angeles(self):
+        miles = haversine_miles(40.71, -74.01, 34.05, -118.24)
+        assert 2300 < float(miles) < 2600
+
+    def test_london_to_paris(self):
+        miles = haversine_miles(51.51, -0.13, 48.86, 2.35)
+        assert 200 < float(miles) < 230
+
+    def test_equator_degree(self):
+        miles = haversine_miles(0, 0, 0, 1)
+        assert float(miles) == pytest.approx(69.1, abs=0.5)
+
+    def test_antipodes(self):
+        miles = haversine_miles(0, 0, 0, 180)
+        assert float(miles) == pytest.approx(np.pi * EARTH_RADIUS_MILES, rel=1e-6)
+
+
+class TestProperties:
+    @given(lat, lon)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_distance_to_self(self, a, b):
+        assert float(haversine_miles(a, b, a, b)) == pytest.approx(0.0, abs=1e-6)
+
+    @given(lat, lon, lat, lon)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a1, b1, a2, b2):
+        forward = float(haversine_miles(a1, b1, a2, b2))
+        backward = float(haversine_miles(a2, b2, a1, b1))
+        assert forward == pytest.approx(backward, rel=1e-9, abs=1e-9)
+
+    @given(lat, lon, lat, lon)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_half_circumference(self, a1, b1, a2, b2):
+        miles = float(haversine_miles(a1, b1, a2, b2))
+        assert 0.0 <= miles <= np.pi * EARTH_RADIUS_MILES + 1e-6
+
+    @given(lat, lon, lat, lon, lat, lon)
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, a1, b1, a2, b2, a3, b3):
+        ab = float(haversine_miles(a1, b1, a2, b2))
+        bc = float(haversine_miles(a2, b2, a3, b3))
+        ac = float(haversine_miles(a1, b1, a3, b3))
+        assert ac <= ab + bc + 1e-6
+
+
+class TestVectorisation:
+    def test_broadcasting(self):
+        lats = np.array([0.0, 10.0])
+        miles = haversine_miles(lats, 0.0, 0.0, 0.0)
+        assert miles.shape == (2,)
+        assert miles[0] == pytest.approx(0.0)
+
+    def test_pairwise(self):
+        lats = np.array([0.0, 0.0, 10.0])
+        lons = np.array([0.0, 1.0, 0.0])
+        miles = pairwise_miles(lats, lons, np.array([0, 0]), np.array([1, 2]))
+        assert len(miles) == 2
+        assert miles[0] == pytest.approx(69.1, abs=0.5)

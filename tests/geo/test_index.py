@@ -1,0 +1,70 @@
+"""Tests for the geo index over a crawl dataset."""
+
+import numpy as np
+import pytest
+
+from repro.crawler.dataset import CrawlDataset
+from repro.crawler.parse import ParsedProfile
+from repro.geo.index import build_geo_index
+from repro.platform.models import Place
+
+
+def dataset_with_places() -> CrawlDataset:
+    profiles = {
+        1: ParsedProfile(
+            user_id=1, name="a",
+            fields={"places_lived": [Place("London", 51.51, -0.13, "GB")]},
+        ),
+        2: ParsedProfile(user_id=2, name="b"),  # no location
+        3: ParsedProfile(
+            user_id=3, name="c",
+            fields={"places_lived": [
+                Place("Paris", 48.86, 2.35, "FR"),
+                Place("Berlin", 52.52, 13.41, "DE"),
+            ]},
+        ),
+        4: ParsedProfile(
+            user_id=4, name="d",
+            fields={"places_lived": [Place("Nowhere", -10.0, -140.0, "XX")]},
+        ),
+    }
+    return CrawlDataset(
+        profiles=profiles,
+        sources=np.array([1, 3], dtype=np.int64),
+        targets=np.array([3, 1], dtype=np.int64),
+    )
+
+
+class TestGeoIndex:
+    def test_only_located_and_resolvable_users(self):
+        index = build_geo_index(dataset_with_places())
+        assert index.n_located == 2  # user 2 has no place, user 4 unresolvable
+        assert set(index.user_ids.tolist()) == {1, 3}
+
+    def test_last_place_wins(self):
+        index = build_geo_index(dataset_with_places())
+        position = index.position_of[3]
+        assert index.countries[position] == "DE"
+
+    def test_position_map_consistent(self):
+        index = build_geo_index(dataset_with_places())
+        for position, user_id in enumerate(index.user_ids):
+            assert index.position_of[int(user_id)] == position
+
+    def test_country_counts(self):
+        index = build_geo_index(dataset_with_places())
+        assert index.country_counts() == {"GB": 1, "DE": 1}
+
+    def test_empty_dataset(self):
+        dataset = CrawlDataset(
+            profiles={},
+            sources=np.empty(0, dtype=np.int64),
+            targets=np.empty(0, dtype=np.int64),
+        )
+        index = build_geo_index(dataset)
+        assert index.n_located == 0
+
+    def test_located_fraction_on_study(self, study_results):
+        """~27% of crawled users share location (paper Section 4)."""
+        fraction = study_results.geo.n_located / study_results.dataset.n_profiles
+        assert fraction == pytest.approx(0.2675, abs=0.08)

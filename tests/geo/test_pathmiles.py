@@ -1,0 +1,99 @@
+"""Tests for path-mile computations on hand-built datasets."""
+
+import numpy as np
+import pytest
+
+from repro.crawler.dataset import CrawlDataset
+from repro.crawler.parse import ParsedProfile
+from repro.geo.index import build_geo_index
+from repro.geo.pathmiles import average_path_mile_by_country, compute_path_miles
+from repro.platform.models import Place
+
+# Two London users (mutual), one Sydney user followed by a Londoner.
+PLACES = {
+    1: Place("London", 51.51, -0.13, "GB"),
+    2: Place("London", 51.52, -0.10, "GB"),
+    3: Place("Sydney", -33.87, 151.21, "AU"),
+}
+
+
+def make_dataset() -> CrawlDataset:
+    profiles = {
+        uid: ParsedProfile(
+            user_id=uid, name=str(uid), fields={"places_lived": [place]}
+        )
+        for uid, place in PLACES.items()
+    }
+    sources = np.array([1, 2, 1], dtype=np.int64)
+    targets = np.array([2, 1, 3], dtype=np.int64)
+    return CrawlDataset(profiles=profiles, sources=sources, targets=targets)
+
+
+class TestComputePathMiles:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        dataset = make_dataset()
+        index = build_geo_index(dataset)
+        return compute_path_miles(
+            dataset, index, np.random.default_rng(0), max_pairs=100
+        )
+
+    def test_friend_distances(self, samples):
+        assert len(samples.friends) == 3
+        # Two short London-London edges, one long London-Sydney edge.
+        short = np.sort(samples.friends)[:2]
+        assert (short < 10).all()
+        assert samples.friends.max() > 9_000
+
+    def test_reciprocal_pairs_detected(self, samples):
+        assert len(samples.reciprocal) == 2  # both directions of 1<->2
+        assert (samples.reciprocal < 10).all()
+
+    def test_random_pairs_exclude_linked(self, samples):
+        # Only unlinked located pair is (2, 3) in either direction.
+        assert len(samples.random_pairs) > 0
+        assert (samples.random_pairs > 9_000).all()
+
+    def test_fraction_within(self, samples):
+        assert samples.fraction_within(10, "reciprocal") == pytest.approx(1.0)
+        assert samples.fraction_within(10, "friends") == pytest.approx(2 / 3)
+
+
+class TestCountryAverages:
+    def test_grouped_by_source_country(self):
+        dataset = make_dataset()
+        index = build_geo_index(dataset)
+        stats = average_path_mile_by_country(dataset, index, ["GB", "AU"])
+        gb_mean, gb_std = stats["GB"]
+        # GB-sourced edges: two short, one ~10560 miles.
+        assert gb_mean > 3_000
+        assert gb_std > 0
+        au_mean, _ = stats["AU"]
+        assert np.isnan(au_mean)  # AU user has no outgoing located edge
+
+
+class TestEdgeCases:
+    def test_fraction_within_empty_population(self):
+        from repro.geo.pathmiles import PathMileSamples
+
+        samples = PathMileSamples(
+            friends=np.empty(0), reciprocal=np.empty(0), random_pairs=np.empty(0)
+        )
+        assert np.isnan(samples.fraction_within(100.0, "friends"))
+
+    def test_dataset_without_located_users(self):
+        from repro.crawler.dataset import CrawlDataset
+        from repro.crawler.parse import ParsedProfile
+        from repro.geo.pathmiles import compute_path_miles
+
+        dataset = CrawlDataset(
+            profiles={1: ParsedProfile(user_id=1, name="x")},
+            sources=np.empty(0, dtype=np.int64),
+            targets=np.empty(0, dtype=np.int64),
+        )
+        index = build_geo_index(dataset)
+        samples = compute_path_miles(
+            dataset, index, np.random.default_rng(0), max_pairs=10
+        )
+        assert len(samples.friends) == 0
+        assert len(samples.random_pairs) == 0

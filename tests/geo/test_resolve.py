@@ -1,0 +1,49 @@
+"""Tests for coordinate-to-country resolution."""
+
+import numpy as np
+import pytest
+
+from repro.geo.resolve import CountryResolver
+from repro.synth.cities import build_gazetteer
+
+
+@pytest.fixture(scope="module")
+def resolver() -> CountryResolver:
+    return CountryResolver()
+
+
+class TestResolve:
+    def test_city_centres_resolve_to_their_country(self, resolver):
+        for code, cities in build_gazetteer().items():
+            for city in cities:
+                assert resolver.resolve(city.latitude, city.longitude) == code
+
+    def test_slight_offset_still_resolves(self, resolver):
+        # 0.3 degrees off Berlin is still Germany.
+        assert resolver.resolve(52.52 + 0.3, 13.41 - 0.3) == "DE"
+
+    def test_middle_of_pacific_unresolved(self, resolver):
+        assert resolver.resolve(-10.0, -140.0) is None
+
+    def test_max_miles_configurable(self):
+        tight = CountryResolver(max_miles=1.0)
+        assert tight.resolve(52.9, 13.41) is None  # ~26 miles off Berlin
+
+    def test_resolve_many_matches_scalar(self, resolver):
+        cities = [c for group in build_gazetteer().values() for c in group][:60]
+        lats = np.array([c.latitude for c in cities])
+        lons = np.array([c.longitude for c in cities])
+        batch = resolver.resolve_many(lats, lons)
+        scalar = [resolver.resolve(lat, lon) for lat, lon in zip(lats, lons)]
+        assert batch == scalar
+
+    def test_resolve_many_empty(self, resolver):
+        assert resolver.resolve_many(np.array([]), np.array([])) == []
+
+    def test_chunking_boundary(self, resolver):
+        # More points than one chunk (4096) exercises the chunk loop.
+        lats = np.full(5000, 48.86)
+        lons = np.full(5000, 2.35)
+        results = resolver.resolve_many(lats, lons)
+        assert len(results) == 5000
+        assert set(results) == {"FR"}

@@ -1,0 +1,167 @@
+"""Tests for SCC/WCC decomposition, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.components import (
+    scc_size_ccdf_input,
+    strongly_connected_components,
+    UnionFind,
+    weakly_connected_components,
+)
+
+
+def random_edges(seed: int, n: int = 40, m: int = 80):
+    rng = np.random.default_rng(seed)
+    pairs = {(int(rng.integers(0, n)), int(rng.integers(0, n))) for _ in range(m)}
+    return [(u, v) for u, v in pairs if u != v]
+
+
+class TestSCCHandGraphs:
+    def test_cycle_is_one_scc(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        decomposition = strongly_connected_components(graph)
+        assert decomposition.n_components == 1
+        assert decomposition.giant_size == 3
+
+    def test_dag_is_all_singletons(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        decomposition = strongly_connected_components(graph)
+        assert decomposition.n_components == 3
+        assert decomposition.sizes.tolist() == [1, 1, 1]
+
+    def test_two_cycles_bridged(self):
+        edges = [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]
+        decomposition = strongly_connected_components(CSRGraph.from_edges(edges))
+        assert decomposition.n_components == 2
+        assert decomposition.sizes.tolist() == [2, 2]
+
+    def test_labels_sorted_by_size(self):
+        edges = [(0, 1), (1, 2), (2, 0), (3, 4)]  # 3-cycle + path
+        decomposition = strongly_connected_components(CSRGraph.from_edges(edges))
+        assert decomposition.sizes[0] == 3
+        assert set(decomposition.members(0).tolist()) == {0, 1, 2}
+
+    def test_giant_fraction(self):
+        edges = [(0, 1), (1, 0), (2, 3)]
+        decomposition = strongly_connected_components(CSRGraph.from_edges(edges))
+        assert decomposition.giant_fraction() == pytest.approx(0.5)
+
+    def test_deep_path_no_recursion_error(self):
+        # A 50k-node path would blow Python's recursion limit if the
+        # implementation recursed.
+        n = 50_000
+        edges = [(i, i + 1) for i in range(n - 1)]
+        decomposition = strongly_connected_components(CSRGraph.from_edges(edges))
+        assert decomposition.n_components == n
+
+    def test_large_cycle(self):
+        n = 20_000
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        decomposition = strongly_connected_components(CSRGraph.from_edges(edges))
+        assert decomposition.n_components == 1
+        assert decomposition.giant_size == n
+
+
+class TestSCCAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, seed):
+        edges = random_edges(seed)
+        if not edges:
+            return
+        graph = CSRGraph.from_edges(edges)
+        ours = strongly_connected_components(graph)
+        nx_graph = nx.DiGraph(
+            [(graph.compact_index(u), graph.compact_index(v)) for u, v in edges]
+        )
+        nx_graph.add_nodes_from(range(graph.n))
+        theirs = sorted(
+            (len(c) for c in nx.strongly_connected_components(nx_graph)),
+            reverse=True,
+        )
+        assert ours.sizes.tolist() == theirs
+        # Same partition, not just same sizes.
+        for component in nx.strongly_connected_components(nx_graph):
+            labels = {int(ours.labels[node]) for node in component}
+            assert len(labels) == 1
+
+
+class TestWCC:
+    def test_two_islands(self):
+        graph = CSRGraph.from_edges([(0, 1), (2, 3)])
+        decomposition = weakly_connected_components(graph)
+        assert decomposition.n_components == 2
+
+    def test_direction_ignored(self):
+        graph = CSRGraph.from_edges([(0, 1), (2, 1)])
+        assert weakly_connected_components(graph).n_components == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        edges = random_edges(seed)
+        if not edges:
+            return
+        graph = CSRGraph.from_edges(edges)
+        ours = weakly_connected_components(graph)
+        nx_graph = nx.DiGraph(
+            [(graph.compact_index(u), graph.compact_index(v)) for u, v in edges]
+        )
+        nx_graph.add_nodes_from(range(graph.n))
+        theirs = sorted(
+            (len(c) for c in nx.weakly_connected_components(nx_graph)), reverse=True
+        )
+        assert ours.sizes.tolist() == theirs
+
+
+class TestDecompositionInvariants:
+    @given(st.integers(min_value=0, max_value=100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_laws(self, seed):
+        edges = random_edges(seed, n=25, m=60)
+        if not edges:
+            return
+        graph = CSRGraph.from_edges(edges)
+        for decomposition in (
+            strongly_connected_components(graph),
+            weakly_connected_components(graph),
+        ):
+            assert int(decomposition.sizes.sum()) == graph.n
+            assert len(decomposition.labels) == graph.n
+            assert decomposition.labels.min() >= 0
+            assert decomposition.labels.max() == decomposition.n_components - 1
+            assert np.all(np.diff(decomposition.sizes) <= 0)
+
+    def test_scc_refines_wcc(self):
+        edges = random_edges(7, n=30, m=70)
+        graph = CSRGraph.from_edges(edges)
+        scc = strongly_connected_components(graph)
+        wcc = weakly_connected_components(graph)
+        # Two nodes in one SCC must share a WCC.
+        for component in range(scc.n_components):
+            members = scc.members(component)
+            assert len(set(wcc.labels[members].tolist())) == 1
+
+    def test_ccdf_input_is_sizes(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 0), (2, 3)])
+        decomposition = strongly_connected_components(graph)
+        assert scc_size_ccdf_input(decomposition).tolist() == [2, 1, 1]
+
+
+class TestUnionFind:
+    def test_union_and_find(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.find(0) == uf.find(1)
+        assert uf.find(2) != uf.find(0)
+
+    def test_size_tracking(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(0, 3)
+        root = uf.find(0)
+        assert uf.size[root] == 4

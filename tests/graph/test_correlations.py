@@ -1,0 +1,82 @@
+"""Tests for degree correlations, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.correlations import (
+    degree_assortativity,
+    in_out_degree_correlation,
+    mean_neighbor_degree,
+)
+from repro.graph.csr import CSRGraph
+
+
+def random_edges(seed: int, n: int = 40, m: int = 120):
+    rng = np.random.default_rng(seed)
+    pairs = {(int(rng.integers(0, n)), int(rng.integers(0, n))) for _ in range(m)}
+    return [(u, v) for u, v in pairs if u != v]
+
+
+class TestInOutCorrelation:
+    def test_perfectly_symmetric_graph(self):
+        # All edges mutual (in-degree == out-degree at every node) with
+        # varying degrees => correlation exactly 1.
+        graph = CSRGraph.from_edges([(0, 1), (1, 0), (1, 2), (2, 1)])
+        assert in_out_degree_correlation(graph) == pytest.approx(1.0)
+
+    def test_star_is_anticorrelated(self):
+        # Hub has out-degree 0 / in-degree high; leaves the opposite.
+        edges = [(i, 0) for i in range(1, 8)]
+        graph = CSRGraph.from_edges(edges)
+        assert in_out_degree_correlation(graph) < -0.9
+
+    def test_nan_when_degenerate(self):
+        graph = CSRGraph.from_edges([(0, 1)])
+        value = in_out_degree_correlation(graph)
+        assert np.isnan(value) or -1.0 <= value <= 1.0
+
+
+class TestAssortativity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        edges = random_edges(seed)
+        graph = CSRGraph.from_edges(edges)
+        mapped = [(graph.compact_index(u), graph.compact_index(v)) for u, v in edges]
+        nx_graph = nx.DiGraph(mapped)
+        nx_graph.add_nodes_from(range(graph.n))
+        ours = degree_assortativity(graph, "out-in")
+        theirs = nx.degree_pearson_correlation_coefficient(
+            nx_graph, x="out", y="in"
+        )
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_all_modes_computable(self):
+        graph = CSRGraph.from_edges(random_edges(9))
+        for mode in ("out-in", "in-in", "out-out", "in-out"):
+            value = degree_assortativity(graph, mode)
+            assert np.isnan(value) or -1.0 <= value <= 1.0
+
+    def test_invalid_mode(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            degree_assortativity(graph, "weird-mode")
+
+    def test_celebrity_graph_disassortative(self, study_results):
+        """Follower graphs with celebrity hubs mix disassortatively."""
+        value = degree_assortativity(study_results.graph, "out-in")
+        assert value < 0.1
+
+
+class TestMeanNeighborDegree:
+    def test_hand_graph(self):
+        # 0 -> {1, 2}; in-degrees: 1 has 1, 2 has 2 (from 0 and 1).
+        graph = CSRGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+        knn = mean_neighbor_degree(graph)
+        assert knn[0] == pytest.approx(1.5)
+        assert knn[1] == pytest.approx(2.0)
+        assert np.isnan(knn[2])
+
+    def test_shape(self):
+        graph = CSRGraph.from_edges(random_edges(2))
+        assert len(mean_neighbor_degree(graph)) == graph.n

@@ -1,0 +1,114 @@
+"""Tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import CSRGraph
+
+
+def edges_strategy(max_nodes: int = 20, max_edges: int = 60):
+    node = st.integers(min_value=0, max_value=max_nodes - 1)
+    return st.lists(
+        st.tuples(node, node).filter(lambda e: e[0] != e[1]),
+        max_size=max_edges,
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = CSRGraph.from_edges([])
+        assert graph.n == 0
+        assert graph.n_edges == 0
+
+    def test_simple_triangle(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert graph.n == 3
+        assert graph.n_edges == 3
+
+    def test_duplicate_edges_collapsed(self):
+        graph = CSRGraph.from_edges([(0, 1), (0, 1), (0, 1)])
+        assert graph.n_edges == 1
+
+    def test_non_contiguous_ids_relabeled(self):
+        graph = CSRGraph.from_edges([(100, 5), (5, 70)])
+        assert graph.n == 3
+        assert sorted(graph.node_ids.tolist()) == [5, 70, 100]
+
+    def test_isolated_nodes_via_node_ids(self):
+        graph = CSRGraph.from_edge_arrays(
+            np.array([0]), np.array([1]), node_ids=np.array([0, 1, 9])
+        )
+        assert graph.n == 3
+        idx = graph.compact_index(9)
+        assert len(graph.out_neighbors(idx)) == 0
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edge_arrays(np.array([0, 1]), np.array([1]))
+
+
+class TestAccessors:
+    @pytest.fixture
+    def graph(self) -> CSRGraph:
+        return CSRGraph.from_edges([(0, 2), (0, 1), (1, 2), (3, 0)])
+
+    def test_out_neighbors_sorted(self, graph):
+        assert graph.out_neighbors(0).tolist() == [1, 2]
+
+    def test_in_neighbors_sorted(self, graph):
+        assert graph.in_neighbors(2).tolist() == [0, 1]
+
+    def test_degrees(self, graph):
+        assert graph.out_degrees().tolist() == [2, 1, 0, 1]
+        assert graph.in_degrees().tolist() == [1, 1, 2, 0]
+
+    def test_has_edge(self, graph):
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_compact_index_roundtrip(self, graph):
+        for position, node_id in enumerate(graph.node_ids):
+            assert graph.compact_index(int(node_id)) == position
+
+    def test_compact_index_unknown(self, graph):
+        with pytest.raises(KeyError):
+            graph.compact_index(12345)
+
+    def test_undirected_neighbors_union(self, graph):
+        assert graph.undirected_neighbors(0).tolist() == [1, 2, 3]
+
+
+class TestProperties:
+    @given(edges_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_equal_edge_count(self, edges):
+        graph = CSRGraph.from_edges(edges)
+        unique_edges = len(set(edges))
+        assert graph.n_edges == unique_edges
+        assert int(graph.out_degrees().sum()) == unique_edges
+        assert int(graph.in_degrees().sum()) == unique_edges
+
+    @given(edges_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_forward_and_reverse_agree(self, edges):
+        graph = CSRGraph.from_edges(edges)
+        forward = {
+            (i, int(j))
+            for i in range(graph.n)
+            for j in graph.out_neighbors(i)
+        }
+        reverse = {
+            (int(j), i)
+            for i in range(graph.n)
+            for j in graph.in_neighbors(i)
+        }
+        assert forward == reverse
+
+    @given(edges_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_adjacency_rows_sorted_unique(self, edges):
+        graph = CSRGraph.from_edges(edges)
+        for i in range(graph.n):
+            row = graph.out_neighbors(i)
+            assert np.all(np.diff(row) > 0) if len(row) > 1 else True

@@ -1,0 +1,97 @@
+"""Tests for CCDF/CDF machinery and degree distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.degree import ccdf, cdf, degree_distributions, EmpiricalCCDF
+
+samples = st.lists(
+    st.integers(min_value=0, max_value=1000), min_size=1, max_size=200
+)
+
+
+class TestCCDF:
+    def test_simple(self):
+        curve = ccdf([1, 1, 2, 3])
+        assert curve.x.tolist() == [1, 2, 3]
+        assert curve.p.tolist() == [1.0, 0.5, 0.25]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ccdf([])
+
+    def test_evaluate_on_support(self):
+        curve = ccdf([1, 2, 2, 5])
+        assert curve.evaluate(2)[0] == pytest.approx(0.75)
+        assert curve.evaluate(5)[0] == pytest.approx(0.25)
+
+    def test_evaluate_between_and_beyond(self):
+        curve = ccdf([1, 2, 2, 5])
+        assert curve.evaluate(3)[0] == pytest.approx(0.25)  # P(X>=3)=P(X=5)
+        assert curve.evaluate(0)[0] == pytest.approx(1.0)
+        assert curve.evaluate(10)[0] == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCCDF(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            EmpiricalCCDF(np.array([2.0, 1.0]), np.array([1.0, 0.5]))
+
+    @given(samples)
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_nonincreasing_and_starts_at_one(self, values):
+        curve = ccdf(values)
+        assert curve.p[0] == pytest.approx(1.0)
+        assert np.all(np.diff(curve.p) <= 1e-12)
+        assert curve.p[-1] == pytest.approx(
+            values.count(max(values)) / len(values)
+        )
+
+    @given(samples)
+    @settings(max_examples=80, deadline=None)
+    def test_ccdf_matches_bruteforce(self, values):
+        curve = ccdf(values)
+        arr = np.array(values)
+        for x, p in zip(curve.x, curve.p):
+            assert p == pytest.approx((arr >= x).mean())
+
+
+class TestCDF:
+    def test_simple(self):
+        x, p = cdf([1, 1, 2, 3])
+        assert x.tolist() == [1, 2, 3]
+        assert p.tolist() == [0.5, 0.75, 1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf([])
+
+    @given(samples)
+    @settings(max_examples=80, deadline=None)
+    def test_cdf_plus_ccdf_identity(self, values):
+        """P(X <= x) + P(X >= x) = 1 + P(X = x) at every support point."""
+        x_cdf, p_cdf = cdf(values)
+        curve = ccdf(values)
+        arr = np.array(values, dtype=float)
+        for x, below in zip(x_cdf, p_cdf):
+            at = (arr == x).mean()
+            above = curve.evaluate(x)[0]
+            assert below + above == pytest.approx(1.0 + at)
+
+
+class TestDegreeDistributions:
+    def test_star_graph(self):
+        # 0 -> 1..4: out-degree 4 for hub, in-degree 1 for leaves.
+        graph = CSRGraph.from_edges([(0, i) for i in range(1, 5)])
+        dist = degree_distributions(graph)
+        assert dist.out_degrees.tolist() == [4, 0, 0, 0, 0]
+        assert dist.in_degrees.tolist() == [0, 1, 1, 1, 1]
+        assert dist.mean_out_degree == pytest.approx(0.8)
+        assert dist.mean_in_degree == pytest.approx(0.8)
+
+    def test_mean_degrees_equal(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0), (0, 2)])
+        dist = degree_distributions(graph)
+        assert dist.mean_in_degree == pytest.approx(dist.mean_out_degree)

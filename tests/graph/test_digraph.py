@@ -1,0 +1,97 @@
+"""Tests for the mutable DiGraph container."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def triangle() -> DiGraph:
+    return DiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = DiGraph()
+        assert graph.n_nodes == 0
+        assert graph.n_edges == 0
+
+    def test_from_edges(self, triangle):
+        assert triangle.n_nodes == 3
+        assert triangle.n_edges == 3
+
+    def test_add_node_idempotent(self):
+        graph = DiGraph()
+        graph.add_node(5)
+        graph.add_node(5)
+        assert graph.n_nodes == 1
+
+    def test_add_edge_creates_nodes(self):
+        graph = DiGraph()
+        graph.add_edge(3, 7)
+        assert 3 in graph and 7 in graph
+
+    def test_duplicate_edge_ignored(self):
+        graph = DiGraph()
+        assert graph.add_edge(0, 1) is True
+        assert graph.add_edge(0, 1) is False
+        assert graph.n_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            DiGraph().add_edge(1, 1)
+
+
+class TestQueries:
+    def test_neighbors(self, triangle):
+        assert triangle.out_neighbors(0) == {1}
+        assert triangle.in_neighbors(0) == {2}
+
+    def test_degrees(self, triangle):
+        assert triangle.out_degree(0) == 1
+        assert triangle.in_degree(0) == 1
+
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert not triangle.has_edge(1, 0)
+        assert not triangle.has_edge(0, 99)
+
+    def test_edges_iterates_all(self, triangle):
+        assert sorted(triangle.edges()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_len_is_node_count(self, triangle):
+        assert len(triangle) == 3
+
+
+class TestMutation:
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge(0, 1)
+        assert not triangle.has_edge(0, 1)
+        assert triangle.n_edges == 2
+        assert triangle.in_neighbors(1) == set()
+
+    def test_remove_missing_edge_raises(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.remove_edge(1, 0)
+
+
+class TestExport:
+    def test_edge_arrays_roundtrip(self, triangle):
+        sources, targets = triangle.edge_arrays()
+        assert len(sources) == 3
+        rebuilt = set(zip(sources.tolist(), targets.tolist()))
+        assert rebuilt == {(0, 1), (1, 2), (2, 0)}
+
+    def test_to_csr_preserves_structure(self, triangle):
+        csr = triangle.to_csr()
+        assert csr.n == 3
+        assert csr.n_edges == 3
+        assert np.array_equal(csr.out_neighbors(0), [1])
+
+    def test_to_csr_keeps_isolated_nodes(self):
+        graph = DiGraph.from_edges([(0, 1)])
+        graph.add_node(42)
+        csr = graph.to_csr()
+        assert csr.n == 3
+        assert 42 in csr.node_ids

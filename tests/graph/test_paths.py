@@ -1,0 +1,143 @@
+"""Tests for BFS distances, path-length sampling and diameter estimation."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.paths import (
+    bfs_distances,
+    DIRECTED,
+    estimate_diameter,
+    PathLengthDistribution,
+    sampled_path_lengths,
+    UNDIRECTED,
+)
+
+
+def random_edges(seed: int, n: int = 40, m: int = 100):
+    rng = np.random.default_rng(seed)
+    pairs = {(int(rng.integers(0, n)), int(rng.integers(0, n))) for _ in range(m)}
+    return [(u, v) for u, v in pairs if u != v]
+
+
+class TestBFS:
+    def test_path_graph(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert bfs_distances(graph, 0).tolist() == [0, 1, 2, 3]
+
+    def test_unreachable_marked_minus_one(self):
+        graph = CSRGraph.from_edges([(0, 1), (2, 3)])
+        dist = bfs_distances(graph, 0)
+        assert dist[graph.compact_index(2)] == -1
+
+    def test_direction_respected(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2)])
+        assert bfs_distances(graph, 2, mode=DIRECTED).tolist() == [-1, -1, 0]
+
+    def test_undirected_ignores_direction(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2)])
+        assert bfs_distances(graph, 2, mode=UNDIRECTED).tolist() == [2, 1, 0]
+
+    def test_invalid_mode(self):
+        graph = CSRGraph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            bfs_distances(graph, 0, mode="sideways")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_networkx(self, seed):
+        edges = random_edges(seed)
+        if not edges:
+            return
+        graph = CSRGraph.from_edges(edges)
+        mapped = [(graph.compact_index(u), graph.compact_index(v)) for u, v in edges]
+        nx_graph = nx.DiGraph(mapped)
+        nx_graph.add_nodes_from(range(graph.n))
+        for source in range(0, graph.n, 7):
+            ours = bfs_distances(graph, source)
+            theirs = nx.single_source_shortest_path_length(nx_graph, source)
+            for node in range(graph.n):
+                expected = theirs.get(node, -1)
+                assert ours[node] == expected
+
+    def test_undirected_matches_networkx(self):
+        edges = random_edges(3)
+        graph = CSRGraph.from_edges(edges)
+        mapped = [(graph.compact_index(u), graph.compact_index(v)) for u, v in edges]
+        nx_graph = nx.Graph(mapped)
+        nx_graph.add_nodes_from(range(graph.n))
+        ours = bfs_distances(graph, 0, mode=UNDIRECTED)
+        theirs = nx.single_source_shortest_path_length(nx_graph, 0)
+        for node in range(graph.n):
+            assert ours[node] == theirs.get(node, -1)
+
+
+class TestDistribution:
+    def test_counts_and_moments(self):
+        dist = PathLengthDistribution(
+            counts=np.array([0, 2, 4, 2]), n_sources=1
+        )
+        assert dist.mean == pytest.approx(2.0)
+        assert dist.mode == 2
+        assert dist.max_observed == 3
+        assert dist.probabilities().sum() == pytest.approx(1.0)
+
+    def test_empty_distribution(self):
+        dist = PathLengthDistribution(counts=np.zeros(1, dtype=int), n_sources=0)
+        assert np.isnan(dist.mean)
+        assert dist.max_observed == 0
+
+    def test_exact_on_path_graph(self, rng):
+        # Directed path 0->1->2->3: from all sources, hop counts are known.
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        dist = sampled_path_lengths(graph, rng, initial_k=4, max_k=4)
+        # pairs: hop1 x3, hop2 x2, hop3 x1
+        assert dist.counts.tolist() == [0, 3, 2, 1]
+
+    def test_convergence_stops_early(self, rng):
+        # A clique converges instantly: all distances are 1.
+        n = 30
+        edges = [(i, j) for i in range(n) for j in range(n) if i != j]
+        graph = CSRGraph.from_edges(edges)
+        dist = sampled_path_lengths(
+            graph, rng, initial_k=5, max_k=30, growth_step=5, tolerance=0.01
+        )
+        assert dist.n_sources < 30
+        assert dist.mode == 1
+
+    def test_empty_graph_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sampled_path_lengths(CSRGraph.from_edges([]), rng)
+
+    def test_undirected_mean_not_larger(self, rng):
+        edges = random_edges(11, n=60, m=150)
+        graph = CSRGraph.from_edges(edges)
+        directed = sampled_path_lengths(graph, rng, initial_k=60, max_k=60)
+        undirected = sampled_path_lengths(
+            graph, rng, initial_k=60, max_k=60, mode=UNDIRECTED
+        )
+        assert undirected.mean <= directed.mean + 1e-9
+
+
+class TestDiameter:
+    def test_exact_on_path(self, rng):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert estimate_diameter(graph, rng, n_sweeps=10) == 4
+
+    def test_lower_bound_property(self, rng):
+        edges = random_edges(9, n=50, m=120)
+        graph = CSRGraph.from_edges(edges)
+        mapped = [(graph.compact_index(u), graph.compact_index(v)) for u, v in edges]
+        nx_graph = nx.DiGraph(mapped)
+        nx_graph.add_nodes_from(range(graph.n))
+        true_max_ecc = 0
+        for source in range(graph.n):
+            lengths = nx.single_source_shortest_path_length(nx_graph, source)
+            if lengths:
+                true_max_ecc = max(true_max_ecc, max(lengths.values()))
+        estimate = estimate_diameter(graph, rng, n_sweeps=25)
+        assert estimate <= true_max_ecc
+        assert estimate >= 1
+
+    def test_empty_graph(self, rng):
+        assert estimate_diameter(CSRGraph.from_edges([]), rng) == 0

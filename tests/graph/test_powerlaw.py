@@ -1,0 +1,103 @@
+"""Tests for power-law fitting and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.graph.degree import ccdf, EmpiricalCCDF
+from repro.graph.powerlaw import (
+    fit_powerlaw,
+    fit_powerlaw_ccdf,
+    sample_powerlaw_degrees,
+)
+
+
+def exact_powerlaw_ccdf(alpha: float, c: float = 1.0, n: int = 50) -> EmpiricalCCDF:
+    x = np.unique(np.logspace(0, 4, n))
+    p = np.minimum(1.0, c * np.power(x, -alpha))
+    return EmpiricalCCDF(x, p)
+
+
+class TestFit:
+    @pytest.mark.parametrize("alpha", [0.8, 1.2, 1.3, 2.0])
+    def test_recovers_exact_exponent(self, alpha):
+        fit = fit_powerlaw_ccdf(exact_powerlaw_ccdf(alpha))
+        assert fit.alpha == pytest.approx(alpha, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_prefactor_recovered(self):
+        fit = fit_powerlaw_ccdf(exact_powerlaw_ccdf(1.5, c=1.0))
+        assert fit.c == pytest.approx(1.0, rel=1e-6)
+
+    def test_predict_ccdf(self):
+        fit = fit_powerlaw_ccdf(exact_powerlaw_ccdf(1.0))
+        assert fit.predict_ccdf([10.0])[0] == pytest.approx(0.1, rel=1e-6)
+
+    def test_window_excludes_points(self):
+        curve = exact_powerlaw_ccdf(1.5)
+        fit = fit_powerlaw_ccdf(curve, x_min=10.0, x_max=1000.0)
+        assert fit.x_min >= 10.0
+        assert fit.x_max <= 1000.0
+        assert fit.n_points < len(curve.x)
+
+    def test_too_few_points_rejected(self):
+        curve = EmpiricalCCDF(np.array([1.0, 2.0]), np.array([1.0, 0.5]))
+        with pytest.raises(ValueError):
+            fit_powerlaw_ccdf(curve)
+
+    def test_fit_on_sampled_data(self, rng):
+        degrees = sample_powerlaw_degrees(rng, 200_000, alpha=1.3)
+        fit = fit_powerlaw(degrees, x_min=1)
+        assert fit.alpha == pytest.approx(1.3, abs=0.15)
+        assert fit.r_squared > 0.97
+
+
+class TestSampling:
+    def test_min_respected(self, rng):
+        degrees = sample_powerlaw_degrees(rng, 10_000, alpha=1.2, x_min=3)
+        assert degrees.min() >= 3
+
+    def test_cap_respected(self, rng):
+        degrees = sample_powerlaw_degrees(rng, 10_000, alpha=0.8, x_max=100)
+        assert degrees.max() <= 100
+
+    def test_invalid_alpha(self, rng):
+        with pytest.raises(ValueError):
+            sample_powerlaw_degrees(rng, 10, alpha=0.0)
+
+    def test_heavy_tail_present(self, rng):
+        degrees = sample_powerlaw_degrees(rng, 100_000, alpha=1.0)
+        # With alpha=1 roughly 1% of samples exceed 100 x_min.
+        assert (degrees >= 100).mean() == pytest.approx(0.01, abs=0.005)
+
+    def test_deterministic_under_seed(self):
+        a = sample_powerlaw_degrees(np.random.default_rng(5), 100, alpha=1.2)
+        b = sample_powerlaw_degrees(np.random.default_rng(5), 100, alpha=1.2)
+        assert np.array_equal(a, b)
+
+
+class TestFitProperties:
+    """Property tests: the regression is exact on exact curves."""
+
+    from hypothesis import given, settings, strategies as st
+
+    # c <= 1 keeps the curve un-clamped over x >= 1 (a CCDF cannot
+    # exceed 1, and exact_powerlaw_ccdf clips it).
+    @given(st.floats(min_value=0.3, max_value=3.0),
+           st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_recovers_arbitrary_exponent_and_prefactor(self, alpha, c):
+        fit = fit_powerlaw_ccdf(exact_powerlaw_ccdf(alpha, c=c))
+        assert fit.alpha == pytest.approx(alpha, rel=1e-6)
+        assert fit.c == pytest.approx(c, rel=1e-5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_fit_bounded_on_random_samples(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        values = rng.integers(1, 500, size=200)
+        fit = fit_powerlaw(values)
+        assert np.isfinite(fit.alpha)
+        assert -1.0 <= fit.r_squared <= 1.0

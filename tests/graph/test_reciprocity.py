@@ -1,0 +1,98 @@
+"""Tests for reciprocity metrics, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.reciprocity import (
+    global_reciprocity,
+    reciprocated_edge_mask,
+    reciprocity_cdf_input,
+    relation_reciprocity,
+)
+
+
+def random_digraph_edges(seed: int, n: int = 30, p: float = 0.1):
+    rng = np.random.default_rng(seed)
+    return [
+        (i, j)
+        for i in range(n)
+        for j in range(n)
+        if i != j and rng.random() < p
+    ]
+
+
+class TestGlobalReciprocity:
+    def test_fully_mutual(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 0), (1, 2), (2, 1)])
+        assert global_reciprocity(graph) == 1.0
+
+    def test_no_reciprocity(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert global_reciprocity(graph) == 0.0
+
+    def test_mixed(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 0), (0, 2)])
+        assert global_reciprocity(graph) == pytest.approx(2 / 3)
+
+    def test_empty_graph(self):
+        assert global_reciprocity(CSRGraph.from_edges([])) == 0.0
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_matches_networkx(self, seed):
+        edges = random_digraph_edges(seed)
+        ours = global_reciprocity(CSRGraph.from_edges(edges))
+        theirs = nx.reciprocity(nx.DiGraph(edges))
+        assert ours == pytest.approx(theirs)
+
+
+class TestEdgeMask:
+    def test_mask_marks_reciprocated_edges(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 0), (0, 2)])
+        mask = reciprocated_edge_mask(graph)
+        assert mask.sum() == 2
+        assert len(mask) == 3
+
+
+class TestRelationReciprocity:
+    def test_equation_one(self):
+        # RR(u) = |OS(u) ∩ IS(u)| / |OS(u)|
+        graph = CSRGraph.from_edges([(0, 1), (0, 2), (1, 0)])
+        rr = relation_reciprocity(graph)
+        assert rr[0] == pytest.approx(0.5)  # follows {1,2}, only 1 follows back
+        assert rr[1] == pytest.approx(1.0)
+        assert np.isnan(rr[2])  # out-degree 0: undefined
+
+    def test_subset_of_nodes(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 0)])
+        rr = relation_reciprocity(graph, nodes=np.array([1]))
+        assert rr.tolist() == [1.0]
+
+    def test_celebrity_pattern(self):
+        # A hub followed by many, following none back except one friend.
+        edges = [(i, 0) for i in range(1, 10)] + [(0, 1), (1, 0)]
+        graph = CSRGraph.from_edges(list(set(edges)))
+        rr = relation_reciprocity(graph)
+        hub = graph.compact_index(0)
+        assert rr[hub] == pytest.approx(1.0)  # follows only the mutual friend
+        follower = graph.compact_index(5)
+        assert rr[follower] == pytest.approx(0.0)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_rr_bounded(self, seed):
+        edges = random_digraph_edges(seed, n=15, p=0.2)
+        if not edges:
+            return
+        rr = relation_reciprocity(CSRGraph.from_edges(edges))
+        defined = rr[~np.isnan(rr)]
+        assert np.all(defined >= 0.0)
+        assert np.all(defined <= 1.0)
+
+    def test_cdf_input_drops_nan(self):
+        graph = CSRGraph.from_edges([(0, 1)])
+        values = reciprocity_cdf_input(graph)
+        assert len(values) == 1  # node 1 has out-degree 0
+        assert not np.isnan(values).any()

@@ -1,0 +1,63 @@
+"""Tests for sampling helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.sampling import sample_edges, sample_node_pairs, sample_nodes
+
+
+@pytest.fixture
+def graph() -> CSRGraph:
+    return CSRGraph.from_edges([(0, 1), (0, 2), (1, 2), (2, 3), (3, 0)])
+
+
+class TestSampleNodes:
+    def test_without_replacement(self, graph, rng):
+        nodes = sample_nodes(graph, 3, rng)
+        assert len(nodes) == 3
+        assert len(set(nodes.tolist())) == 3
+
+    def test_all_when_oversized(self, graph, rng):
+        nodes = sample_nodes(graph, 100, rng)
+        assert sorted(nodes.tolist()) == list(range(graph.n))
+
+
+class TestSamplePairs:
+    def test_no_equal_pairs(self, rng):
+        u, v = sample_node_pairs(10, 500, rng)
+        assert not (u == v).any()
+
+    def test_equal_allowed_when_requested(self, rng):
+        u, v = sample_node_pairs(2, 500, rng, forbid_equal=False)
+        assert (u == v).any()  # overwhelmingly likely with n=2
+
+    def test_tiny_population_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_node_pairs(1, 5, rng)
+
+    def test_range(self, rng):
+        u, v = sample_node_pairs(7, 300, rng)
+        assert u.min() >= 0 and u.max() < 7
+        assert v.min() >= 0 and v.max() < 7
+
+
+class TestSampleEdges:
+    def test_sampled_edges_exist(self, graph, rng):
+        sources, targets = sample_edges(graph, 3, rng)
+        assert len(sources) == 3
+        for u, v in zip(sources, targets):
+            assert graph.has_edge(int(u), int(v))
+
+    def test_all_edges_when_oversized(self, graph, rng):
+        sources, targets = sample_edges(graph, 100, rng)
+        assert len(sources) == graph.n_edges
+        sampled = set(zip(sources.tolist(), targets.tolist()))
+        expected = {
+            (i, int(j)) for i in range(graph.n) for j in graph.out_neighbors(i)
+        }
+        assert sampled == expected
+
+    def test_empty_graph(self, rng):
+        sources, targets = sample_edges(CSRGraph.from_edges([]), 5, rng)
+        assert len(sources) == 0 and len(targets) == 0

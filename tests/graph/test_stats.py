@@ -1,0 +1,50 @@
+"""Tests for the Table 4 graph summary."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.paths import sampled_path_lengths, UNDIRECTED
+from repro.graph.stats import summarize_graph
+
+
+@pytest.fixture
+def ring() -> CSRGraph:
+    n = 12
+    return CSRGraph.from_edges([(i, (i + 1) % n) for i in range(n)])
+
+
+class TestSummarize:
+    def test_ring_summary(self, ring, rng):
+        summary = summarize_graph(ring, rng, path_samples=12)
+        assert summary.n_nodes == 12
+        assert summary.n_edges == 12
+        assert summary.mean_in_degree == pytest.approx(1.0)
+        assert summary.reciprocity == 0.0
+        assert summary.n_sccs == 1
+        assert summary.giant_scc_fraction == pytest.approx(1.0)
+        # Directed ring: mean distance over pairs = n/2 = 6.
+        assert summary.avg_path_length == pytest.approx(6.0, abs=0.01)
+        assert summary.diameter == 11
+        assert summary.undirected_diameter == 6
+
+    def test_mutual_pair(self, rng):
+        graph = CSRGraph.from_edges([(0, 1), (1, 0)])
+        summary = summarize_graph(graph, rng, path_samples=2)
+        assert summary.reciprocity == 1.0
+        assert summary.avg_path_length == pytest.approx(1.0)
+
+    def test_precomputed_paths_reused(self, ring):
+        rng1 = np.random.default_rng(0)
+        directed = sampled_path_lengths(ring, rng1, initial_k=12, max_k=12)
+        undirected = sampled_path_lengths(
+            ring, rng1, initial_k=12, max_k=12, mode=UNDIRECTED
+        )
+        summary = summarize_graph(
+            ring,
+            np.random.default_rng(1),
+            precomputed_directed=directed,
+            precomputed_undirected=undirected,
+        )
+        assert summary.avg_path_length == pytest.approx(directed.mean)
+        assert summary.path_length_mode == directed.mode

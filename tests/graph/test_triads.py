@@ -1,0 +1,111 @@
+"""Tests for the triad census, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.triads import (
+    transitivity_signature,
+    TRIAD_TYPES,
+    triad_census_exact,
+    triad_census_sampled,
+)
+
+
+def random_edges(seed: int, n: int = 12, p: float = 0.25):
+    rng = np.random.default_rng(seed)
+    return [
+        (i, j) for i in range(n) for j in range(n) if i != j and rng.random() < p
+    ]
+
+
+class TestExactCensus:
+    def test_sixteen_types(self):
+        assert len(TRIAD_TYPES) == 16
+
+    def test_empty_graph(self):
+        graph = CSRGraph.from_edge_arrays(
+            np.empty(0, np.int64), np.empty(0, np.int64),
+            node_ids=np.arange(4),
+        )
+        census = triad_census_exact(graph)
+        assert census["003"] == 4  # C(4,3) empty triples
+        assert sum(census.values()) == 4
+
+    def test_transitive_triangle(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert triad_census_exact(graph)["030T"] == 1
+
+    def test_cyclic_triangle(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert triad_census_exact(graph)["030C"] == 1
+
+    def test_complete_mutual_triangle(self):
+        edges = [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]
+        assert triad_census_exact(CSRGraph.from_edges(edges))["300"] == 1
+
+    def test_single_mutual_dyad(self):
+        graph = CSRGraph.from_edges([(0, 1), (1, 0)])
+        graph2 = CSRGraph.from_edge_arrays(
+            np.array([0, 1]), np.array([1, 0]), node_ids=np.arange(3)
+        )
+        assert triad_census_exact(graph2)["102"] == 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_networkx(self, seed):
+        edges = random_edges(seed)
+        if not edges:
+            return
+        graph = CSRGraph.from_edges(edges)
+        mapped = [(graph.compact_index(u), graph.compact_index(v)) for u, v in edges]
+        nx_graph = nx.DiGraph(mapped)
+        nx_graph.add_nodes_from(range(graph.n))
+        theirs = nx.triadic_census(nx_graph)
+        ours = triad_census_exact(graph)
+        assert ours == {k: theirs[k] for k in TRIAD_TYPES}
+
+    def test_total_is_n_choose_3(self):
+        edges = random_edges(3, n=10)
+        graph = CSRGraph.from_edges(edges)
+        census = triad_census_exact(graph)
+        n = graph.n
+        assert sum(census.values()) == n * (n - 1) * (n - 2) // 6
+
+
+class TestSampledCensus:
+    def test_counts_sum_to_samples_or_less(self, rng):
+        graph = CSRGraph.from_edges(random_edges(5, n=30))
+        census = triad_census_sampled(graph, rng, n_samples=2_000)
+        assert 0 < sum(census.values()) <= 2_000
+
+    def test_tiny_graph(self, rng):
+        graph = CSRGraph.from_edges([(0, 1)])
+        census = triad_census_sampled(graph, rng, n_samples=10)
+        assert sum(census.values()) == 0
+
+    def test_transitive_graph_shows_closure(self, rng):
+        # A clique of mutual edges: every connected triple is type 300.
+        n = 12
+        edges = [(i, j) for i in range(n) for j in range(n) if i != j]
+        graph = CSRGraph.from_edges(edges)
+        census = triad_census_sampled(graph, rng, n_samples=500)
+        assert census["300"] == sum(census.values())
+
+
+class TestTransitivitySignature:
+    def test_fully_closed(self):
+        census = {name: 0 for name in TRIAD_TYPES}
+        census["300"] = 10
+        assert transitivity_signature(census) == 1.0
+
+    def test_no_connected_triads(self):
+        census = {name: 0 for name in TRIAD_TYPES}
+        census["003"] = 5
+        assert np.isnan(transitivity_signature(census))
+
+    def test_gplus_more_transitive_than_random(self, study_results, rng):
+        census = triad_census_sampled(
+            study_results.graph, rng, n_samples=10_000
+        )
+        assert transitivity_signature(census) > 0.02

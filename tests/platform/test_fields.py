@@ -1,0 +1,46 @@
+"""Tests for the Table 2 field registry."""
+
+from repro.platform.fields import (
+    COUNTABLE_FIELD_KEYS,
+    FIELD_SPECS,
+    field_label,
+    FieldKind,
+    FIELDS_BY_KEY,
+    OPTIONAL_FIELD_KEYS,
+)
+
+
+class TestRegistry:
+    def test_seventeen_attributes_as_in_table2(self):
+        assert len(FIELD_SPECS) == 17
+
+    def test_name_is_first_mandatory_and_unique(self):
+        assert FIELD_SPECS[0].key == "name"
+        mandatory = [s for s in FIELD_SPECS if s.mandatory]
+        assert [s.key for s in mandatory] == ["name"]
+
+    def test_exactly_three_restricted_fields(self):
+        restricted = {s.key for s in FIELD_SPECS if s.kind is FieldKind.RESTRICTED}
+        assert restricted == {"gender", "relationship", "looking_for"}
+
+    def test_two_contact_blocks(self):
+        contacts = {s.key for s in FIELD_SPECS if s.contact}
+        assert contacts == {"work_contact", "home_contact"}
+
+    def test_lookup_by_key_is_complete(self):
+        assert set(FIELDS_BY_KEY) == {s.key for s in FIELD_SPECS}
+
+    def test_labels_match_paper(self):
+        assert field_label("places_lived") == "Places lived"
+        assert field_label("bragging_rights") == "Braggin rights"  # sic, as printed
+        assert field_label("work_contact") == "Work (contact)"
+
+    def test_countable_keys_exclude_contacts_only(self):
+        assert len(COUNTABLE_FIELD_KEYS) == 15
+        assert "work_contact" not in COUNTABLE_FIELD_KEYS
+        assert "home_contact" not in COUNTABLE_FIELD_KEYS
+        assert "name" in COUNTABLE_FIELD_KEYS
+
+    def test_optional_keys_exclude_name_only(self):
+        assert len(OPTIONAL_FIELD_KEYS) == 16
+        assert "name" not in OPTIONAL_FIELD_KEYS

@@ -1,0 +1,144 @@
+"""Tests for the simulated HTTP layer: clock, rate limiter, flakiness."""
+
+import pytest
+
+from repro.platform.http import (
+    FlakinessModel,
+    HttpFrontend,
+    RateLimiter,
+    Request,
+    SimulatedClock,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    STATUS_SERVER_ERROR,
+    STATUS_TOO_MANY_REQUESTS,
+    TokenBucket,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_advance(self):
+        clock = SimulatedClock(10.0)
+        assert clock.advance(2.5) == 12.5
+        assert clock.now() == 12.5
+
+    def test_cannot_rewind(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=1.0, capacity=3.0)
+        for _ in range(3):
+            granted, _ = bucket.try_take(0.0)
+            assert granted
+
+    def test_empty_bucket_refuses_with_retry_after(self):
+        bucket = TokenBucket(rate=2.0, capacity=1.0)
+        assert bucket.try_take(0.0) == (True, 0.0)
+        granted, retry_after = bucket.try_take(0.0)
+        assert not granted
+        assert retry_after == pytest.approx(0.5)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        bucket.try_take(0.0)
+        granted, _ = bucket.try_take(1.0)
+        assert granted
+
+    def test_capacity_bounds_refill(self):
+        bucket = TokenBucket(rate=10.0, capacity=2.0)
+        bucket.try_take(0.0)
+        bucket.try_take(0.0)
+        # After a long idle period the bucket holds at most `capacity`.
+        for _ in range(2):
+            granted, _ = bucket.try_take(100.0)
+            assert granted
+        granted, _ = bucket.try_take(100.0)
+        assert not granted
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=0.0)
+
+
+class TestRateLimiter:
+    def test_buckets_are_per_ip(self):
+        clock = SimulatedClock()
+        limiter = RateLimiter(rate_per_ip=1.0, burst=1.0, clock=clock)
+        assert limiter.admit("10.0.0.1")[0]
+        assert not limiter.admit("10.0.0.1")[0]
+        assert limiter.admit("10.0.0.2")[0]  # fresh bucket
+
+
+class TestFlakiness:
+    def test_zero_rate_never_fails(self):
+        model = FlakinessModel(0.0)
+        assert not any(model.should_fail() for _ in range(100))
+
+    def test_deterministic_given_seed(self):
+        a = [FlakinessModel(0.5, seed=42).should_fail() for _ in range(50)]
+        b = [FlakinessModel(0.5, seed=42).should_fail() for _ in range(50)]
+        assert a == b
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FlakinessModel(1.0)
+        with pytest.raises(ValueError):
+            FlakinessModel(-0.1)
+
+
+def echo_handler(path: str):
+    if path == "/missing":
+        return STATUS_NOT_FOUND, None
+    return STATUS_OK, path
+
+
+class TestFrontend:
+    def test_serves_handler_payload(self):
+        frontend = HttpFrontend(echo_handler)
+        response = frontend.handle(Request("/u/1", "1.2.3.4"))
+        assert response.ok
+        assert response.payload == "/u/1"
+        assert frontend.requests_served == 1
+
+    def test_not_found_passthrough(self):
+        frontend = HttpFrontend(echo_handler)
+        response = frontend.handle(Request("/missing", "1.2.3.4"))
+        assert response.status == STATUS_NOT_FOUND
+
+    def test_throttling_kicks_in(self):
+        frontend = HttpFrontend(echo_handler, rate_per_ip=1.0, burst=2.0)
+        statuses = [
+            frontend.handle(Request("/u/1", "9.9.9.9")).status for _ in range(4)
+        ]
+        assert STATUS_TOO_MANY_REQUESTS in statuses
+        assert frontend.requests_throttled > 0
+
+    def test_throttle_response_carries_retry_after(self):
+        frontend = HttpFrontend(echo_handler, rate_per_ip=1.0, burst=1.0)
+        frontend.handle(Request("/u/1", "9.9.9.9"))
+        response = frontend.handle(Request("/u/1", "9.9.9.9"))
+        assert response.status == STATUS_TOO_MANY_REQUESTS
+        assert response.retry_after > 0
+
+    def test_error_injection(self):
+        frontend = HttpFrontend(echo_handler, error_rate=0.5, seed=3)
+        statuses = [
+            frontend.handle(Request("/u/1", f"ip-{i}")).status for i in range(60)
+        ]
+        assert STATUS_SERVER_ERROR in statuses
+        assert STATUS_OK in statuses
+
+    def test_clock_shared_with_limiter(self):
+        frontend = HttpFrontend(echo_handler, rate_per_ip=1.0, burst=1.0)
+        frontend.handle(Request("/u/1", "ip"))
+        assert frontend.handle(Request("/u/1", "ip")).status == STATUS_TOO_MANY_REQUESTS
+        frontend.clock.advance(1.5)
+        assert frontend.handle(Request("/u/1", "ip")).ok

@@ -1,0 +1,138 @@
+"""Tests for profile data models."""
+
+import pytest
+
+from repro.platform.models import (
+    ContactInfo,
+    Gender,
+    Occupation,
+    OCCUPATION_LABELS,
+    Place,
+    Relationship,
+    UserProfile,
+)
+from repro.platform.privacy import ONLY_YOU, PUBLIC, YOUR_CIRCLES
+
+
+class TestEnums:
+    def test_nine_relationship_statuses_as_in_table3(self):
+        assert len(Relationship) == 9
+
+    def test_relationship_values_match_table3_wording(self):
+        assert Relationship.ITS_COMPLICATED.value == "It's complicated"
+        assert Relationship.OPEN_RELATIONSHIP.value == "In an open relationship"
+        assert Relationship.CIVIL_UNION.value == "In a civil union"
+
+    def test_three_genders(self):
+        assert {g.value for g in Gender} == {"Male", "Female", "Other"}
+
+    def test_every_occupation_has_a_label(self):
+        assert set(OCCUPATION_LABELS) == set(Occupation)
+
+    def test_table5_codes(self):
+        assert Occupation.IT.value == "IT"
+        assert Occupation.COMEDIAN.value == "Co"
+        assert Occupation.TV_HOST.value == "TV"
+
+
+class TestPlace:
+    def test_valid_place(self):
+        place = Place("Boston", 42.36, -71.06, "US")
+        assert place.country == "US"
+
+    @pytest.mark.parametrize("lat", [-90.1, 91.0])
+    def test_latitude_validation(self, lat):
+        with pytest.raises(ValueError):
+            Place("X", lat, 0.0, "US")
+
+    @pytest.mark.parametrize("lon", [-180.1, 181.0])
+    def test_longitude_validation(self, lon):
+        with pytest.raises(ValueError):
+            Place("X", 0.0, lon, "US")
+
+    def test_boundary_coordinates_accepted(self):
+        Place("South Pole", -90.0, 180.0, "AQ")
+
+
+class TestContactInfo:
+    def test_has_phone(self):
+        assert ContactInfo(phone="+1 555 0100").has_phone()
+
+    def test_no_phone(self):
+        assert not ContactInfo(email="a@example.com").has_phone()
+        assert not ContactInfo(phone="").has_phone()
+
+
+def make_profile(**fields) -> UserProfile:
+    profile = UserProfile(user_id=1, name="Ada")
+    for key, (value, privacy) in fields.items():
+        profile.set_field(key, value, privacy)
+    return profile
+
+
+class TestUserProfile:
+    def test_name_always_public(self):
+        profile = make_profile()
+        assert profile.get_public("name") == "Ada"
+        assert "name" in profile.public_field_keys()
+
+    def test_unknown_field_rejected(self):
+        profile = make_profile()
+        with pytest.raises(ValueError):
+            profile.set_field("favorite_color", "blue")
+
+    def test_name_not_settable_as_field(self):
+        with pytest.raises(ValueError):
+            make_profile().set_field("name", "Eve")
+
+    def test_constructor_validates_field_keys(self):
+        from repro.platform.models import FieldValue
+
+        with pytest.raises(ValueError):
+            UserProfile(user_id=1, name="x", fields={"bogus": FieldValue(1)})
+
+    def test_public_field_visible(self):
+        profile = make_profile(occupation=("Engineer", PUBLIC))
+        assert profile.get_public("occupation") == "Engineer"
+
+    def test_private_field_hidden(self):
+        profile = make_profile(occupation=("Engineer", ONLY_YOU))
+        assert profile.get_public("occupation") is None
+
+    def test_count_public_fields_excludes_contacts_by_default(self):
+        profile = make_profile(
+            occupation=("Engineer", PUBLIC),
+            work_contact=(ContactInfo(phone="+1"), PUBLIC),
+        )
+        assert profile.count_public_fields() == 2  # name + occupation
+        assert profile.count_public_fields(include_contacts=True) == 3
+
+    def test_count_public_fields_skips_private(self):
+        profile = make_profile(
+            occupation=("Engineer", PUBLIC),
+            education=("MIT", YOUR_CIRCLES),
+        )
+        assert profile.count_public_fields() == 2
+
+    def test_shares_phone_publicly_requires_public_and_phone(self):
+        public_phone = make_profile(work_contact=(ContactInfo(phone="+1"), PUBLIC))
+        hidden_phone = make_profile(work_contact=(ContactInfo(phone="+1"), ONLY_YOU))
+        public_email = make_profile(
+            home_contact=(ContactInfo(email="a@b.c"), PUBLIC)
+        )
+        assert public_phone.shares_phone_publicly()
+        assert not hidden_phone.shares_phone_publicly()
+        assert not public_email.shares_phone_publicly()
+
+    def test_current_place_is_last_entry(self):
+        places = [Place("A", 0, 0, "US"), Place("B", 1, 1, "CA")]
+        profile = make_profile(places_lived=(places, PUBLIC))
+        assert profile.current_place().name == "B"
+
+    def test_current_place_none_when_hidden(self):
+        places = [Place("A", 0, 0, "US")]
+        profile = make_profile(places_lived=(places, ONLY_YOU))
+        assert profile.current_place() is None
+
+    def test_current_place_none_when_absent(self):
+        assert make_profile().current_place() is None

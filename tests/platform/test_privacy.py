@@ -1,0 +1,55 @@
+"""Tests for the five-level field-visibility model."""
+
+import pytest
+
+from repro.platform.privacy import (
+    custom,
+    EXTENDED_CIRCLES,
+    FieldPrivacy,
+    ONLY_YOU,
+    PUBLIC,
+    Visibility,
+    YOUR_CIRCLES,
+)
+
+
+class TestVisibility:
+    def test_five_levels_exist(self):
+        assert len(Visibility) == 5
+
+    def test_level_values_match_paper_wording(self):
+        assert Visibility.PUBLIC.value == "public"
+        assert Visibility.EXTENDED_CIRCLES.value == "extended circles"
+        assert Visibility.YOUR_CIRCLES.value == "your circles"
+        assert Visibility.ONLY_YOU.value == "only you"
+        assert Visibility.CUSTOM.value == "custom"
+
+
+class TestFieldPrivacy:
+    def test_default_is_public(self):
+        assert FieldPrivacy().is_public()
+
+    def test_public_constant(self):
+        assert PUBLIC.visibility is Visibility.PUBLIC
+        assert PUBLIC.is_public()
+
+    @pytest.mark.parametrize(
+        "setting", [ONLY_YOU, YOUR_CIRCLES, EXTENDED_CIRCLES, custom("family")]
+    )
+    def test_non_public_levels(self, setting):
+        assert not setting.is_public()
+
+    def test_custom_carries_circle_names(self):
+        setting = custom("family", "colleagues")
+        assert setting.visibility is Visibility.CUSTOM
+        assert setting.custom_circles == frozenset({"family", "colleagues"})
+
+    def test_custom_with_no_circles_is_empty(self):
+        assert custom().custom_circles == frozenset()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PUBLIC.visibility = Visibility.ONLY_YOU  # type: ignore[misc]
+
+    def test_hashable_for_use_in_sets(self):
+        assert len({PUBLIC, ONLY_YOU, PUBLIC}) == 2

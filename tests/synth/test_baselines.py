@@ -1,0 +1,92 @@
+"""Tests for the baseline OSN models."""
+
+import numpy as np
+import pytest
+
+from repro.graph.clustering import average_clustering
+from repro.graph.degree import degree_distributions
+from repro.graph.powerlaw import fit_powerlaw_ccdf
+from repro.graph.reciprocity import global_reciprocity
+from repro.graph.sampling import sample_nodes
+from repro.synth.baselines import (
+    BASELINE_GENERATORS,
+    generate_facebook_like,
+    generate_orkut_like,
+    generate_twitter_like,
+)
+
+N = 2_500
+
+
+@pytest.fixture(scope="module")
+def twitter():
+    return generate_twitter_like(N, seed=3)
+
+
+@pytest.fixture(scope="module")
+def facebook():
+    return generate_facebook_like(N, seed=3)
+
+
+@pytest.fixture(scope="module")
+def orkut():
+    return generate_orkut_like(N, seed=3)
+
+
+class TestTwitterLike:
+    def test_reciprocity_near_kwak(self, twitter):
+        """Kwak et al. measured 22.1%."""
+        assert global_reciprocity(twitter) == pytest.approx(0.22, abs=0.06)
+
+    def test_power_law_in_degree(self, twitter):
+        dist = degree_distributions(twitter)
+        fit = fit_powerlaw_ccdf(dist.in_ccdf)
+        assert fit.r_squared > 0.8
+        assert dist.in_degrees.max() > 15 * dist.in_degrees.mean()
+
+    def test_media_hubs_have_low_out_degree(self, twitter):
+        """The defining Twitter asymmetry: hubs don't follow back."""
+        dist = degree_distributions(twitter)
+        top = int(np.argmax(dist.in_degrees))
+        assert dist.out_degrees[top] < 0.05 * dist.in_degrees[top]
+
+
+class TestMutualNetworks:
+    @pytest.mark.parametrize("fixture", ["facebook", "orkut"])
+    def test_fully_reciprocal(self, fixture, request):
+        graph = request.getfixturevalue(fixture)
+        assert global_reciprocity(graph) == 1.0
+
+    def test_facebook_denser_than_orkut_model(self, facebook, orkut):
+        assert facebook.n_edges > orkut.n_edges
+
+    def test_orkut_more_clustered(self, facebook, orkut, rng):
+        cc_orkut = average_clustering(orkut, sample_nodes(orkut, 300, rng))
+        cc_twitterless = average_clustering(
+            facebook, sample_nodes(facebook, 300, rng)
+        )
+        assert cc_orkut > 0.05
+        assert cc_twitterless > 0.05
+
+
+class TestAllBaselines:
+    @pytest.mark.parametrize("name", sorted(BASELINE_GENERATORS))
+    def test_no_self_loops(self, name):
+        graph = BASELINE_GENERATORS[name](800, seed=1)
+        sources = np.repeat(
+            np.arange(graph.n, dtype=np.int64), graph.out_degrees()
+        )
+        assert not (sources == graph.indices).any()
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_GENERATORS))
+    def test_deterministic(self, name):
+        a = BASELINE_GENERATORS[name](600, seed=5)
+        b = BASELINE_GENERATORS[name](600, seed=5)
+        assert a.n_edges == b.n_edges
+        assert np.array_equal(a.indices, b.indices)
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_GENERATORS))
+    def test_everyone_participates(self, name):
+        graph = BASELINE_GENERATORS[name](800, seed=2)
+        degrees = graph.in_degrees() + graph.out_degrees()
+        assert (degrees > 0).mean() > 0.99

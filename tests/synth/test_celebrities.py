@@ -1,0 +1,78 @@
+"""Tests for celebrity seeding."""
+
+import pytest
+
+from repro.platform.models import Occupation
+from repro.synth.celebrities import (
+    attachment_weight,
+    GLOBAL_CELEBRITIES,
+    national_celebrities,
+)
+
+
+class TestGlobalCelebrities:
+    def test_twenty_entries_in_rank_order(self):
+        assert len(GLOBAL_CELEBRITIES) == 20
+        assert [c.global_rank for c in GLOBAL_CELEBRITIES] == list(range(1, 21))
+
+    def test_table1_headliners(self):
+        names = [c.name for c in GLOBAL_CELEBRITIES]
+        assert names[0] == "Larry Page"
+        assert names[1] == "Mark Zuckerberg"
+        assert names[2] == "Britney Spears"
+        assert "Ron Garan" in names
+
+    def test_seven_it_celebrities(self):
+        """The paper's signature: 7 of the top 20 are IT-related."""
+        it_count = sum(
+            1 for c in GLOBAL_CELEBRITIES if c.occupation is Occupation.IT
+        )
+        assert it_count == 7
+
+    def test_richard_branson_is_british(self):
+        branson = next(c for c in GLOBAL_CELEBRITIES if "Branson" in c.name)
+        assert branson.country == "GB"
+
+
+class TestNationalCelebrities:
+    def test_hundred_national_celebrities(self):
+        assert len(national_celebrities()) == 100  # 10 per top-10 country
+
+    def test_rank_zero_marks_national(self):
+        assert all(c.global_rank == 0 for c in national_celebrities())
+
+    def test_table5_occupations_carried(self):
+        by_country = {}
+        for spec in national_celebrities():
+            by_country.setdefault(spec.country, []).append(spec.occupation)
+        assert by_country["ES"][1] is Occupation.POLITICIAN
+
+
+class TestAttachmentWeight:
+    def test_global_weights_zipf_decay(self):
+        first = attachment_weight(GLOBAL_CELEBRITIES[0], 10_000, 3_000)
+        second = attachment_weight(GLOBAL_CELEBRITIES[1], 10_000, 3_000)
+        assert first == 2 * second
+
+    def test_scales_with_population(self):
+        small = attachment_weight(GLOBAL_CELEBRITIES[0], 1_000, 300)
+        large = attachment_weight(GLOBAL_CELEBRITIES[0], 10_000, 3_000)
+        assert large == pytest.approx(10 * small)
+
+    def test_national_weight_positive_and_decaying(self):
+        spec = national_celebrities()[0]
+        w1 = attachment_weight(spec, 10_000, 2_000, national_position=1)
+        w5 = attachment_weight(spec, 10_000, 2_000, national_position=5)
+        assert w1 > w5 > 0
+
+    def test_national_weight_capped_for_huge_countries(self):
+        """India's size must not launch its national celebrities into the
+        global Table 1 ranking."""
+        spec = national_celebrities()[0]
+        huge = attachment_weight(spec, 10_000, 9_000, national_position=1)
+        assert huge <= 0.015 * 10_000
+
+    def test_national_floor_for_tiny_countries(self):
+        spec = national_celebrities()[0]
+        weight = attachment_weight(spec, 10_000, 3, national_position=1)
+        assert weight > 0

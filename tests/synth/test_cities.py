@@ -1,0 +1,81 @@
+"""Tests for the city gazetteer and sampler."""
+
+import numpy as np
+import pytest
+
+from repro.geo.distance import haversine_miles
+from repro.synth.cities import build_gazetteer, CitySampler
+from repro.synth.countries import build_country_table
+
+
+@pytest.fixture(scope="module")
+def gazetteer():
+    return build_gazetteer()
+
+
+class TestGazetteer:
+    def test_every_country_has_cities(self, gazetteer):
+        for code in build_country_table():
+            assert code in gazetteer
+            assert len(gazetteer[code]) >= 2
+
+    def test_city_country_labels_consistent(self, gazetteer):
+        for code, cities in gazetteer.items():
+            for city in cities:
+                assert city.country == code
+                assert -90 <= city.latitude <= 90
+                assert -180 <= city.longitude <= 180
+                assert city.weight > 0
+
+    def test_known_coordinates_plausible(self, gazetteer):
+        by_name = {c.name: c for cities in gazetteer.values() for c in cities}
+        ny, la = by_name["New York"], by_name["Los Angeles"]
+        miles = haversine_miles(ny.latitude, ny.longitude, la.latitude, la.longitude)
+        assert 2300 < float(miles) < 2600
+
+    def test_city_names_unique_within_country(self, gazetteer):
+        for cities in gazetteer.values():
+            names = [c.name for c in cities]
+            assert len(names) == len(set(names))
+
+
+class TestSampler:
+    def test_sample_index_in_range(self, rng):
+        sampler = CitySampler()
+        for _ in range(50):
+            index = sampler.sample_city_index("US", rng)
+            assert 0 <= index < len(sampler.cities_of("US"))
+
+    def test_population_weighting(self):
+        sampler = CitySampler()
+        rng = np.random.default_rng(0)
+        counts = np.zeros(len(sampler.cities_of("GB")))
+        for _ in range(3000):
+            counts[sampler.sample_city_index("GB", rng)] += 1
+        # London dominates the UK gazetteer by weight.
+        london = [c.name for c in sampler.cities_of("GB")].index("London")
+        assert counts.argmax() == london
+
+    def test_jitter_keeps_coordinates_near_city(self, rng):
+        sampler = CitySampler(jitter_deg=0.04)
+        city = sampler.cities_of("DE")[0]
+        lat, lon = sampler.coordinates_for("DE", 0, rng)
+        miles = float(haversine_miles(lat, lon, city.latitude, city.longitude))
+        assert miles < 40
+
+    def test_same_city_pairs_within_ten_miles_mostly(self):
+        sampler = CitySampler()
+        rng = np.random.default_rng(1)
+        coords = [sampler.coordinates_for("FR", 0, rng) for _ in range(200)]
+        lats = np.array([c[0] for c in coords])
+        lons = np.array([c[1] for c in coords])
+        distances = haversine_miles(lats[:100], lons[:100], lats[100:], lons[100:])
+        assert (distances < 10).mean() > 0.6
+
+    def test_coordinates_stay_valid(self, rng):
+        sampler = CitySampler(jitter_deg=0.5)
+        for code in ("US", "ID", "SE"):
+            for city_index in range(len(sampler.cities_of(code))):
+                lat, lon = sampler.coordinates_for(code, city_index, rng)
+                assert -90 <= lat <= 90
+                assert -180 <= lon <= 180

@@ -1,0 +1,98 @@
+"""Tests for the country database and share allocation."""
+
+import pytest
+
+from repro.synth.countries import (
+    build_country_table,
+    MAJOR_COUNTRIES,
+    MINOR_COUNTRIES,
+    TOP10_CODES,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_country_table()
+
+
+class TestTableIntegrity:
+    def test_all_countries_present(self, table):
+        assert len(table) == len(MAJOR_COUNTRIES) + len(MINOR_COUNTRIES)
+
+    def test_top10_codes_match_paper_order(self):
+        assert TOP10_CODES == ("US", "IN", "BR", "GB", "CA", "DE", "ID", "MX", "IT", "ES")
+
+    def test_top10_all_major(self, table):
+        major_codes = {c.code for c in MAJOR_COUNTRIES}
+        assert set(TOP10_CODES) <= major_codes
+
+    def test_shares_normalisable(self, table):
+        total = sum(c.gplus_share for c in table.values())
+        assert 0.9 < total <= 1.0001
+
+    def test_us_is_largest(self, table):
+        assert max(table.values(), key=lambda c: c.gplus_share).code == "US"
+
+    def test_top10_order_by_share(self, table):
+        shares = [table[code].gplus_share for code in TOP10_CODES]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_minor_shares_capped_below_top10(self, table):
+        smallest_top10 = min(table[code].gplus_share for code in TOP10_CODES)
+        for country in MINOR_COUNTRIES:
+            assert table[country.code].gplus_share < smallest_top10
+
+
+class TestFacts:
+    def test_probabilities_in_range(self, table):
+        for country in table.values():
+            assert 0.0 < country.internet_penetration <= 1.0
+            assert country.population_m > 0
+            assert country.gdp_per_capita_ppp > 0
+            assert 0.0 <= country.domesticity <= 1.0
+            assert 0.0 <= country.us_flux <= 1.0
+            assert country.domesticity + country.us_flux <= 1.0
+
+    def test_internet_population(self, table):
+        us = table["US"]
+        assert us.internet_population_m == pytest.approx(
+            us.population_m * us.internet_penetration
+        )
+
+    def test_us_has_no_us_flux(self, table):
+        assert table["US"].us_flux == 0.0
+
+    def test_india_gpr_beats_us_in_ground_truth(self, table):
+        """Figure 7a's headline requires IN located-share / netizens > US."""
+        total = sum(c.gplus_share for c in table.values())
+        gpr = {
+            code: table[code].gplus_share / total / table[code].internet_population_m
+            for code in ("IN", "US")
+        }
+        assert gpr["IN"] > gpr["US"]
+
+    def test_openness_ordering_endpoints(self, table):
+        """Figure 8: Indonesia/Mexico most open, Germany most conservative."""
+        top10_openness = {code: table[code].openness for code in TOP10_CODES}
+        ranked = sorted(top10_openness, key=top10_openness.get, reverse=True)
+        assert set(ranked[:2]) == {"ID", "MX"}
+        assert ranked[-1] == "DE"
+
+    def test_tel_affinity_ordering(self, table):
+        """Table 3: India overshares phone numbers, US undershares."""
+        assert table["IN"].tel_affinity > 1.5
+        assert table["US"].tel_affinity < 0.5
+
+    def test_anglophone_flags(self, table):
+        for code in ("US", "GB", "CA", "AU", "IN"):
+            assert table[code].english_speaking
+        for code in ("BR", "DE", "MX", "IT", "ES"):
+            assert not table[code].english_speaking
+
+    def test_inward_vs_outward_domesticity(self, table):
+        """Figure 10: US/IN/BR/ID inward, GB/CA outward."""
+        for code in ("US", "IN", "BR", "ID"):
+            assert table[code].domesticity > 0.6
+        for code in ("GB", "CA"):
+            assert table[code].domesticity < 0.4
+            assert table[code].us_flux > 0.3

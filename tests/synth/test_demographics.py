@@ -1,0 +1,92 @@
+"""Tests for demographic distributions and tel-user weighting."""
+
+import numpy as np
+import pytest
+
+from repro.platform.models import Gender, Relationship
+from repro.synth.demographics import (
+    DemographicsSampler,
+    FIELD_SHARE_PROBABILITY,
+    GENDER_DISTRIBUTION,
+    RELATIONSHIP_DISTRIBUTION,
+    TEL_GENDER_AFFINITY,
+    TEL_RELATIONSHIP_AFFINITY,
+    TEL_USER_RATE,
+    tel_user_weights,
+)
+
+
+class TestDistributionTables:
+    def test_gender_sums_to_one(self):
+        assert sum(GENDER_DISTRIBUTION.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_relationship_sums_to_one(self):
+        assert sum(RELATIONSHIP_DISTRIBUTION.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_relationship_covers_all_nine_statuses(self):
+        assert set(RELATIONSHIP_DISTRIBUTION) == set(Relationship)
+
+    def test_field_probabilities_match_table2(self):
+        assert FIELD_SHARE_PROBABILITY["gender"] == pytest.approx(0.9767)
+        assert FIELD_SHARE_PROBABILITY["places_lived"] == pytest.approx(0.2675)
+        assert FIELD_SHARE_PROBABILITY["home_contact"] == pytest.approx(0.0021)
+
+    def test_field_probabilities_in_range(self):
+        for probability in FIELD_SHARE_PROBABILITY.values():
+            assert 0.0 < probability < 1.0
+
+    def test_tel_rate_matches_paper(self):
+        assert TEL_USER_RATE == pytest.approx(72_736 / 27_556_390, abs=3e-4)
+
+    def test_tel_affinities_express_paper_skews(self):
+        assert TEL_GENDER_AFFINITY[Gender.MALE] > 1.0
+        assert TEL_GENDER_AFFINITY[Gender.FEMALE] < 1.0
+        assert TEL_RELATIONSHIP_AFFINITY[Relationship.SINGLE] > 1.0
+        assert TEL_RELATIONSHIP_AFFINITY[Relationship.IN_A_RELATIONSHIP] < 1.0
+
+
+class TestSampler:
+    def test_gender_frequencies(self):
+        sampler = DemographicsSampler(np.random.default_rng(0))
+        genders = sampler.sample_genders(20_000)
+        male_share = sum(1 for g in genders if g is Gender.MALE) / len(genders)
+        assert male_share == pytest.approx(0.6765, abs=0.02)
+
+    def test_relationship_frequencies(self):
+        sampler = DemographicsSampler(np.random.default_rng(0))
+        statuses = sampler.sample_relationships(20_000)
+        single = sum(1 for s in statuses if s is Relationship.SINGLE) / len(statuses)
+        assert single == pytest.approx(0.4282, abs=0.02)
+
+    def test_disclosure_mean_one(self):
+        sampler = DemographicsSampler(np.random.default_rng(0))
+        disclosure = sampler.sample_disclosure(50_000)
+        assert disclosure.mean() == pytest.approx(1.0, abs=0.03)
+        assert (disclosure > 0).all()
+
+    def test_deterministic_under_seed(self):
+        a = DemographicsSampler(np.random.default_rng(9)).sample_genders(100)
+        b = DemographicsSampler(np.random.default_rng(9)).sample_genders(100)
+        assert a == b
+
+
+class TestTelWeights:
+    def test_skews_combine(self):
+        genders = [Gender.MALE, Gender.FEMALE]
+        statuses = [Relationship.SINGLE, Relationship.SINGLE]
+        disclosure = np.ones(2)
+        affinity = np.ones(2)
+        weights = tel_user_weights(genders, statuses, disclosure, affinity)
+        assert weights[0] > weights[1]  # male > female at same everything else
+
+    def test_disclosure_dominates(self):
+        genders = [Gender.MALE, Gender.MALE]
+        statuses = [Relationship.SINGLE, Relationship.SINGLE]
+        weights = tel_user_weights(
+            genders, statuses, np.array([0.5, 3.0]), np.ones(2)
+        )
+        assert weights[1] > weights[0] * 10
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            tel_user_weights([Gender.MALE], [], np.ones(1), np.ones(1))

@@ -1,0 +1,149 @@
+"""Tests for the social-graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.reciprocity import global_reciprocity
+from repro.synth.config import GraphGenConfig, WorldConfig
+from repro.synth.graphgen import generate_graph
+from repro.synth.profiles import generate_population
+
+N = 2_000
+
+
+@pytest.fixture(scope="module")
+def population():
+    config = WorldConfig(n_users=N, seed=5)
+    return generate_population(config, np.random.default_rng(config.seed))
+
+
+@pytest.fixture(scope="module")
+def generated(population):
+    return generate_graph(
+        population, GraphGenConfig(), np.random.default_rng(17)
+    )
+
+
+class TestEdgeValidity:
+    def test_no_self_loops(self, generated):
+        assert not (generated.sources == generated.targets).any()
+
+    def test_no_duplicate_edges(self, generated):
+        pairs = set(zip(generated.sources.tolist(), generated.targets.tolist()))
+        assert len(pairs) == generated.n_edges
+
+    def test_ids_in_range(self, generated):
+        assert generated.sources.min() >= 0
+        assert generated.targets.max() < N
+
+    def test_every_user_has_an_edge(self, generated):
+        touched = set(generated.sources.tolist()) | set(generated.targets.tolist())
+        assert len(touched) > 0.99 * N  # out-degree wish >= 1 for everyone
+
+
+class TestStructuralTargets:
+    @pytest.fixture(scope="class")
+    def csr(self, generated):
+        return CSRGraph.from_edge_arrays(
+            generated.sources, generated.targets,
+            node_ids=np.arange(N),
+        )
+
+    def test_mean_degree_in_paper_ballpark(self, csr):
+        mean_degree = csr.n_edges / csr.n
+        assert 8 < mean_degree < 35  # paper: 16.4
+
+    def test_reciprocity_in_paper_ballpark(self, csr):
+        assert 0.2 < global_reciprocity(csr) < 0.55  # paper: 0.32
+
+    def test_in_degree_heavy_tail(self, csr):
+        in_degrees = csr.in_degrees()
+        assert in_degrees.max() > 20 * in_degrees.mean()
+
+    def test_celebrities_top_in_degree(self, population, csr):
+        in_degrees = csr.in_degrees()
+        top5 = set(np.argsort(-in_degrees)[:5].tolist())
+        celebrity_hits = sum(
+            1 for node in top5 if int(csr.node_ids[node]) in population.celebrity_spec
+        )
+        assert celebrity_hits >= 3
+
+    def test_out_degree_cap_for_ordinary_users(self, population, generated):
+        cap = GraphGenConfig().out_degree_cap
+        out_counts = np.bincount(generated.sources, minlength=N)
+        for user_id in np.flatnonzero(out_counts > cap):
+            assert int(user_id) in population.celebrity_spec
+
+    def test_domesticity_shapes_edges(self, population, generated):
+        """US users' edges should be mostly domestic (domesticity 0.76)."""
+        codes = population.country_codes
+        us_edges = [
+            codes[int(v)] == "US"
+            for u, v in zip(generated.sources, generated.targets)
+            if codes[int(u)] == "US"
+        ]
+        assert np.mean(us_edges) > 0.6
+
+    def test_gb_edges_flow_to_us(self, population, generated):
+        codes = population.country_codes
+        gb_targets = [
+            codes[int(v)]
+            for u, v in zip(generated.sources, generated.targets)
+            if codes[int(u)] == "GB"
+        ]
+        us_share = gb_targets.count("US") / len(gb_targets)
+        assert us_share > 0.2  # Figure 10: GB->US ~0.36
+
+
+class TestDeterminismAndAblation:
+    def test_same_seed_same_graph(self, population):
+        a = generate_graph(population, GraphGenConfig(), np.random.default_rng(3))
+        b = generate_graph(population, GraphGenConfig(), np.random.default_rng(3))
+        assert np.array_equal(a.sources, b.sources)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_different_seed_different_graph(self, population):
+        a = generate_graph(population, GraphGenConfig(), np.random.default_rng(3))
+        b = generate_graph(population, GraphGenConfig(), np.random.default_rng(4))
+        assert not (
+            len(a.sources) == len(b.sources)
+            and np.array_equal(a.sources, b.sources)
+            and np.array_equal(a.targets, b.targets)
+        )
+
+    def test_triadic_closure_raises_clustering(self, population):
+        from repro.graph.clustering import average_clustering
+        from repro.graph.sampling import sample_nodes
+
+        def clustering_for(triadic_prob: float) -> float:
+            generated = generate_graph(
+                population,
+                GraphGenConfig(triadic_prob=triadic_prob),
+                np.random.default_rng(8),
+            )
+            csr = CSRGraph.from_edge_arrays(
+                generated.sources, generated.targets, node_ids=np.arange(N)
+            )
+            rng = np.random.default_rng(0)
+            return average_clustering(csr, sample_nodes(csr, 400, rng))
+
+        assert clustering_for(0.5) > clustering_for(0.0) + 0.02
+
+    def test_geo_homophily_off_spreads_edges(self, population):
+        from repro.geo.distance import haversine_miles
+
+        def median_friend_miles(geo: bool) -> float:
+            generated = generate_graph(
+                population,
+                GraphGenConfig(geo_homophily=geo, same_city_prob=0.0),
+                np.random.default_rng(8),
+            )
+            lats, lons = population.latitudes, population.longitudes
+            miles = haversine_miles(
+                lats[generated.sources], lons[generated.sources],
+                lats[generated.targets], lons[generated.targets],
+            )
+            return float(np.median(miles))
+
+        assert median_friend_miles(True) < median_friend_miles(False)

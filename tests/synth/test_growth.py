@@ -1,0 +1,116 @@
+"""Tests for the temporal growth model."""
+
+import numpy as np
+import pytest
+
+from repro.synth.growth import (
+    assign_edge_days,
+    assign_join_days,
+    build_timeline,
+    CRAWL_DAY,
+    GrowthConfig,
+    GrowthTimeline,
+    OPEN_SIGNUP_DAY,
+)
+
+
+@pytest.fixture(scope="module")
+def timeline(small_world) -> GrowthTimeline:
+    return build_timeline(
+        small_world.graph, small_world.config.field_trial_fraction, seed=17
+    )
+
+
+class TestJoinDays:
+    def test_all_within_crawl_window(self, timeline):
+        assert timeline.join_days.min() >= 0.0
+        assert timeline.join_days.max() <= CRAWL_DAY
+
+    def test_field_trial_users_join_before_open_signup(self, small_world, timeline):
+        n_trial = int(
+            round(small_world.config.field_trial_fraction * small_world.n_users)
+        )
+        assert (timeline.join_days[:n_trial] <= OPEN_SIGNUP_DAY + 1e-9).all()
+
+    def test_open_signup_users_join_after(self, small_world, timeline):
+        n_trial = int(
+            round(small_world.config.field_trial_fraction * small_world.n_users)
+        )
+        assert (timeline.join_days[n_trial:] >= OPEN_SIGNUP_DAY).all()
+
+    def test_viral_ramp_accelerates(self):
+        rng = np.random.default_rng(0)
+        days = assign_join_days(10_000, 1.0, rng)
+        # Exponential viral growth: more of the field trial joins in the
+        # last 30 days than in the first 60.
+        late = (days > OPEN_SIGNUP_DAY - 30).sum()
+        early = (days <= 30).sum()
+        assert late > 3 * early
+
+    def test_no_mass_pileup_at_crawl_day(self):
+        rng = np.random.default_rng(0)
+        days = assign_join_days(20_000, 0.3, rng)
+        assert (days > CRAWL_DAY - 1).mean() < 0.05
+
+
+class TestEdgeDays:
+    def test_edges_after_both_endpoints(self, small_world, timeline):
+        graph = small_world.graph
+        both = np.maximum(
+            timeline.join_days[graph.sources], timeline.join_days[graph.targets]
+        )
+        assert (timeline.edge_days >= both - 1e-9).all()
+
+    def test_edges_within_window(self, timeline):
+        assert timeline.edge_days.max() <= CRAWL_DAY
+
+    def test_deterministic(self, small_world):
+        a = build_timeline(small_world.graph, 0.3, seed=4)
+        b = build_timeline(small_world.graph, 0.3, seed=4)
+        assert np.array_equal(a.join_days, b.join_days)
+        assert np.array_equal(a.edge_days, b.edge_days)
+
+
+class TestSnapshots:
+    def test_monotone_growth(self, timeline):
+        previous_nodes = previous_edges = -1
+        for day in (30, 60, 90, 120, 180):
+            nodes, sources, _ = timeline.snapshot(day)
+            assert len(nodes) >= previous_nodes
+            assert len(sources) >= previous_edges
+            previous_nodes, previous_edges = len(nodes), len(sources)
+
+    def test_final_snapshot_is_whole_world(self, small_world, timeline):
+        nodes, sources, targets = timeline.snapshot(CRAWL_DAY)
+        assert len(nodes) == small_world.n_users
+        assert len(sources) == small_world.graph.n_edges
+
+    def test_snapshot_edges_among_joined_nodes(self, timeline):
+        nodes, sources, targets = timeline.snapshot(100.0)
+        joined = set(nodes.tolist())
+        assert set(sources.tolist()) <= joined
+        assert set(targets.tolist()) <= joined
+
+    def test_adoption_curve_monotone(self, timeline):
+        days = np.linspace(0, CRAWL_DAY, 50)
+        curve = timeline.adoption_curve(days)
+        assert (np.diff(curve) >= 0).all()
+        assert curve[-1] == len(timeline.join_days)
+
+    def test_validation(self, small_world):
+        with pytest.raises(ValueError):
+            GrowthTimeline(
+                graph=small_world.graph,
+                join_days=np.zeros(3),
+                edge_days=np.zeros(small_world.graph.n_edges),
+            )
+
+
+class TestConfig:
+    def test_config_shapes_spike(self):
+        rng = np.random.default_rng(1)
+        spiky = GrowthConfig(open_spike_fraction=0.9, open_spike_days=5.0)
+        days = assign_join_days(10_000, 0.2, rng, spiky)
+        opened = days[days >= OPEN_SIGNUP_DAY]
+        within_spike = (opened <= OPEN_SIGNUP_DAY + 10).mean()
+        assert within_spike > 0.5

@@ -1,0 +1,76 @@
+"""Tests for occupation models and the Jaccard index."""
+
+import numpy as np
+import pytest
+
+from repro.platform.models import Occupation
+from repro.synth.occupations import (
+    CELEBRITY_OCCUPATIONS,
+    jaccard_index,
+    OccupationSampler,
+    ORDINARY_OCCUPATIONS,
+)
+
+
+class TestTable5Sequences:
+    def test_all_top10_countries_present(self):
+        assert set(CELEBRITY_OCCUPATIONS) == {
+            "US", "IN", "BR", "GB", "CA", "DE", "ID", "MX", "IT", "ES",
+        }
+
+    def test_ten_entries_each(self):
+        for sequence in CELEBRITY_OCCUPATIONS.values():
+            assert len(sequence) == 10
+
+    def test_us_row_verbatim(self):
+        codes = [o.value for o in CELEBRITY_OCCUPATIONS["US"]]
+        assert codes == ["Co", "Mu", "IT", "Mu", "IT", "Mu", "Bu", "IT", "Mo", "Ac"]
+
+    def test_es_has_politicians_brazil_does_not(self):
+        assert Occupation.POLITICIAN in CELEBRITY_OCCUPATIONS["ES"]
+        assert Occupation.POLITICIAN not in CELEBRITY_OCCUPATIONS["BR"]
+        assert Occupation.IT not in CELEBRITY_OCCUPATIONS["BR"]
+
+    def test_italy_has_four_journalists(self):
+        count = sum(
+            1 for o in CELEBRITY_OCCUPATIONS["IT"] if o is Occupation.JOURNALIST
+        )
+        assert count == 4
+
+    def test_paper_jaccard_values_recoverable(self):
+        """The Jaccard column of Table 5 follows from the sequences."""
+        us = set(CELEBRITY_OCCUPATIONS["US"])
+        assert jaccard_index(set(CELEBRITY_OCCUPATIONS["CA"]), us) == pytest.approx(0.83, abs=0.01)
+        assert jaccard_index(set(CELEBRITY_OCCUPATIONS["IN"]), us) == pytest.approx(0.57, abs=0.01)
+        assert jaccard_index(set(CELEBRITY_OCCUPATIONS["BR"]), us) == pytest.approx(0.18, abs=0.01)
+        assert jaccard_index(us, us) == 1.0
+
+
+class TestJaccard:
+    def test_disjoint(self):
+        assert jaccard_index({1, 2}, {3}) == 0.0
+
+    def test_identical(self):
+        assert jaccard_index({1, 2}, {1, 2}) == 1.0
+
+    def test_partial(self):
+        assert jaccard_index({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard_index(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard_index(set(), {1}) == 0.0
+
+
+class TestOrdinarySampler:
+    def test_mix_sums_to_one(self):
+        assert sum(ORDINARY_OCCUPATIONS.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_sampled_frequencies(self):
+        sampler = OccupationSampler(np.random.default_rng(0))
+        sample = sampler.sample(20_000)
+        student_share = sum(1 for o in sample if o is Occupation.STUDENT) / len(sample)
+        assert student_share == pytest.approx(
+            ORDINARY_OCCUPATIONS[Occupation.STUDENT], abs=0.02
+        )

@@ -1,0 +1,145 @@
+"""Tests for population and profile generation."""
+
+import numpy as np
+import pytest
+
+from repro.platform.models import ContactInfo, Gender
+from repro.synth.config import WorldConfig
+from repro.synth.profiles import build_profiles, generate_population
+
+N = 3_000
+
+
+@pytest.fixture(scope="module")
+def config() -> WorldConfig:
+    return WorldConfig(n_users=N, seed=21)
+
+
+@pytest.fixture(scope="module")
+def population(config):
+    return generate_population(config, np.random.default_rng(config.seed))
+
+
+@pytest.fixture(scope="module")
+def profiles(config, population):
+    return build_profiles(population, config, np.random.default_rng(99))
+
+
+class TestPopulation:
+    def test_arrays_sized(self, population):
+        assert population.n == N
+        assert len(population.country_codes) == N
+        assert len(population.genders) == N
+        assert len(population.disclosure) == N
+
+    def test_countries_from_table(self, population):
+        assert set(population.country_codes) <= set(population.countries)
+
+    def test_us_is_plurality(self, population):
+        from collections import Counter
+
+        counts = Counter(population.country_codes)
+        assert counts.most_common(1)[0][0] == "US"
+
+    def test_celebrities_seated_in_their_countries(self, population):
+        for user_id, spec in population.celebrity_spec.items():
+            assert population.country_codes[user_id] == spec.country
+
+    def test_celebrity_count(self, population):
+        assert len(population.celebrity_spec) == 120  # 20 global + 100 national
+
+    def test_celebrity_weights_positive(self, population):
+        for user_id in population.celebrity_spec:
+            assert population.celebrity_weight[user_id] > 0
+
+    def test_celebrity_followback_suppressed(self, population):
+        for user_id in population.celebrity_spec:
+            assert population.followback[user_id] <= 0.05
+
+    def test_tel_user_count_exact(self, population, config):
+        assert population.tel_users.sum() == round(config.tel_user_rate * N)
+
+    def test_celebrities_never_tel_users(self, population):
+        for user_id in population.celebrity_spec:
+            assert not population.tel_users[user_id]
+
+    def test_too_small_world_rejected(self):
+        with pytest.raises(ValueError):
+            WorldConfig(n_users=100, seed=1)
+
+    def test_deterministic(self, config):
+        a = generate_population(config, np.random.default_rng(config.seed))
+        b = generate_population(config, np.random.default_rng(config.seed))
+        assert a.country_codes == b.country_codes
+        assert np.array_equal(a.tel_users, b.tel_users)
+        assert np.array_equal(a.latitudes, b.latitudes)
+
+
+class TestProfiles:
+    def test_one_profile_per_user(self, profiles):
+        assert len(profiles) == N
+
+    def test_celebrity_names_used(self, population, profiles):
+        for user_id, spec in population.celebrity_spec.items():
+            assert profiles[user_id].name == spec.name
+
+    def test_celebrities_expose_occupation_and_places(self, population, profiles):
+        for user_id in population.celebrity_spec:
+            assert profiles[user_id].get_public("occupation") is not None
+            assert profiles[user_id].get_public("places_lived") is not None
+
+    def test_tel_users_have_public_phone(self, population, profiles):
+        for user_id in np.flatnonzero(population.tel_users):
+            assert profiles[int(user_id)].shares_phone_publicly()
+
+    def test_non_tel_users_have_no_public_phone(self, population, profiles):
+        non_tel = [
+            uid for uid in range(N) if not population.tel_users[uid]
+        ]
+        assert not any(
+            profiles[uid].shares_phone_publicly() for uid in non_tel
+        )
+
+    def test_gender_availability_near_table2(self, profiles):
+        shared = sum(
+            1 for p in profiles.values() if p.get_public("gender") is not None
+        )
+        assert shared / len(profiles) == pytest.approx(0.9767, abs=0.02)
+
+    def test_places_availability_near_table2(self, profiles):
+        # Celebrities always share places; at N=3000 the 120 of them add
+        # ~3 points over the Table 2 baseline, hence the wide tolerance.
+        shared = sum(
+            1 for p in profiles.values() if p.get_public("places_lived") is not None
+        )
+        assert shared / len(profiles) == pytest.approx(0.2675, abs=0.06)
+
+    def test_education_availability_near_table2(self, profiles):
+        shared = sum(
+            1 for p in profiles.values() if p.get_public("education") is not None
+        )
+        assert shared / len(profiles) == pytest.approx(0.2711, abs=0.05)
+
+    def test_last_place_is_home_city(self, population, profiles):
+        for user_id in range(0, N, 97):
+            places = profiles[user_id].get_public("places_lived")
+            if places is None:
+                continue
+            assert places[-1].country == population.country_codes[user_id]
+            assert places[-1].latitude == pytest.approx(
+                population.latitudes[user_id]
+            )
+
+    def test_contact_blocks_are_contactinfo(self, population, profiles):
+        for user_id in np.flatnonzero(population.tel_users):
+            profile = profiles[int(user_id)]
+            value = profile.get_public("work_contact") or profile.get_public(
+                "home_contact"
+            )
+            assert isinstance(value, ContactInfo)
+
+    def test_gender_values_valid(self, profiles):
+        for user_id in range(0, N, 53):
+            gender = profiles[user_id].get_public("gender")
+            if gender is not None:
+                assert isinstance(gender, Gender)

@@ -1,0 +1,85 @@
+"""Smoke tests: every shipped example runs end to end on a small world."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "1500", "3")
+        assert "Table 1" in out or "Who is popular" in out
+        assert "reciprocity" in out
+
+    def test_privacy_study(self):
+        out = run_example("privacy_study.py", "1500", "3")
+        assert "Table 2" in out
+        assert "Telephone users" in out or "tel-users" in out
+
+    def test_geo_adoption(self):
+        out = run_example("geo_adoption.py", "1500", "3")
+        assert "Figure 6" in out
+        assert "Recommendation-system hint" in out
+
+    def test_crawl_campaign(self):
+        out = run_example("crawl_campaign.py", "1200", "3")
+        assert "edge recall" in out
+        assert "archived and reloaded" in out
+
+    def test_network_growth(self):
+        out = run_example("network_growth.py", "1500", "3")
+        assert "densification exponent" in out
+        assert "tipping point" in out
+
+    def test_content_diffusion(self):
+        out = run_example("content_diffusion.py", "1500", "3")
+        assert "walled-garden penalty" in out
+        assert "Posting culture" in out
+
+    def test_market_strategies(self):
+        out = run_example("market_strategies.py", "1500", "3")
+        assert "product strategy" in out
+        assert "Political campaigning viable in" in out
+
+
+class TestExperimentsCLI:
+    def test_module_cli(self):
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.experiments",
+                "--users", "1500", "--seed", "3", "table2", "fig6",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "table2" in result.stdout
+        assert "fig6" in result.stdout
+
+    def test_unknown_artifact_fails_cleanly(self):
+        result = subprocess.run(
+            [
+                sys.executable, "-m", "repro.experiments",
+                "--users", "1500", "nope",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode != 0

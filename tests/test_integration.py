@@ -1,0 +1,106 @@
+"""Cross-module integration invariants: world -> crawl -> graph -> analyses."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.reciprocity import global_reciprocity
+
+
+class TestCrawlFidelity:
+    def test_crawled_edges_subset_of_truth(self, small_world, small_crawl):
+        truth = set(
+            zip(
+                small_world.graph.sources.tolist(),
+                small_world.graph.targets.tolist(),
+            )
+        )
+        for u, v in zip(small_crawl.sources, small_crawl.targets):
+            assert (int(u), int(v)) in truth
+
+    def test_crawled_profiles_match_service_profiles(
+        self, small_world, small_crawl
+    ):
+        for user_id, parsed in list(small_crawl.profiles.items())[:200]:
+            truth = small_world.profiles[user_id]
+            assert parsed.name == truth.name
+            # Every field the crawler saw is a public field of the truth.
+            for key in parsed.fields:
+                assert truth.get_public(key) is not None
+
+    def test_private_fields_never_leak(self, small_world, small_crawl):
+        leaked = 0
+        for user_id, parsed in small_crawl.profiles.items():
+            truth = small_world.profiles[user_id]
+            for key, entry in truth.fields.items():
+                if not entry.is_public() and key in parsed.fields:
+                    leaked += 1
+        assert leaked == 0
+
+    def test_tel_users_match_ground_truth(self, small_world, small_crawl):
+        truth_tel = {
+            uid
+            for uid in range(small_world.n_users)
+            if small_world.population.tel_users[uid]
+        }
+        crawled_tel = {
+            p.user_id for p in small_crawl.profiles.values() if p.shares_phone()
+        }
+        assert crawled_tel == truth_tel
+
+    def test_degrees_match_service(self, small_world, small_crawl):
+        graph = small_crawl.to_csr()
+        service = small_world.service
+        for user_id in list(small_crawl.profiles)[:100]:
+            compact = graph.compact_index(user_id)
+            # Full crawl with public lists: crawled degree <= service degree,
+            # equality unless a partner hides lists.
+            assert len(graph.out_neighbors(compact)) <= service.out_degree(user_id)
+
+
+class TestMeasurementConsistency:
+    def test_reciprocity_of_crawl_close_to_truth(self, small_world, small_crawl):
+        truth_graph = CSRGraph.from_edge_arrays(
+            small_world.graph.sources,
+            small_world.graph.targets,
+            node_ids=np.arange(small_world.n_users),
+        )
+        crawled = global_reciprocity(small_crawl.to_csr())
+        truth = global_reciprocity(truth_graph)
+        assert crawled == pytest.approx(truth, abs=0.02)
+
+    def test_geo_countries_match_population(self, small_world, small_crawl):
+        from repro.geo.index import build_geo_index
+
+        index = build_geo_index(small_crawl)
+        mismatches = 0
+        for user_id, resolved in zip(index.user_ids, index.countries):
+            if small_world.population.country_codes[int(user_id)] != resolved:
+                mismatches += 1
+        # Resolution by nearest city may flip border cases only.
+        assert mismatches / max(1, index.n_located) < 0.02
+
+
+class TestStudyEndToEnd:
+    def test_headline_story_reproduced(self, study_results):
+        """The paper's abstract in assertions."""
+        # "higher level of reciprocity than Twitter"
+        assert study_results.table4_row.reciprocity > 0.221
+        # "average path length ... slightly higher" (directed > undirected)
+        assert (
+            study_results.fig5_paths.directed.mean
+            > study_results.fig5_paths.undirected.mean
+        )
+        # "Google+ is popular in countries with relatively low Internet
+        # penetration rate" — top-GPR country has sub-50% penetration.
+        top_gpr = study_results.fig7_penetration.ranked_by_gpr()[0]
+        assert top_gpr.internet_penetration < 0.5
+        # "notion of privacy varies significantly across cultures"
+        openness = study_results.fig8_openness
+        means = [c.mean_fields for c in openness.by_country.values()]
+        assert max(means) - min(means) > 0.4
+        # "physical distance is crucial in the likelihood of forming a link"
+        f9 = study_results.fig9a_path_miles
+        assert f9.samples.fraction_within(1000, "friends") > (
+            f9.samples.fraction_within(1000, "random_pairs") + 0.15
+        )
