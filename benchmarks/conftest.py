@@ -4,10 +4,16 @@ One bench-scale world (larger than the test worlds) is built and crawled
 once per session; every per-artifact bench times its *analysis* stage on
 that shared crawl and writes the rendered artifact (the same rows/series
 the paper reports) to ``benchmarks/output/<artifact>.txt``.
+
+The harness also records every bench's wall time: each ``bench_<name>``
+module gets a ``benchmarks/output/BENCH_<name>.json`` run report (see
+:mod:`repro.obs.report`), so the perf trajectory of each artifact is
+tracked file-by-file across PRs.
 """
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 import numpy as np
@@ -15,12 +21,51 @@ import pytest
 
 from repro.core import MeasurementStudy, StudyConfig, StudyResults
 from repro.experiments.registry import EXPERIMENTS
+from repro.obs import RunReport, get_registry
 
 #: Bench world scale; large enough for stable per-country statistics.
 BENCH_USERS = 12_000
 BENCH_SEED = 7
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+#: Per-module bench timings collected as run-report phase records.
+_BENCH_PHASES: dict[str, list[dict]] = {}
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Time every bench and collect it as a run-report phase."""
+    start = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - start
+    module = Path(str(item.fspath)).stem
+    if module.startswith("bench_"):
+        _BENCH_PHASES.setdefault(module, []).append(
+            {
+                "name": item.name,
+                "path": item.name,
+                "count": 1,
+                "wall_seconds": elapsed,
+                "virtual_seconds": 0.0,
+            }
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one BENCH_<name>.json run report per bench module."""
+    if not _BENCH_PHASES:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    for module, phases in sorted(_BENCH_PHASES.items()):
+        report = RunReport(
+            kind="bench",
+            config={"module": module, "users": BENCH_USERS, "seed": BENCH_SEED},
+            phases=phases,
+            metrics=get_registry().snapshot(),
+        )
+        report.write(OUTPUT_DIR / f"BENCH_{module.removeprefix('bench_')}.json")
 
 
 @pytest.fixture(scope="session")

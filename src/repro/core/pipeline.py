@@ -73,6 +73,7 @@ from repro.crawler.dataset import CrawlDataset
 from repro.crawler.lost_edges import estimate_lost_edges, LostEdgeEstimate
 from repro.geo.index import build_geo_index, GeoIndex
 from repro.graph.csr import CSRGraph
+from repro.obs import trace
 from repro.graph.stats import GraphSummary
 from repro.synth.countries import TOP10_CODES
 from repro.synth.world import build_world, SyntheticWorld, WorldConfig
@@ -143,7 +144,8 @@ class MeasurementStudy:
     @property
     def world(self) -> SyntheticWorld:
         if self._world is None:
-            self._world = build_world(self.config.world_config())
+            with trace.span("study.build_world"):
+                self._world = build_world(self.config.world_config())
         return self._world
 
     def crawl(self) -> CrawlDataset:
@@ -156,53 +158,81 @@ class MeasurementStudy:
             world.frontend(),
             CrawlConfig(n_machines=self.config.n_machines, max_pages=max_pages),
         )
-        return crawler.crawl([world.seed_user_id()])
+        with trace.span("study.crawl", machines=self.config.n_machines):
+            return crawler.crawl([world.seed_user_id()])
 
     def run(self, dataset: CrawlDataset | None = None) -> StudyResults:
-        """Crawl (unless given a dataset) and compute every artifact."""
+        """Crawl (unless given a dataset) and compute every artifact.
+
+        Each pipeline phase runs under its own span, so a run report can
+        show where wall time (and, for the crawl, virtual time) went.
+        """
         config = self.config
         if dataset is None:
             dataset = self.crawl()
         world = self._world  # populated by .crawl(); None for foreign datasets
-        graph = dataset.to_csr()
-        geo = build_geo_index(dataset)
+        with trace.span("study.freeze_graph"):
+            graph = dataset.to_csr()
+        with trace.span("study.geo_index"):
+            geo = build_geo_index(dataset)
         rng = np.random.default_rng(config.seed + 1)
         top10 = list(TOP10_CODES)
-        fig5 = analyze_path_lengths(
-            graph,
-            rng,
-            initial_k=config.path_sample_start,
-            max_k=config.path_sample_max,
-        )
+        with trace.span("study.analyze.paths"):
+            fig5 = analyze_path_lengths(
+                graph,
+                rng,
+                initial_k=config.path_sample_start,
+                max_k=config.path_sample_max,
+            )
+        with trace.span("study.analyze.structure"):
+            table4_row = google_plus_table4_row(
+                graph, rng, path_samples=config.path_sample_max, paths=fig5
+            )
+            fig3_degrees = analyze_degrees(graph)
+            fig4a_reciprocity = analyze_reciprocity(graph)
+            fig4b_clustering = analyze_clustering(graph, rng)
+            fig4c_sccs = analyze_sccs(graph)
+        with trace.span("study.analyze.profiles"):
+            table1_top_users = top_users_by_in_degree(dataset, graph, k=20)
+            table2_attributes = attribute_availability(dataset)
+            table3_tel_users = compare_tel_users(dataset, geo)
+            fig2_fields = fields_shared_ccdfs(dataset)
+            lost_edges = estimate_lost_edges(dataset)
+        with trace.span("study.analyze.geography"):
+            fig6_countries = top_countries(geo, k=10)
+            fig7_penetration = penetration_analysis(geo)
+            fig8_openness = openness_by_country(dataset, geo, top10)
+            fig9a_path_miles = analyze_path_miles(
+                dataset, geo, rng, max_pairs=config.path_mile_pairs
+            )
+            fig9b_country_miles = analyze_country_path_miles(dataset, geo, top10)
+            fig10_links = analyze_link_geography(dataset, geo, top10)
+            table5_occupations = top_occupations_by_country(
+                dataset, graph, geo, top10
+            )
         return StudyResults(
             config=config,
             dataset=dataset,
             graph=graph,
             geo=geo,
-            table1_top_users=top_users_by_in_degree(dataset, graph, k=20),
-            table2_attributes=attribute_availability(dataset),
-            table3_tel_users=compare_tel_users(dataset, geo),
-            table4_row=google_plus_table4_row(
-                graph, rng, path_samples=config.path_sample_max, paths=fig5
-            ),
-            fig2_fields=fields_shared_ccdfs(dataset),
-            fig3_degrees=analyze_degrees(graph),
-            fig4a_reciprocity=analyze_reciprocity(graph),
-            fig4b_clustering=analyze_clustering(graph, rng),
-            fig4c_sccs=analyze_sccs(graph),
+            table1_top_users=table1_top_users,
+            table2_attributes=table2_attributes,
+            table3_tel_users=table3_tel_users,
+            table4_row=table4_row,
+            fig2_fields=fig2_fields,
+            fig3_degrees=fig3_degrees,
+            fig4a_reciprocity=fig4a_reciprocity,
+            fig4b_clustering=fig4b_clustering,
+            fig4c_sccs=fig4c_sccs,
             fig5_paths=fig5,
-            lost_edges=estimate_lost_edges(dataset),
-            fig6_countries=top_countries(geo, k=10),
-            fig7_penetration=penetration_analysis(geo),
-            fig8_openness=openness_by_country(dataset, geo, top10),
-            fig9a_path_miles=analyze_path_miles(
-                dataset, geo, rng, max_pairs=config.path_mile_pairs
-            ),
-            fig9b_country_miles=analyze_country_path_miles(dataset, geo, top10),
-            fig10_links=analyze_link_geography(dataset, geo, top10),
-            table5_occupations=top_occupations_by_country(
-                dataset, graph, geo, top10
-            ),
+            lost_edges=lost_edges,
+            fig6_countries=fig6_countries,
+            fig7_penetration=fig7_penetration,
+            fig8_openness=fig8_openness,
+            fig9a_path_miles=fig9a_path_miles,
+            fig9b_country_miles=fig9b_country_miles,
+            fig10_links=fig10_links,
+            table5_occupations=table5_occupations,
             extras={"world": world},
         )
 

@@ -18,12 +18,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import trace
+from repro.obs.metrics import get_registry
 from repro.platform.http import HttpFrontend
 
 from .dataset import CrawlDataset, CrawlStats
 from .frontier import BFSFrontier
 from .parse import parse_profile_page
-from .workers import MachinePool
+from .workers import MachinePool, publish_fetch_stats
 
 #: Packing base for the edge-dedup set; user ids must stay below this.
 _PACK = 1 << 32
@@ -58,52 +60,72 @@ class BidirectionalBFSCrawler:
 
     def crawl(self, seeds: list[int]) -> CrawlDataset:
         """Run the campaign from the given seed users."""
-        started = self.frontend.clock.now()
-        frontier = BFSFrontier()
-        frontier.add_all(seeds)
-        profiles = {}
-        edge_keys: set[int] = set()
-        sources: list[int] = []
-        targets: list[int] = []
-
-        def record_edge(u: int, v: int) -> None:
-            if u == v:
-                return
-            key = u * _PACK + v
-            if key in edge_keys:
-                return
-            edge_keys.add(key)
-            sources.append(u)
-            targets.append(v)
-
-        max_pages = self.config.max_pages
-        while frontier:
-            if max_pages is not None and len(profiles) >= max_pages:
-                break
-            user_id = frontier.pop()
-            page = self.pool.fetch_profile(user_id)
-            if page is None:
-                continue
-            profile = parse_profile_page(page)
-            profiles[user_id] = profile
-            if self.config.follow_out_lists and profile.out_list is not None:
-                for target in profile.out_list:
-                    record_edge(user_id, target)
-                frontier.add_all(profile.out_list)
-            if self.config.follow_in_lists and profile.in_list is not None:
-                for source in profile.in_list:
-                    record_edge(source, user_id)
-                frontier.add_all(profile.in_list)
-
-        fetch_stats = self.pool.combined_stats()
-        stats = CrawlStats(
-            pages_fetched=fetch_stats.pages_fetched,
-            not_found=fetch_stats.not_found,
-            throttled=fetch_stats.throttled,
-            server_errors=fetch_stats.server_errors,
-            virtual_duration=self.frontend.clock.now() - started,
-            n_machines=self.config.n_machines,
+        tracer = trace.get_tracer()
+        tracer.bind_clock(self.frontend.clock)
+        registry = get_registry()
+        frontier_gauge = registry.gauge(
+            "crawl.frontier_size", "Users queued for fetching"
         )
+        pages_counter = registry.counter("crawl.pages", "Profile pages crawled")
+        throughput_gauge = registry.gauge(
+            "crawl.pages_per_virtual_second", "Crawl throughput on the virtual clock"
+        )
+        with tracer.span(
+            "crawl.bfs", machines=self.config.n_machines, seeds=len(seeds)
+        ):
+            started = self.frontend.clock.now()
+            frontier = BFSFrontier()
+            frontier.add_all(seeds)
+            profiles = {}
+            edge_keys: set[int] = set()
+            sources: list[int] = []
+            targets: list[int] = []
+
+            def record_edge(u: int, v: int) -> None:
+                if u == v:
+                    return
+                key = u * _PACK + v
+                if key in edge_keys:
+                    return
+                edge_keys.add(key)
+                sources.append(u)
+                targets.append(v)
+
+            max_pages = self.config.max_pages
+            while frontier:
+                if max_pages is not None and len(profiles) >= max_pages:
+                    break
+                user_id = frontier.pop()
+                page = self.pool.fetch_profile(user_id)
+                frontier_gauge.set(len(frontier))
+                if page is None:
+                    continue
+                profile = parse_profile_page(page)
+                profiles[user_id] = profile
+                pages_counter.inc()
+                if self.config.follow_out_lists and profile.out_list is not None:
+                    for target in profile.out_list:
+                        record_edge(user_id, target)
+                    frontier.add_all(profile.out_list)
+                if self.config.follow_in_lists and profile.in_list is not None:
+                    for source in profile.in_list:
+                        record_edge(source, user_id)
+                    frontier.add_all(profile.in_list)
+
+            fetch_stats = self.pool.combined_stats()
+            virtual_duration = self.frontend.clock.now() - started
+            if virtual_duration > 0:
+                throughput_gauge.set(fetch_stats.pages_fetched / virtual_duration)
+            publish_fetch_stats(fetch_stats, registry)
+            stats = CrawlStats(
+                pages_fetched=fetch_stats.pages_fetched,
+                not_found=fetch_stats.not_found,
+                throttled=fetch_stats.throttled,
+                server_errors=fetch_stats.server_errors,
+                virtual_duration=virtual_duration,
+                n_machines=self.config.n_machines,
+                discovered=frontier.n_discovered,
+            )
         return CrawlDataset(
             profiles=profiles,
             sources=np.array(sources, dtype=np.int64),

@@ -4,17 +4,23 @@ One :class:`Fetcher` models one crawl machine: it has its own IP address,
 respects the server's throttling by sleeping (on the virtual clock) for
 the advertised retry-after, and retries transient 503s with exponential
 backoff — the operational realities of the authors' 46-day crawl.
+
+Each fetcher publishes a per-machine virtual-latency histogram and retry
+counters to the metrics registry (see ``docs/observability.md``), so a
+study run can show how evenly the fleet's load and throttle pressure
+were spread.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import Registry, get_registry
 from repro.platform.http import (
     HttpFrontend,
     Request,
     STATUS_NOT_FOUND,
-    STATUS_SERVER_ERROR,
     STATUS_TOO_MANY_REQUESTS,
 )
 from repro.platform.pages import ProfilePage
@@ -24,15 +30,42 @@ class FetchError(Exception):
     """A page could not be retrieved after exhausting retries."""
 
 
+#: Floor applied to throttle waits so a zero retry-after cannot spin.
+MIN_THROTTLE_WAIT = 0.01
+
+
 @dataclass
 class FetchStats:
-    """Counters for one fetcher (one crawl machine)."""
+    """Counters for one fetcher (one crawl machine).
+
+    All fields must stay numeric and additive: :meth:`merge` combines
+    stats field-by-field via :func:`dataclasses.fields`, so newly added
+    counters aggregate without touching any call site.
+    """
 
     pages_fetched: int = 0
     not_found: int = 0
     throttled: int = 0
     server_errors: int = 0
     time_waiting: float = 0.0
+
+    def merge(self, other: "FetchStats") -> "FetchStats":
+        """Add ``other``'s counters into self (in place); returns self."""
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def __add__(self, other: "FetchStats") -> "FetchStats":
+        if not isinstance(other, FetchStats):
+            return NotImplemented
+        return FetchStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in dataclasses.fields(self)
+            }
+        )
+
+    __radd__ = __add__
 
 
 @dataclass
@@ -51,31 +84,54 @@ class Fetcher:
     parallelism: int = 1
     max_retries: int = 6
     stats: FetchStats = field(default_factory=FetchStats)
+    registry: Registry | None = None
+
+    def __post_init__(self) -> None:
+        registry = self.registry if self.registry is not None else get_registry()
+        self._m_latency = registry.histogram(
+            "crawler.fetch_virtual_seconds",
+            "Virtual time per completed fetch, per crawl machine",
+            labels=("machine",),
+        )
+        self._m_retries = registry.counter(
+            "crawler.fetch_retries",
+            "Retries performed, per machine and transient cause",
+            labels=("machine", "reason"),
+        )
 
     def fetch_profile(self, user_id: int) -> ProfilePage | None:
         """Fetch one profile page; None for 404, FetchError when exhausted."""
+        clock = self.frontend.clock
+        started = clock.now()
         backoff = 0.5
         for _ in range(self.max_retries + 1):
-            self.frontend.clock.advance(self.request_latency / max(1, self.parallelism))
+            clock.advance(self.request_latency / max(1, self.parallelism))
             response = self.frontend.handle(Request(f"/u/{user_id}", self.ip))
             if response.ok:
                 self.stats.pages_fetched += 1
+                self._m_latency.observe(clock.now() - started, machine=self.ip)
                 return response.payload
             if response.status == STATUS_NOT_FOUND:
                 self.stats.not_found += 1
                 return None
+            if not response.should_retry:
+                raise FetchError(
+                    f"unexpected status {response.status} for user {user_id}"
+                )
+            # Transient (429/503): one shared wait-and-retry path.
             if response.status == STATUS_TOO_MANY_REQUESTS:
                 self.stats.throttled += 1
-                wait = max(response.retry_after, 0.01)
-            elif response.status == STATUS_SERVER_ERROR:
+                reason = "throttled"
+                wait = max(response.retry_after, MIN_THROTTLE_WAIT)
+            else:
                 self.stats.server_errors += 1
+                reason = "server_error"
                 wait = backoff
                 backoff *= 2.0
-            else:
-                raise FetchError(f"unexpected status {response.status} for user {user_id}")
+            self._m_retries.inc(machine=self.ip, reason=reason)
             self.stats.time_waiting += wait
             # Waits are NOT divided by fleet parallelism: the server's
             # retry-after is wall-clock time that must actually elapse
             # before the per-IP bucket refills.
-            self.frontend.clock.advance(wait)
+            clock.advance(wait)
         raise FetchError(f"retries exhausted fetching user {user_id}")

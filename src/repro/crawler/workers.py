@@ -8,10 +8,27 @@ the server's per-IP rate limit.
 
 from __future__ import annotations
 
+import dataclasses
+
+from repro.obs.metrics import Registry, get_registry
 from repro.platform.http import HttpFrontend
 from repro.platform.pages import ProfilePage
 
 from .fetch import Fetcher, FetchStats
+
+
+def publish_fetch_stats(stats: FetchStats, registry: Registry | None = None) -> None:
+    """Metrics bridge: export every FetchStats field as a pool gauge.
+
+    Driven by :func:`dataclasses.fields`, so counters added to
+    :class:`FetchStats` show up in the registry (and in run reports)
+    automatically, one gauge ``crawler.pool_<field>`` each.
+    """
+    registry = registry if registry is not None else get_registry()
+    for f in dataclasses.fields(stats):
+        registry.gauge(
+            f"crawler.pool_{f.name}", f"Fleet-combined FetchStats.{f.name}"
+        ).set(float(getattr(stats, f.name)))
 
 
 class MachinePool:
@@ -47,11 +64,8 @@ class MachinePool:
         return fetcher.fetch_profile(user_id)
 
     def combined_stats(self) -> FetchStats:
+        """Fleet-wide totals, merged field-by-field (new fields included)."""
         total = FetchStats()
         for fetcher in self.fetchers:
-            total.pages_fetched += fetcher.stats.pages_fetched
-            total.not_found += fetcher.stats.not_found
-            total.throttled += fetcher.stats.throttled
-            total.server_errors += fetcher.stats.server_errors
-            total.time_waiting += fetcher.stats.time_waiting
+            total.merge(fetcher.stats)
         return total

@@ -16,7 +16,6 @@ import numpy as np
 from repro.core.paper_tables import GooglePlusPaper as P, TABLE4_ROWS
 from repro.core.pipeline import StudyResults
 from repro.graph.degree import cdf
-from repro.synth.countries import build_country_table
 
 from .render import (
     AsciiPlot,

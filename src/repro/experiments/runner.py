@@ -12,11 +12,13 @@ renders the requested artifacts from it.
 from __future__ import annotations
 
 import argparse
+from dataclasses import asdict
 from pathlib import Path
 from typing import Iterable
 
 from repro.core.compare import compare_results
 from repro.core.pipeline import MeasurementStudy, StudyConfig, StudyResults
+from repro.obs import RUN_REPORT_FILENAME, RunReport, build_report, get_registry, trace
 
 from .registry import EXPERIMENTS
 from .render import format_table
@@ -47,6 +49,41 @@ def save_artifacts(
         path.write_text(text + "\n", encoding="utf-8")
         written.append(path)
     return written
+
+
+def build_study_report(results: StudyResults) -> RunReport:
+    """Assemble the machine-readable record of one study run.
+
+    Phases come from the global tracer, metrics from the global registry
+    (both populated by the instrumented pipeline); coverage combines the
+    crawl's accounting with the Section 2.2 lost-edge estimate.
+    """
+    lost = results.lost_edges
+    coverage = {
+        **vars(results.dataset.stats),
+        "profiles": results.dataset.n_profiles,
+        "edges": results.dataset.n_edges,
+        "graph_nodes": results.graph.n,
+        "lost_edges": {
+            "capped_users": lost.capped_users,
+            "declared_edges": lost.declared_edges,
+            "collected_edges": lost.collected_edges,
+            "missing_edges": lost.missing_edges,
+            "lost_fraction": lost.lost_fraction,
+            "display_limit": lost.display_limit,
+        },
+    }
+    return build_report(
+        kind="study", config=asdict(results.config), coverage=coverage
+    )
+
+
+def save_run_report(
+    results: StudyResults, directory: str | Path | None = None
+) -> Path:
+    """Write ``run_report.json`` into ``directory`` (default: cwd)."""
+    directory = Path(directory) if directory is not None else Path(".")
+    return build_study_report(results).write(directory / RUN_REPORT_FILENAME)
 
 
 def render_comparison_table(results: StudyResults) -> str:
@@ -86,7 +123,17 @@ def main(argv: list[str] | None = None) -> int:
         "--save", metavar="DIR", default=None,
         help="also write each artifact to DIR/<id>.txt",
     )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="write run_report.json (config, per-phase wall+virtual timings, "
+        "metric snapshot, crawl coverage) next to the artifacts",
+    )
     args = parser.parse_args(argv)
+    if args.report:
+        # The report should describe this run only, not whatever the
+        # process accumulated before it.
+        get_registry().reset()
+        trace.get_tracer().reset()
     study = MeasurementStudy(StudyConfig(n_users=args.users, seed=args.seed))
     results = study.run()
     for artifact_id, text in run_experiments(results, args.artifacts or None).items():
@@ -98,6 +145,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.save:
         written = save_artifacts(results, args.save, args.artifacts or None)
         print(f"\nwrote {len(written)} artifacts to {args.save}")
+    if args.report:
+        report_path = save_run_report(results, args.save)
+        print(f"\nwrote run report to {report_path}")
     return 0
 
 

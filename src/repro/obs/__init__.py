@@ -1,0 +1,59 @@
+"""``repro.obs`` — observability for the Google+ reproduction.
+
+Three pieces, all dependency-free:
+
+* :mod:`repro.obs.metrics` — a labelled metrics registry (counters,
+  gauges, log-bucketed histograms) with a process-global default,
+  ``snapshot()``/``render_text()``/``to_json()`` exports, and an
+  environment kill switch (``REPRO_OBS=0``).
+* :mod:`repro.obs.trace` — nested spans that record wall *and*
+  simulated-clock virtual time, aggregated flame-style by span path.
+* :mod:`repro.obs.report` — the :class:`RunReport` written as
+  ``run_report.json`` by the experiment runner and as ``BENCH_*.json``
+  records by the benchmark harness.
+
+``python -m repro.obs`` runs a small instrumented crawl and dumps the
+metric and span state it produced.
+"""
+
+from . import trace
+from .metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    Registry,
+    get_registry,
+    log_buckets,
+    set_registry,
+)
+from .report import (
+    RUN_REPORT_FILENAME,
+    RUN_REPORT_SCHEMA_VERSION,
+    RunReport,
+    build_report,
+    validate_run_report,
+)
+from .trace import Span, SpanStats, Tracer, get_tracer, set_tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "RUN_REPORT_FILENAME",
+    "RUN_REPORT_SCHEMA_VERSION",
+    "RunReport",
+    "Span",
+    "SpanStats",
+    "Tracer",
+    "build_report",
+    "get_registry",
+    "get_tracer",
+    "log_buckets",
+    "set_registry",
+    "set_tracer",
+    "trace",
+    "validate_run_report",
+]

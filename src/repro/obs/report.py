@@ -1,0 +1,181 @@
+"""Machine-readable run reports.
+
+A :class:`RunReport` is the durable record of one run — a study, a
+crawl, or a benchmark: the configuration it ran under, where its wall
+and virtual time went (per-phase span aggregates), a full metric
+snapshot, and crawl-coverage accounting (pages fetched, lost-edge and
+truncation counts).  The experiment runner writes one as
+``run_report.json`` next to the rendered artifacts; the benchmark
+harness writes one ``BENCH_<name>.json`` per bench module, so the perf
+trajectory of the reproduction is tracked file-by-file from this PR
+onward.
+
+The module is deliberately generic: it never imports the pipeline.  The
+caller supplies config/coverage dicts; :func:`build_report` pulls phases
+and metrics from the (default) tracer and registry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from .metrics import Registry, get_registry
+from .trace import Tracer, get_tracer
+
+__all__ = [
+    "RUN_REPORT_FILENAME",
+    "RUN_REPORT_SCHEMA_VERSION",
+    "RunReport",
+    "build_report",
+    "validate_run_report",
+]
+
+RUN_REPORT_SCHEMA_VERSION = 1
+
+#: Canonical file name used by the experiment runner.
+RUN_REPORT_FILENAME = "run_report.json"
+
+#: Required top-level keys and the types they must carry.
+_SCHEMA_TOP_LEVEL: dict[str, type | tuple[type, ...]] = {
+    "schema_version": int,
+    "kind": str,
+    "created_unix": (int, float),
+    "config": dict,
+    "phases": list,
+    "metrics": dict,
+    "coverage": dict,
+    "extra": dict,
+}
+
+_SCHEMA_PHASE_KEYS: dict[str, type | tuple[type, ...]] = {
+    "name": str,
+    "path": str,
+    "count": int,
+    "wall_seconds": (int, float),
+    "virtual_seconds": (int, float),
+}
+
+
+@dataclass
+class RunReport:
+    """One run's machine-readable record (see module docstring)."""
+
+    kind: str = "study"
+    config: dict = field(default_factory=dict)
+    phases: list[dict] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    coverage: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+    created_unix: float = field(default_factory=time.time)
+    schema_version: int = RUN_REPORT_SCHEMA_VERSION
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "created_unix": self.created_unix,
+            "config": self.config,
+            "phases": self.phases,
+            "metrics": self.metrics,
+            "coverage": self.coverage,
+            "extra": self.extra,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent, default=_jsonify)
+
+    def write(self, path: str | Path) -> Path:
+        """Write the report as JSON; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "RunReport":
+        problems = validate_run_report(data)
+        if problems:
+            raise ValueError(f"invalid run report: {problems}")
+        return cls(
+            kind=data["kind"],
+            config=data["config"],
+            phases=data["phases"],
+            metrics=data["metrics"],
+            coverage=data["coverage"],
+            extra=data["extra"],
+            created_unix=data["created_unix"],
+            schema_version=data["schema_version"],
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunReport":
+        return cls.from_json_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def _jsonify(value: Any) -> Any:
+    """Fallback encoder: numpy scalars, paths, dataclass-likes."""
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if isinstance(value, Path):
+        return str(value)
+    if hasattr(value, "__dict__"):
+        return vars(value)
+    return str(value)
+
+
+def validate_run_report(data: Any) -> list[str]:
+    """Check a decoded report against the v1 schema; [] means valid."""
+    problems: list[str] = []
+    if not isinstance(data, Mapping):
+        return [f"report must be a mapping, got {type(data).__name__}"]
+    for key, expected in _SCHEMA_TOP_LEVEL.items():
+        if key not in data:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(data[key], expected):
+            problems.append(
+                f"key {key!r} must be {expected}, got {type(data[key]).__name__}"
+            )
+    if isinstance(data.get("schema_version"), int):
+        if data["schema_version"] > RUN_REPORT_SCHEMA_VERSION:
+            problems.append(
+                f"schema_version {data['schema_version']} is newer than "
+                f"supported {RUN_REPORT_SCHEMA_VERSION}"
+            )
+    for i, phase in enumerate(data.get("phases") or []):
+        if not isinstance(phase, Mapping):
+            problems.append(f"phases[{i}] must be a mapping")
+            continue
+        for key, expected in _SCHEMA_PHASE_KEYS.items():
+            if key not in phase:
+                problems.append(f"phases[{i}] missing key {key!r}")
+            elif not isinstance(phase[key], expected):
+                problems.append(f"phases[{i}].{key} must be {expected}")
+    metrics = data.get("metrics")
+    if isinstance(metrics, Mapping) and metrics and "metrics" not in metrics:
+        problems.append("metrics must be a registry snapshot (missing 'metrics' list)")
+    return problems
+
+
+def build_report(
+    kind: str = "study",
+    config: Mapping[str, Any] | None = None,
+    coverage: Mapping[str, Any] | None = None,
+    extra: Mapping[str, Any] | None = None,
+    registry: Registry | None = None,
+    tracer: Tracer | None = None,
+) -> RunReport:
+    """Assemble a report from the (default) registry and tracer state."""
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    return RunReport(
+        kind=kind,
+        config=dict(config or {}),
+        phases=[stats.to_json_dict() for stats in tracer.summary()],
+        metrics=registry.snapshot(),
+        coverage=dict(coverage or {}),
+        extra=dict(extra or {}),
+    )

@@ -15,11 +15,16 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs.metrics import Registry, get_registry, log_buckets
+
 #: HTTP-ish status codes the simulated server can return.
 STATUS_OK = 200
 STATUS_NOT_FOUND = 404
 STATUS_TOO_MANY_REQUESTS = 429
 STATUS_SERVER_ERROR = 503
+
+#: Statuses that signal a transient condition worth retrying.
+RETRYABLE_STATUSES = frozenset({STATUS_TOO_MANY_REQUESTS, STATUS_SERVER_ERROR})
 
 
 @dataclass(frozen=True)
@@ -41,6 +46,15 @@ class Response:
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+    @property
+    def should_retry(self) -> bool:
+        """True for transient statuses (429 throttle, 503 flake).
+
+        Clients should wait at least :attr:`retry_after` (the server's
+        advertised delay; 0 when it offered none) before retrying.
+        """
+        return self.status in RETRYABLE_STATUSES
 
 
 class SimulatedClock:
@@ -137,6 +151,7 @@ class HttpFrontend:
         burst: float = 100.0,
         error_rate: float = 0.0,
         seed: int = 0,
+        registry: Registry | None = None,
     ):
         self._handler = handler
         self.clock = clock if clock is not None else SimulatedClock()
@@ -145,16 +160,38 @@ class HttpFrontend:
         self.requests_served = 0
         self.requests_throttled = 0
         self.requests_failed = 0
+        registry = registry if registry is not None else get_registry()
+        self._m_requests = registry.counter(
+            "http.requests", "Requests handled by the front end", labels=("status",)
+        )
+        self._m_throttle_wait = registry.histogram(
+            "http.throttle_wait_seconds",
+            "Retry-after advertised on rate-limiter rejections",
+            buckets=log_buckets(0.001, 2.0, 16),
+        )
+        # Materialise every status series up front so reports always carry
+        # the full 200/404/429/503 breakdown, zeros included.
+        for status in (
+            STATUS_OK,
+            STATUS_NOT_FOUND,
+            STATUS_TOO_MANY_REQUESTS,
+            STATUS_SERVER_ERROR,
+        ):
+            self._m_requests.inc(0, status=status)
 
     def handle(self, request: Request) -> Response:
         """Serve one request, applying throttling and failure injection."""
         granted, retry_after = self._limiter.admit(request.client_ip)
         if not granted:
             self.requests_throttled += 1
+            self._m_requests.inc(status=STATUS_TOO_MANY_REQUESTS)
+            self._m_throttle_wait.observe(retry_after)
             return Response(STATUS_TOO_MANY_REQUESTS, retry_after=retry_after)
         if self._flakiness.should_fail():
             self.requests_failed += 1
+            self._m_requests.inc(status=STATUS_SERVER_ERROR)
             return Response(STATUS_SERVER_ERROR, retry_after=1.0)
         status, payload = self._handler(request.path)
         self.requests_served += 1
+        self._m_requests.inc(status=status)
         return Response(status, payload)

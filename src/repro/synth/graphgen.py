@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geo.distance import haversine_miles
+from repro.obs import trace
 
 from .cities import build_gazetteer
 from .config import GraphGenConfig
@@ -133,10 +134,11 @@ def generate_graph(
 ) -> GeneratedGraph:
     """Run the growth process and return the directed edge list."""
     n = population.n
-    out_wish = _sample_out_degrees(population, config, rng)
-    pools = _TokenPools(population, config)
-    mixing = _country_mixing(population)
-    gravity = _GravityKernel(config) if config.geo_homophily else None
+    with trace.span("graphgen.setup", users=n):
+        out_wish = _sample_out_degrees(population, config, rng)
+        pools = _TokenPools(population, config)
+        mixing = _country_mixing(population)
+        gravity = _GravityKernel(config) if config.geo_homophily else None
     country_codes = population.country_codes
     city_indices = population.city_indices
     followback = population.followback
@@ -196,6 +198,55 @@ def generate_graph(
 
     max_rounds = int(out_wish.max())
     active = np.argsort(-out_wish)  # stable processing order, heaviest first
+    with trace.span("graphgen.growth_rounds", rounds=max_rounds):
+        _run_growth_rounds(
+            max_rounds,
+            active,
+            out_wish,
+            config,
+            rng,
+            mixing,
+            gravity,
+            pools,
+            country_codes,
+            city_indices,
+            all_codes,
+            share_cum,
+            out_lists,
+            out_sets,
+            add_edge,
+            maybe_followback,
+            pick_from_pool,
+        )
+
+    return GeneratedGraph(
+        sources=np.array(sources, dtype=np.int64),
+        targets=np.array(targets, dtype=np.int64),
+        n_users=n,
+    )
+
+
+def _run_growth_rounds(
+    max_rounds,
+    active,
+    out_wish,
+    config,
+    rng,
+    mixing,
+    gravity,
+    pools,
+    country_codes,
+    city_indices,
+    all_codes,
+    share_cum,
+    out_lists,
+    out_sets,
+    add_edge,
+    maybe_followback,
+    pick_from_pool,
+) -> int:
+    """Interleaved edge-growth rounds (split out for span accounting)."""
+    edges_added = 0
     for round_index in range(max_rounds):
         round_users = active[out_wish[active] > round_index]
         if len(round_users) == 0:
@@ -247,10 +298,6 @@ def generate_graph(
             if target is None:
                 continue
             if add_edge(u, target):
+                edges_added += 1
                 maybe_followback(u, target, follow_rolls[slot])
-
-    return GeneratedGraph(
-        sources=np.array(sources, dtype=np.int64),
-        targets=np.array(targets, dtype=np.int64),
-        n_users=n,
-    )
+    return edges_added

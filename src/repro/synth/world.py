@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import trace
 from repro.platform.http import HttpFrontend, SimulatedClock
 from repro.platform.models import UserProfile
 from repro.platform.service import GooglePlusService
@@ -112,10 +113,15 @@ def build_world(config: WorldConfig | None = None) -> SyntheticWorld:
     """Generate a complete world from a config (or the calibrated default)."""
     config = config if config is not None else WorldConfig()
     rng = np.random.default_rng(config.seed)
-    population = generate_population(config, rng)
-    profiles = build_profiles(population, config, rng)
-    graph = generate_graph(population, config.graph, rng)
-    service = _populate_service(config, population, profiles, graph, rng)
+    with trace.span("synth.build_world", users=config.n_users):
+        with trace.span("synth.population"):
+            population = generate_population(config, rng)
+        with trace.span("synth.profiles"):
+            profiles = build_profiles(population, config, rng)
+        with trace.span("synth.graphgen"):
+            graph = generate_graph(population, config.graph, rng)
+        with trace.span("synth.service"):
+            service = _populate_service(config, population, profiles, graph, rng)
     return SyntheticWorld(
         config=config,
         population=population,

@@ -1,12 +1,9 @@
 """Tests for the structural analyses (Figures 3-5, Table 4)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.structure import (
-    analyze_clustering,
     analyze_degrees,
-    analyze_path_lengths,
     analyze_reciprocity,
     analyze_sccs,
 )

@@ -1,12 +1,10 @@
 """Tests for Table 1 / Table 5 analyses."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.top_users import (
     it_fraction,
     occupation_of,
-    top_occupations_by_country,
     top_users_by_in_degree,
 )
 from repro.platform.models import Occupation
@@ -79,8 +77,6 @@ class TestTable5:
         """Planted celebrities should hold a large share of the per-country
         top-10 slots (their in-ranking order may shuffle, as Table 5's rows
         are anyway occupation *sets* for the Jaccard comparison)."""
-        from repro.graph.csr import CSRGraph
-
         graph = study_results.graph
         in_degrees = graph.in_degrees()
         geo = study_results.geo

@@ -1,7 +1,6 @@
 """Tests for the end-to-end measurement pipeline."""
 
 import numpy as np
-import pytest
 
 from repro.core import MeasurementStudy, StudyConfig
 from repro.synth import WorldConfig

@@ -1,13 +1,11 @@
 """Tests for the retrying fetcher."""
 
+import dataclasses
+
 import pytest
 
-from repro.crawler.fetch import Fetcher, FetchError
-from repro.platform.http import (
-    HttpFrontend,
-    STATUS_NOT_FOUND,
-    STATUS_OK,
-)
+from repro.crawler.fetch import Fetcher, FetchError, FetchStats
+from repro.platform.http import HttpFrontend
 from repro.platform.models import UserProfile
 from repro.platform.service import GooglePlusService
 
@@ -62,6 +60,15 @@ class TestFetcher:
         fetcher.fetch_profile(1)
         assert fetcher.frontend.clock.now() > before
 
+    def test_throttle_and_flake_counted_separately(self, service):
+        fetcher = make_fetcher(
+            service, rate_per_ip=5.0, burst=1.0, error_rate=0.3, seed=5
+        )
+        for _ in range(10):
+            assert fetcher.fetch_profile(1) is not None
+        assert fetcher.stats.throttled > 0
+        assert fetcher.stats.server_errors > 0
+
     def test_parallelism_scales_time(self, service):
         solo = make_fetcher(service)
         solo.fetch_profile(1)
@@ -71,3 +78,33 @@ class TestFetcher:
         )
         fleet.fetch_profile(1)
         assert fleet_frontend.clock.now() < solo.frontend.clock.now()
+
+
+class TestFetchStats:
+    def test_merge_adds_every_field(self):
+        a = FetchStats(pages_fetched=2, not_found=1, time_waiting=0.5)
+        b = FetchStats(pages_fetched=3, server_errors=4, time_waiting=1.5)
+        assert a.merge(b) is a
+        assert a == FetchStats(
+            pages_fetched=5, not_found=1, server_errors=4, time_waiting=2.0
+        )
+
+    def test_add_is_non_destructive(self):
+        a = FetchStats(pages_fetched=2)
+        b = FetchStats(pages_fetched=3, throttled=1)
+        total = a + b
+        assert total == FetchStats(pages_fetched=5, throttled=1)
+        assert a == FetchStats(pages_fetched=2)
+
+    def test_sum_builtin(self):
+        stats = [FetchStats(pages_fetched=i) for i in range(4)]
+        assert sum(stats, FetchStats()).pages_fetched == 6
+
+    def test_merge_covers_fields_added_later(self):
+        """merge iterates dataclasses.fields, so every field aggregates."""
+        a, b = FetchStats(), FetchStats()
+        for f in dataclasses.fields(FetchStats):
+            setattr(b, f.name, 1)
+        a.merge(b)
+        for f in dataclasses.fields(FetchStats):
+            assert getattr(a, f.name) == 1, f.name

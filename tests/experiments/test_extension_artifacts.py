@@ -2,8 +2,6 @@
 
 import dataclasses
 
-import pytest
-
 from repro.experiments.registry import EXPERIMENTS
 
 

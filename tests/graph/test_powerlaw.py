@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph.degree import ccdf, EmpiricalCCDF
+from repro.graph.degree import EmpiricalCCDF
 from repro.graph.powerlaw import (
     fit_powerlaw,
     fit_powerlaw_ccdf,

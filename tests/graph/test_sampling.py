@@ -1,6 +1,5 @@
 """Tests for sampling helpers."""
 
-import numpy as np
 import pytest
 
 from repro.graph.csr import CSRGraph

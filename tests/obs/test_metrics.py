@@ -1,0 +1,193 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    OBS_ENV_VAR,
+    Registry,
+    get_registry,
+    log_buckets,
+)
+
+
+@pytest.fixture
+def registry() -> Registry:
+    return Registry(enabled=True)
+
+
+class TestLogBuckets:
+    def test_log_spacing(self):
+        edges = log_buckets(0.001, 2.0, 5)
+        assert edges == (0.001, 0.002, 0.004, 0.008, 0.016)
+
+    def test_default_latency_buckets_cover_ms_to_minutes(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] == 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] > 300.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 2.0, 3)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 1.0, 3)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 2.0, 0)
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("requests")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labelled_series_independent(self, registry):
+        c = registry.counter("requests", labels=("status",))
+        c.inc(status=200)
+        c.inc(status=200)
+        c.inc(status=429)
+        assert c.value(status=200) == 2
+        assert c.value(status=429) == 1
+        assert c.value(status=404) == 0
+
+    def test_label_mismatch_rejected(self, registry):
+        c = registry.counter("requests", labels=("status",))
+        with pytest.raises(ValueError):
+            c.inc()
+        with pytest.raises(ValueError):
+            c.inc(code=200)
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("requests").inc(-1)
+
+    def test_get_or_create_returns_same_object(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_label_conflict_rejected(self, registry):
+        registry.counter("x", labels=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x", labels=("b",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("frontier")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value() == 12
+
+
+class TestHistogram:
+    def test_bucket_edges_le_semantics(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        # Values on an edge land in that edge's bucket (le semantics);
+        # values past the last edge land in the +inf overflow bucket.
+        for v in (0.5, 1.0, 1.5, 2.0, 4.0, 99.0):
+            h.observe(v)
+        stats = h.series_stats()
+        assert stats["count"] == 6
+        assert stats["bucket_edges"] == [1.0, 2.0, 4.0, "+inf"]
+        assert stats["cumulative_counts"] == [2, 4, 5, 6]
+        assert stats["min"] == 0.5
+        assert stats["max"] == 99.0
+        assert stats["sum"] == pytest.approx(108.0)
+
+    def test_unobserved_series_is_none(self, registry):
+        h = registry.histogram("lat")
+        assert h.series_stats() is None
+
+    def test_non_increasing_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=(2.0, 1.0))
+
+    def test_labelled_histogram(self, registry):
+        h = registry.histogram("lat", labels=("machine",), buckets=(1.0,))
+        h.observe(0.5, machine="10.0.0.1")
+        h.observe(3.0, machine="10.0.0.2")
+        assert h.series_stats(machine="10.0.0.1")["count"] == 1
+        assert h.series_stats(machine="10.0.0.2")["cumulative_counts"] == [0, 1]
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_structure(self, registry):
+        registry.counter("c", help="a counter", labels=("k",)).inc(k="v")
+        registry.gauge("g").set(7)
+        snap = registry.snapshot()
+        assert snap["enabled"] is True
+        names = [m["name"] for m in snap["metrics"]]
+        assert names == ["c", "g"]  # sorted
+        counter = snap["metrics"][0]
+        assert counter["kind"] == "counter"
+        assert counter["help"] == "a counter"
+        assert counter["samples"] == [{"labels": {"k": "v"}, "value": 1.0}]
+
+    def test_reset_zeroes_values_keeps_registration(self, registry):
+        c = registry.counter("c", labels=("k",))
+        c.inc(k="v")
+        registry.reset()
+        assert c.value(k="v") == 0
+        assert registry.counter("c", labels=("k",)) is c
+        assert registry.snapshot()["metrics"][0]["samples"] == []
+
+    def test_to_json_round_trips(self, registry):
+        registry.counter("c").inc(3)
+        data = json.loads(registry.to_json())
+        assert data["metrics"][0]["samples"][0]["value"] == 3.0
+
+    def test_render_text(self, registry):
+        registry.counter("http.requests", help="reqs", labels=("status",)).inc(
+            status=200
+        )
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        text = registry.render_text()
+        assert "# HELP http.requests reqs" in text
+        assert '# TYPE http.requests counter' in text
+        assert 'http.requests{status="200"} 1' in text
+        assert "lat_count 1" in text
+        assert "lat_sum 0.5" in text
+
+
+class TestDisable:
+    def test_disabled_mutators_are_noops(self, registry):
+        registry.disable()
+        c = registry.counter("c")
+        g = registry.gauge("g")
+        h = registry.histogram("h")
+        c.inc()
+        g.set(5)
+        h.observe(1.0)
+        assert c.value() == 0
+        assert g.value() == 0
+        assert h.series_stats() is None
+
+    def test_reenable(self, registry):
+        registry.disable()
+        registry.enable()
+        registry.counter("c").inc()
+        assert registry.counter("c").value() == 1
+
+    def test_env_var_disables_fresh_registries(self, monkeypatch):
+        monkeypatch.setenv(OBS_ENV_VAR, "0")
+        assert Registry().enabled is False
+        monkeypatch.setenv(OBS_ENV_VAR, "1")
+        assert Registry().enabled is True
+        monkeypatch.delenv(OBS_ENV_VAR)
+        assert Registry().enabled is True
+
+    def test_explicit_enabled_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(OBS_ENV_VAR, "0")
+        assert Registry(enabled=True).enabled is True
+
+
+class TestDefaultRegistry:
+    def test_global_registry_is_stable(self):
+        assert get_registry() is get_registry()

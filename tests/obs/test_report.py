@@ -1,0 +1,161 @@
+"""Tests for run reports, including the end-to-end study report."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    RUN_REPORT_FILENAME,
+    RUN_REPORT_SCHEMA_VERSION,
+    Registry,
+    RunReport,
+    Tracer,
+    build_report,
+    validate_run_report,
+)
+from repro.obs import metrics as metrics_mod
+from repro.obs import trace as trace_mod
+
+
+class TestRunReport:
+    def test_write_and_load_round_trip(self, tmp_path):
+        report = RunReport(
+            kind="study",
+            config={"n_users": 10},
+            phases=[
+                {
+                    "name": "crawl",
+                    "path": "crawl",
+                    "count": 1,
+                    "wall_seconds": 0.5,
+                    "virtual_seconds": 12.0,
+                }
+            ],
+            metrics={"enabled": True, "metrics": []},
+            coverage={"pages_fetched": 10},
+        )
+        path = report.write(tmp_path / "sub" / "run_report.json")
+        loaded = RunReport.load(path)
+        assert loaded.config == {"n_users": 10}
+        assert loaded.phases[0]["virtual_seconds"] == 12.0
+        assert loaded.schema_version == RUN_REPORT_SCHEMA_VERSION
+
+    def test_validate_accepts_written_report(self, tmp_path):
+        path = RunReport().write(tmp_path / "r.json")
+        assert validate_run_report(json.loads(path.read_text())) == []
+
+    def test_validate_flags_missing_keys(self):
+        problems = validate_run_report({"kind": "study"})
+        assert any("schema_version" in p for p in problems)
+        assert any("phases" in p for p in problems)
+
+    def test_validate_flags_bad_phase(self):
+        data = RunReport(phases=[{"name": "x"}]).to_json_dict()
+        problems = validate_run_report(data)
+        assert any("phases[0]" in p for p in problems)
+
+    def test_validate_flags_newer_schema(self):
+        data = RunReport().to_json_dict()
+        data["schema_version"] = RUN_REPORT_SCHEMA_VERSION + 1
+        assert any("newer" in p for p in validate_run_report(data))
+
+    def test_validate_rejects_non_mapping(self):
+        assert validate_run_report([1, 2]) != []
+
+    def test_build_report_pulls_registry_and_tracer(self):
+        registry = Registry(enabled=True)
+        tracer = Tracer(registry=registry)
+        registry.counter("c").inc(4)
+        with tracer.span("phase1"):
+            pass
+        report = build_report(
+            kind="bench",
+            config={"k": 1},
+            coverage={"pages": 2},
+            registry=registry,
+            tracer=tracer,
+        )
+        assert report.kind == "bench"
+        assert report.phases[0]["name"] == "phase1"
+        assert report.metrics["metrics"][0]["samples"][0]["value"] == 4.0
+        assert validate_run_report(report.to_json_dict()) == []
+
+
+@pytest.fixture(scope="module")
+def study_report_path(tmp_path_factory):
+    """Run a small full study through the CLI runner with --report."""
+    from repro.experiments.runner import main
+
+    # Isolate the global registry/tracer so the report reflects only
+    # this run, then restore the shared state for the rest of the suite.
+    old_registry = metrics_mod.get_registry()
+    old_tracer = trace_mod.get_tracer()
+    metrics_mod.set_registry(Registry(enabled=True))
+    trace_mod.set_tracer(Tracer(registry=metrics_mod.get_registry()))
+    out_dir = tmp_path_factory.mktemp("report_run")
+    try:
+        code = main(
+            ["--users", "1200", "--seed", "3", "--save", str(out_dir), "--report",
+             "table2"]
+        )
+        assert code == 0
+    finally:
+        metrics_mod.set_registry(old_registry)
+        trace_mod.set_tracer(old_tracer)
+    return out_dir / RUN_REPORT_FILENAME
+
+
+class TestEndToEndStudyReport:
+    def test_report_written_and_schema_valid(self, study_report_path):
+        assert study_report_path.exists()
+        data = json.loads(study_report_path.read_text())
+        assert validate_run_report(data) == []
+        assert data["kind"] == "study"
+        assert data["config"]["n_users"] == 1200
+
+    def test_phases_have_wall_and_virtual_timings(self, study_report_path):
+        data = json.loads(study_report_path.read_text())
+        by_path = {p["path"]: p for p in data["phases"]}
+        crawl = by_path["study.crawl/crawl.bfs"]
+        assert crawl["wall_seconds"] > 0.0
+        assert crawl["virtual_seconds"] > 0.0
+        assert "study.build_world/synth.build_world/synth.graphgen" in by_path
+        assert "study.analyze.structure" in by_path
+
+    def test_http_status_counts_present(self, study_report_path):
+        data = json.loads(study_report_path.read_text())
+        metrics = {m["name"]: m for m in data["metrics"]["metrics"]}
+        statuses = {
+            s["labels"]["status"]: s["value"]
+            for s in metrics["http.requests"]["samples"]
+        }
+        assert set(statuses) == {"200", "404", "429", "503"}
+        assert statuses["200"] > 0
+
+    def test_per_machine_fetch_histograms(self, study_report_path):
+        data = json.loads(study_report_path.read_text())
+        metrics = {m["name"]: m for m in data["metrics"]["metrics"]}
+        hist = metrics["crawler.fetch_virtual_seconds"]
+        assert hist["kind"] == "histogram"
+        machines = {s["labels"]["machine"] for s in hist["samples"]}
+        assert len(machines) == 11
+        total = sum(s["value"]["count"] for s in hist["samples"])
+        assert total == data["coverage"]["pages_fetched"]
+
+    def test_coverage_counts(self, study_report_path):
+        data = json.loads(study_report_path.read_text())
+        coverage = data["coverage"]
+        assert coverage["pages_fetched"] == coverage["profiles"] > 0
+        assert coverage["discovered"] >= coverage["pages_fetched"]
+        assert coverage["edges"] > 0
+        assert coverage["n_machines"] == 11
+        assert coverage["virtual_duration"] > 0.0
+        lost = coverage["lost_edges"]
+        assert set(lost) >= {
+            "capped_users",
+            "declared_edges",
+            "collected_edges",
+            "missing_edges",
+            "lost_fraction",
+            "display_limit",
+        }

@@ -7,6 +7,7 @@ from repro.platform.http import (
     HttpFrontend,
     RateLimiter,
     Request,
+    Response,
     SimulatedClock,
     STATUS_NOT_FOUND,
     STATUS_OK,
@@ -14,6 +15,18 @@ from repro.platform.http import (
     STATUS_TOO_MANY_REQUESTS,
     TokenBucket,
 )
+
+
+class TestResponse:
+    def test_ok(self):
+        assert Response(STATUS_OK).ok
+        assert not Response(STATUS_NOT_FOUND).ok
+
+    def test_should_retry_only_transient_statuses(self):
+        assert Response(STATUS_TOO_MANY_REQUESTS, retry_after=0.5).should_retry
+        assert Response(STATUS_SERVER_ERROR).should_retry
+        assert not Response(STATUS_OK).should_retry
+        assert not Response(STATUS_NOT_FOUND).should_retry
 
 
 class TestClock:
@@ -142,3 +155,22 @@ class TestFrontend:
         assert frontend.handle(Request("/u/1", "ip")).status == STATUS_TOO_MANY_REQUESTS
         frontend.clock.advance(1.5)
         assert frontend.handle(Request("/u/1", "ip")).ok
+
+    def test_requests_counted_by_status(self):
+        from repro.obs.metrics import Registry
+
+        registry = Registry(enabled=True)
+        frontend = HttpFrontend(
+            echo_handler, rate_per_ip=1.0, burst=1.0, registry=registry
+        )
+        frontend.handle(Request("/u/1", "ip"))       # 200
+        frontend.handle(Request("/u/1", "ip"))       # throttled
+        frontend.clock.advance(2.0)
+        frontend.handle(Request("/missing", "ip"))   # 404
+        counter = registry.get("http.requests")
+        assert counter.value(status=STATUS_OK) == 1
+        assert counter.value(status=STATUS_TOO_MANY_REQUESTS) == 1
+        assert counter.value(status=STATUS_NOT_FOUND) == 1
+        assert counter.value(status=STATUS_SERVER_ERROR) == 0
+        # Throttle waits feed the advertised-delay histogram.
+        assert registry.get("http.throttle_wait_seconds").series_stats()["count"] == 1

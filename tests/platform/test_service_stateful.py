@@ -4,7 +4,6 @@ page-list agreement)."""
 
 import hypothesis.strategies as st
 from hypothesis.stateful import (
-    Bundle,
     invariant,
     rule,
     RuleBasedStateMachine,

@@ -1,6 +1,5 @@
 """Tests for the content-activity simulation."""
 
-import numpy as np
 import pytest
 
 from repro.synth.activity import ActivityConfig, simulate_activity

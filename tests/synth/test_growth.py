@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.synth.growth import (
-    assign_edge_days,
     assign_join_days,
     build_timeline,
     CRAWL_DAY,
