@@ -1,7 +1,13 @@
 """Bidirectional BFS crawler over the simulated Google+ service."""
 
-from .bfs import BidirectionalBFSCrawler, CrawlConfig
-from .dataset import CrawlDataset, CrawlStats
+from .bfs import (
+    BidirectionalBFSCrawler,
+    CrawlConfig,
+    CrawlHooks,
+    CrawlSnapshot,
+    ResumeState,
+)
+from .dataset import CrawlDataset, CrawlStats, profile_from_json, profile_to_json
 from .fetch import Fetcher, FetchError, FetchStats
 from .frontier import BFSFrontier
 from .graph_sampling import (
@@ -20,7 +26,12 @@ __all__ = [
     "BidirectionalBFSCrawler",
     "CrawlConfig",
     "CrawlDataset",
+    "CrawlHooks",
+    "CrawlSnapshot",
     "CrawlStats",
+    "ResumeState",
+    "profile_from_json",
+    "profile_to_json",
     "estimate_lost_edges",
     "Fetcher",
     "FetchError",

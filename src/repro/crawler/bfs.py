@@ -10,11 +10,18 @@ u's out-list.
 The crawler never touches the service's internals: everything flows
 through the HTTP front end, the same way the authors' crawler saw
 Google+.
+
+Long campaigns (the authors' ran ~52 days) survive interruption through
+the :class:`CrawlHooks` extension points: a hooks object can persist
+every page as it lands, ask for periodic checkpoints, and hand back a
+:class:`ResumeState` so a killed crawl continues exactly where it
+stopped.  :mod:`repro.store.campaign` provides the durable
+implementation; the crawler itself stays storage-agnostic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -24,7 +31,7 @@ from repro.platform.http import HttpFrontend
 
 from .dataset import CrawlDataset, CrawlStats
 from .frontier import BFSFrontier
-from .parse import parse_profile_page
+from .parse import ParsedProfile, parse_profile_page
 from .workers import MachinePool, publish_fetch_stats
 
 #: Packing base for the edge-dedup set; user ids must stay below this.
@@ -46,6 +53,99 @@ class CrawlConfig:
             raise ValueError("crawler must follow at least one list direction")
 
 
+@dataclass
+class CrawlSnapshot:
+    """Complete control state of a crawl at a page boundary.
+
+    Everything a resumed process needs — beyond the durable page/edge
+    log itself — to continue a crawl bit-identically: the frontier
+    contents, the fleet's rotation cursor and per-machine counters, the
+    HTTP front end's clock/limiter/RNG state, and the loop's own
+    accounting.  All values are plain JSON-serialisable types.
+    """
+
+    started: float
+    virtual_now: float
+    n_pages: int
+    n_edges: int
+    frontier: dict
+    pool: dict
+    frontend: dict
+    config: dict = field(default_factory=dict)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "started": self.started,
+            "virtual_now": self.virtual_now,
+            "n_pages": self.n_pages,
+            "n_edges": self.n_edges,
+            "frontier": self.frontier,
+            "pool": self.pool,
+            "frontend": self.frontend,
+            "config": self.config,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "CrawlSnapshot":
+        return cls(
+            started=float(data["started"]),
+            virtual_now=float(data["virtual_now"]),
+            n_pages=int(data["n_pages"]),
+            n_edges=int(data["n_edges"]),
+            frontier=data["frontier"],
+            pool=data["pool"],
+            frontend=data["frontend"],
+            config=dict(data.get("config", {})),
+        )
+
+
+@dataclass
+class ResumeState:
+    """A restored crawl: control snapshot plus the replayed crawl data."""
+
+    snapshot: CrawlSnapshot
+    profiles: dict[int, ParsedProfile]
+    sources: list[int]
+    targets: list[int]
+
+
+class CrawlHooks:
+    """Extension points :meth:`BidirectionalBFSCrawler.crawl` calls.
+
+    The default implementation is a no-op, so ``crawl(seeds)`` behaves
+    exactly as an unhooked in-memory crawl.  A durable store overrides:
+
+    * :meth:`resume_state` — return the state to continue from (or None
+      for a fresh crawl);
+    * :meth:`on_page` — called once per successfully fetched page, with
+      the newly discovered (deduplicated) edges that page contributed;
+    * :meth:`should_checkpoint` / :meth:`on_checkpoint` — the periodic
+      checkpoint cadence and the snapshot sink.  A final checkpoint is
+      always taken when the frontier drains;
+    * :meth:`on_finish` — the completed dataset, for archival.
+    """
+
+    def resume_state(self) -> ResumeState | None:
+        return None
+
+    def on_page(
+        self,
+        user_id: int,
+        profile: ParsedProfile,
+        new_edges: list[tuple[int, int]],
+    ) -> None:
+        pass
+
+    def should_checkpoint(self, n_pages: int, virtual_now: float) -> bool:
+        return False
+
+    def on_checkpoint(self, snapshot: CrawlSnapshot) -> None:
+        pass
+
+    def on_finish(self, dataset: CrawlDataset) -> None:
+        pass
+
+
 class BidirectionalBFSCrawler:
     """BFS crawl of the simulated Google+ over its HTTP front end."""
 
@@ -58,8 +158,13 @@ class BidirectionalBFSCrawler:
             request_latency=self.config.request_latency,
         )
 
-    def crawl(self, seeds: list[int]) -> CrawlDataset:
-        """Run the campaign from the given seed users."""
+    def crawl(self, seeds: list[int], hooks: CrawlHooks | None = None) -> CrawlDataset:
+        """Run the campaign from the given seed users.
+
+        With ``hooks``, the crawl becomes resumable: state restored from
+        ``hooks.resume_state()`` replaces the seeds, and every page /
+        checkpoint event is forwarded to the hooks object.
+        """
         tracer = trace.get_tracer()
         tracer.bind_clock(self.frontend.clock)
         registry = get_registry()
@@ -73,13 +178,30 @@ class BidirectionalBFSCrawler:
         with tracer.span(
             "crawl.bfs", machines=self.config.n_machines, seeds=len(seeds)
         ):
-            started = self.frontend.clock.now()
+            resume = hooks.resume_state() if hooks is not None else None
             frontier = BFSFrontier()
-            frontier.add_all(seeds)
-            profiles = {}
-            edge_keys: set[int] = set()
-            sources: list[int] = []
-            targets: list[int] = []
+            if resume is not None:
+                snapshot = resume.snapshot
+                frontier.restore_state(snapshot.frontier)
+                self.pool.restore_state(snapshot.pool)
+                self.frontend.restore_state(snapshot.frontend)
+                started = snapshot.started
+                profiles = dict(resume.profiles)
+                sources = list(resume.sources)
+                targets = list(resume.targets)
+                edge_keys = {
+                    u * _PACK + v for u, v in zip(sources, targets)
+                }
+            else:
+                started = self.frontend.clock.now()
+                frontier.add_all(seeds)
+                profiles = {}
+                sources = []
+                targets = []
+                edge_keys = set()
+
+            #: Edges the page being processed contributed (for hooks).
+            page_edges: list[tuple[int, int]] = []
 
             def record_edge(u: int, v: int) -> None:
                 if u == v:
@@ -90,6 +212,7 @@ class BidirectionalBFSCrawler:
                 edge_keys.add(key)
                 sources.append(u)
                 targets.append(v)
+                page_edges.append((u, v))
 
             max_pages = self.config.max_pages
             while frontier:
@@ -103,6 +226,7 @@ class BidirectionalBFSCrawler:
                 profile = parse_profile_page(page)
                 profiles[user_id] = profile
                 pages_counter.inc()
+                page_edges.clear()
                 if self.config.follow_out_lists and profile.out_list is not None:
                     for target in profile.out_list:
                         record_edge(user_id, target)
@@ -111,6 +235,14 @@ class BidirectionalBFSCrawler:
                     for source in profile.in_list:
                         record_edge(source, user_id)
                     frontier.add_all(profile.in_list)
+                if hooks is not None:
+                    hooks.on_page(user_id, profile, list(page_edges))
+                    if hooks.should_checkpoint(
+                        len(profiles), self.frontend.clock.now()
+                    ):
+                        hooks.on_checkpoint(
+                            self._snapshot(frontier, started, len(profiles), len(sources))
+                        )
 
             fetch_stats = self.pool.combined_stats()
             virtual_duration = self.frontend.clock.now() - started
@@ -126,9 +258,34 @@ class BidirectionalBFSCrawler:
                 n_machines=self.config.n_machines,
                 discovered=frontier.n_discovered,
             )
-        return CrawlDataset(
-            profiles=profiles,
-            sources=np.array(sources, dtype=np.int64),
-            targets=np.array(targets, dtype=np.int64),
-            stats=stats,
+            dataset = CrawlDataset(
+                profiles=profiles,
+                sources=np.array(sources, dtype=np.int64),
+                targets=np.array(targets, dtype=np.int64),
+                stats=stats,
+            )
+            if hooks is not None:
+                hooks.on_checkpoint(
+                    self._snapshot(frontier, started, len(profiles), len(sources))
+                )
+                hooks.on_finish(dataset)
+        return dataset
+
+    def _snapshot(
+        self, frontier: BFSFrontier, started: float, n_pages: int, n_edges: int
+    ) -> CrawlSnapshot:
+        return CrawlSnapshot(
+            started=started,
+            virtual_now=self.frontend.clock.now(),
+            n_pages=n_pages,
+            n_edges=n_edges,
+            frontier=frontier.export_state(),
+            pool=self.pool.export_state(),
+            frontend=self.frontend.export_state(),
+            config={
+                "n_machines": self.config.n_machines,
+                "request_latency": self.config.request_latency,
+                "follow_in_lists": self.config.follow_in_lists,
+                "follow_out_lists": self.config.follow_out_lists,
+            },
         )

@@ -102,11 +102,28 @@ class CrawlDataset:
                 node["country"] = country
         return graph
 
-    def write_edge_list(self, path: str | Path) -> None:
-        """Write a plain two-column edge list (the classic release format)."""
+    #: Rows per buffered chunk when streaming edge lists to disk.
+    EDGE_LIST_CHUNK = 1 << 16
+
+    def write_edge_list(self, path: str | Path, chunk_size: int | None = None) -> None:
+        """Write a plain two-column edge list (the classic release format).
+
+        Rows stream out in buffered chunks: each chunk is converted to
+        native ints once (``tolist``) and written as a single string, so
+        a large crawl never materialises per-edge numpy scalars or one
+        Python string per row for the whole array.
+        """
+        chunk = self.EDGE_LIST_CHUNK if chunk_size is None else chunk_size
+        if chunk < 1:
+            raise ValueError("chunk_size must be positive")
         with open(path, "w", encoding="utf-8") as handle:
-            for u, v in zip(self.sources, self.targets):
-                handle.write(f"{int(u)}\t{int(v)}\n")
+            for start in range(0, len(self.sources), chunk):
+                stop = start + chunk
+                rows = zip(
+                    self.sources[start:stop].tolist(),
+                    self.targets[start:stop].tolist(),
+                )
+                handle.write("".join([f"{u}\t{v}\n" for u, v in rows]))
 
     # -- serialisation -------------------------------------------------------
 
@@ -119,7 +136,7 @@ class CrawlDataset:
         )
         with open(directory / "profiles.jsonl", "w", encoding="utf-8") as handle:
             for profile in self.profiles.values():
-                handle.write(json.dumps(_profile_to_json(profile)) + "\n")
+                handle.write(json.dumps(profile_to_json(profile)) + "\n")
         with open(directory / "stats.json", "w", encoding="utf-8") as handle:
             json.dump(vars(self.stats), handle)
 
@@ -132,7 +149,7 @@ class CrawlDataset:
         profiles: dict[int, ParsedProfile] = {}
         with open(directory / "profiles.jsonl", encoding="utf-8") as handle:
             for line in handle:
-                profile = _profile_from_json(json.loads(line))
+                profile = profile_from_json(json.loads(line))
                 profiles[profile.user_id] = profile
         stats = CrawlStats()
         stats_path = directory / "stats.json"
@@ -183,7 +200,13 @@ def _decode_value(value: Any) -> Any:
     return value
 
 
-def _profile_to_json(profile: ParsedProfile) -> dict:
+def profile_to_json(profile: ParsedProfile) -> dict:
+    """One profile as a JSON-ready dict — the ``profiles.jsonl`` row format.
+
+    Also the payload of the store's journal page records
+    (:mod:`repro.store.campaign`), so archives and journals replay
+    through the same encoders.
+    """
     return {
         "user_id": profile.user_id,
         "name": profile.name,
@@ -195,7 +218,7 @@ def _profile_to_json(profile: ParsedProfile) -> dict:
     }
 
 
-def _profile_from_json(record: dict) -> ParsedProfile:
+def profile_from_json(record: dict) -> ParsedProfile:
     return ParsedProfile(
         user_id=record["user_id"],
         name=record["name"],

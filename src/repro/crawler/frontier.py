@@ -56,3 +56,25 @@ class BFSFrontier:
     @property
     def n_visited(self) -> int:
         return len(self._visited)
+
+    # -- checkpointing (see repro.store) -------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-ready snapshot of queue + seen + visited.
+
+        The queue keeps its FIFO order (it drives the crawl sequence);
+        the sets are sorted so equal frontiers serialise identically.
+        Ids are coerced to native ints — callers may have fed numpy
+        integers, which hash like ints but do not survive JSON.
+        """
+        return {
+            "queue": [int(user_id) for user_id in self._queue],
+            "seen": sorted(int(user_id) for user_id in self._seen),
+            "visited": sorted(int(user_id) for user_id in self._visited),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite contents from an :meth:`export_state` snapshot."""
+        self._queue = deque(int(user_id) for user_id in state["queue"])
+        self._seen = {int(user_id) for user_id in state["seen"]}
+        self._visited = {int(user_id) for user_id in state["visited"]}

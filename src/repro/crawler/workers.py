@@ -69,3 +69,28 @@ class MachinePool:
         for fetcher in self.fetchers:
             total.merge(fetcher.stats)
         return total
+
+    # -- checkpointing (see repro.store) -------------------------------------
+
+    def export_state(self) -> dict:
+        """Rotation cursor plus per-machine counters, JSON-ready."""
+        return {
+            "next": self._next,
+            "fetchers": [dataclasses.asdict(f.stats) for f in self.fetchers],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore an :meth:`export_state` snapshot onto this pool.
+
+        The pool must have been built with the same machine count — a
+        checkpoint taken on an 11-machine fleet cannot resume on 4.
+        """
+        per_machine = state["fetchers"]
+        if len(per_machine) != len(self.fetchers):
+            raise ValueError(
+                f"checkpoint covers {len(per_machine)} machines, "
+                f"pool has {len(self.fetchers)}"
+            )
+        self._next = int(state["next"]) % len(self.fetchers)
+        for fetcher, stats in zip(self.fetchers, per_machine):
+            fetcher.stats = FetchStats(**stats)

@@ -10,8 +10,9 @@ perfectly deterministic.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -72,6 +73,12 @@ class SimulatedClock:
         self._now += seconds
         return self._now
 
+    def restore(self, now: float) -> None:
+        """Jump to an absolute (not earlier) time — checkpoint resume."""
+        if now < self._now:
+            raise ValueError("the clock only moves forward")
+        self._now = float(now)
+
 
 @dataclass
 class TokenBucket:
@@ -120,6 +127,24 @@ class RateLimiter:
             self._buckets[ip] = bucket
         return bucket.try_take(self._clock.now())
 
+    def export_state(self) -> dict:
+        """Per-IP bucket levels, JSON-ready (see :mod:`repro.store`)."""
+        return {
+            ip: {"tokens": bucket.tokens, "last_refill": bucket.last_refill}
+            for ip, bucket in sorted(self._buckets.items())
+        }
+
+    def restore_state(self, state: Mapping[str, Mapping[str, float]]) -> None:
+        self._buckets = {
+            ip: TokenBucket(
+                self._rate,
+                self._burst,
+                tokens=float(entry["tokens"]),
+                last_refill=float(entry["last_refill"]),
+            )
+            for ip, entry in state.items()
+        }
+
 
 class FlakinessModel:
     """Injects transient 503s with a seeded RNG so crawls stay deterministic."""
@@ -134,6 +159,13 @@ class FlakinessModel:
         if self._error_rate == 0.0:
             return False
         return bool(self._rng.random() < self._error_rate)
+
+    def export_state(self) -> dict:
+        """The RNG's bit-generator state, JSON-ready."""
+        return copy.deepcopy(self._rng.bit_generator.state)
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        self._rng.bit_generator.state = copy.deepcopy(dict(state))
 
 
 class HttpFrontend:
@@ -178,6 +210,31 @@ class HttpFrontend:
             STATUS_SERVER_ERROR,
         ):
             self._m_requests.inc(0, status=status)
+
+    def export_state(self) -> dict:
+        """Complete resumable transport state: clock, counters, limiter, RNG.
+
+        Restoring this on a freshly built front end (same handler, same
+        construction parameters) makes the remaining request sequence
+        bit-identical to one that was never interrupted — the property
+        :mod:`repro.store` checkpoints rely on.
+        """
+        return {
+            "clock": self.clock.now(),
+            "requests_served": self.requests_served,
+            "requests_throttled": self.requests_throttled,
+            "requests_failed": self.requests_failed,
+            "limiter": self._limiter.export_state(),
+            "flakiness": self._flakiness.export_state(),
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        self.clock.restore(float(state["clock"]))
+        self.requests_served = int(state["requests_served"])
+        self.requests_throttled = int(state["requests_throttled"])
+        self.requests_failed = int(state["requests_failed"])
+        self._limiter.restore_state(state["limiter"])
+        self._flakiness.restore_state(state["flakiness"])
 
     def handle(self, request: Request) -> Response:
         """Serve one request, applying throttling and failure injection."""

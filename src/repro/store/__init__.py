@@ -1,0 +1,56 @@
+"""Durable crawl campaigns: WAL journal, edge segments, checkpoints.
+
+The paper's crawl ran for weeks across a machine fleet; this package
+gives the reproduction the same operational property — a crawl that can
+be killed at any instant and resumed to a **bit-identical** dataset.
+
+Layers (each usable standalone):
+
+- :mod:`repro.store.journal` — append-only CRC-checked write-ahead log.
+- :mod:`repro.store.segments` — sharded columnar edge files + compaction
+  into the ``edges.npz`` archive format ``CrawlDataset.load`` reads.
+- :mod:`repro.store.checkpoint` — atomic, self-verifying resume points.
+- :mod:`repro.store.campaign` — ties them to the crawler's hook API.
+
+CLI: ``python -m repro.store {run,resume,inspect,compact,verify} ...``.
+"""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignError,
+    CampaignStore,
+    CrawlCampaign,
+    SimulatedCrash,
+    dataset_diff,
+)
+from .checkpoint import (
+    CheckpointError,
+    CheckpointRecord,
+    load_checkpoint,
+    load_latest,
+    write_checkpoint,
+)
+from .journal import JournalError, JournalRecord, JournalScan, JournalWriter
+from .segments import SegmentError, SegmentWriter, read_segment, write_segment
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignError",
+    "CampaignStore",
+    "CheckpointError",
+    "CheckpointRecord",
+    "CrawlCampaign",
+    "JournalError",
+    "JournalRecord",
+    "JournalScan",
+    "JournalWriter",
+    "SegmentError",
+    "SegmentWriter",
+    "SimulatedCrash",
+    "dataset_diff",
+    "load_checkpoint",
+    "load_latest",
+    "read_segment",
+    "write_checkpoint",
+    "write_segment",
+]

@@ -1,0 +1,200 @@
+"""``python -m repro.store`` — run, resume, inspect, and compact campaigns.
+
+    python -m repro.store run --dir /tmp/camp --users 2000 --seed 11
+    python -m repro.store run --dir /tmp/camp --kill-after-pages 700   # dies (SIGKILL)
+    python -m repro.store resume --dir /tmp/camp                       # finishes it
+    python -m repro.store inspect --dir /tmp/camp
+    python -m repro.store compact --dir /tmp/camp --out /tmp/archive
+    python -m repro.store verify --dir /tmp/camp --against /tmp/other  # exit 1 on diff
+
+``run`` and ``resume`` are the same operation (a campaign always resumes
+from its newest checkpoint); ``resume`` exists so scripts read honestly
+and so it can refuse to *create* a campaign that does not exist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.obs import build_report, get_registry, get_tracer
+from repro.obs.report import RUN_REPORT_FILENAME
+
+from .campaign import (
+    ARCHIVE_DIR,
+    MANIFEST_NAME,
+    CampaignConfig,
+    CampaignError,
+    CrawlCampaign,
+    dataset_diff,
+)
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--users", type=int, default=2_000)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--machines", type=int, default=11)
+    parser.add_argument("--display-cap", type=int, default=10_000)
+    parser.add_argument("--error-rate", type=float, default=0.0)
+    parser.add_argument("--rate-per-ip", type=float, default=200.0)
+    parser.add_argument("--burst", type=float, default=400.0)
+    parser.add_argument("--max-pages", type=int, default=None)
+    parser.add_argument("--checkpoint-every-pages", type=int, default=500)
+    parser.add_argument("--checkpoint-every-virtual", type=float, default=0.0)
+    parser.add_argument(
+        "--kill-after-pages",
+        type=int,
+        default=None,
+        help="SIGKILL this process after N pages (crash/resume testing)",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help=f"write {RUN_REPORT_FILENAME} into the campaign directory",
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
+    return CampaignConfig(
+        n_users=args.users,
+        seed=args.seed,
+        circle_display_limit=args.display_cap,
+        n_machines=args.machines,
+        max_pages=args.max_pages,
+        rate_per_ip=args.rate_per_ip,
+        burst=args.burst,
+        error_rate=args.error_rate,
+        checkpoint_every_pages=args.checkpoint_every_pages,
+        checkpoint_every_virtual=args.checkpoint_every_virtual,
+    )
+
+
+def _run(directory: Path, config: CampaignConfig | None, args: argparse.Namespace) -> int:
+    registry = get_registry()
+    registry.reset()
+    get_tracer().reset()
+    campaign = CrawlCampaign(directory, config)
+    dataset = campaign.run(
+        registry=registry, kill_after_pages=args.kill_after_pages
+    )
+    if args.report:
+        report = build_report(
+            kind="campaign",
+            config=campaign.config.to_json_dict(),
+            coverage=dict(vars(dataset.stats)),
+            extra={"campaign_dir": str(directory)},
+        )
+        report.write(directory / RUN_REPORT_FILENAME)
+    print(
+        json.dumps(
+            {
+                "status": campaign.status,
+                "pages": len(dataset.profiles),
+                "edges": len(dataset.sources),
+                "archive": str(directory / ARCHIVE_DIR),
+            }
+        )
+    )
+    return 0
+
+
+def _load_dataset(path: Path):
+    """Load a dataset from a campaign directory or a plain archive."""
+    from repro.crawler.dataset import CrawlDataset
+
+    if (path / MANIFEST_NAME).exists():
+        campaign = CrawlCampaign(path)
+        archive = path / ARCHIVE_DIR
+        if not (archive / "edges.npz").exists():
+            archive = campaign.compact()
+        return CrawlDataset.load(archive)
+    return CrawlDataset.load(path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Durable crawl campaigns: run, resume, inspect, compact, verify.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="create (or resume) a campaign and crawl it")
+    p_run.add_argument("--dir", required=True)
+    _add_run_arguments(p_run)
+
+    p_resume = sub.add_parser("resume", help="resume an existing campaign")
+    p_resume.add_argument("--dir", required=True)
+    p_resume.add_argument("--report", action="store_true")
+
+    p_inspect = sub.add_parser("inspect", help="report a campaign directory's state")
+    p_inspect.add_argument("--dir", required=True)
+    p_inspect.add_argument("--json", action="store_true")
+
+    p_compact = sub.add_parser("compact", help="merge journal+segments into an archive")
+    p_compact.add_argument("--dir", required=True)
+    p_compact.add_argument("--out", default=None)
+
+    p_verify = sub.add_parser("verify", help="compare two campaign/archive datasets")
+    p_verify.add_argument("--dir", required=True)
+    p_verify.add_argument("--against", required=True)
+
+    args = parser.parse_args(argv)
+    directory = Path(args.dir)
+
+    try:
+        if args.command == "run":
+            return _run(directory, _config_from_args(args), args)
+        if args.command == "resume":
+            if not (directory / MANIFEST_NAME).exists():
+                print(f"no campaign at {directory} (missing {MANIFEST_NAME})")
+                return 2
+            args.kill_after_pages = None
+            return _run(directory, None, args)
+        if args.command == "inspect":
+            report = CrawlCampaign(directory).inspect()
+            if args.json:
+                print(json.dumps(report, indent=2))
+            else:
+                print(f"campaign   {report['directory']}  [{report['status']}]")
+                journal = report.get("journal")
+                if journal:
+                    records = ", ".join(
+                        f"{k}={v}" for k, v in journal["records"].items()
+                    )
+                    print(
+                        f"journal    {journal['valid_bytes']} valid bytes, "
+                        f"{journal['torn_bytes']} torn ({records})"
+                    )
+                seg = report["segments"]
+                print(f"segments   {seg['count']} shards, {seg['edges']} edges")
+                for entry in report["checkpoints"]:
+                    if entry.get("corrupt"):
+                        print(f"checkpoint {entry['file']}  CORRUPT")
+                    else:
+                        print(
+                            f"checkpoint {entry['file']}  pages={entry['n_pages']} "
+                            f"edges={entry['n_edges']}"
+                        )
+                print(f"archive    {'present' if report['archive'] else 'absent'}")
+            return 0
+        if args.command == "compact":
+            out = CrawlCampaign(directory).compact(args.out)
+            print(str(out))
+            return 0
+        if args.command == "verify":
+            problems = dataset_diff(
+                _load_dataset(directory), _load_dataset(Path(args.against))
+            )
+            for problem in problems:
+                print(problem)
+            print("datasets identical" if not problems else "datasets DIFFER")
+            return 1 if problems else 0
+    except CampaignError as exc:
+        print(f"error: {exc}")
+        return 2
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

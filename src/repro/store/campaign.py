@@ -1,0 +1,533 @@
+"""Durable crawl campaigns: journal + segments + checkpoints + manifest.
+
+The authors' crawl ran ~52 days across 11 machines — a campaign that
+only works if progress is durable and a killed crawler resumes where it
+stopped.  :class:`CampaignStore` implements the crawler's
+:class:`~repro.crawler.bfs.CrawlHooks` against a campaign directory::
+
+    campaign/
+      manifest.json   # CampaignConfig + status (created/running/complete)
+      journal.wal     # WAL of page/edge/stats records  (repro.store.journal)
+      segments/       # sealed columnar edge shards     (repro.store.segments)
+      checkpoints/    # verified resume points          (repro.store.checkpoint)
+      archive/        # compacted CrawlDataset archive (edges.npz, ...)
+
+Write path, per fetched page: append a PAGE record (the profile, through
+the same JSON codecs the archive uses) and an EDGES record (the page's
+new deduplicated edges, packed int64 pairs) to the journal, and stream
+the edges into the segment writer.  At every checkpoint: flush the
+journal, seal the segment buffer, and write a checkpoint pinning
+(journal offset, segment list, control snapshot).
+
+Recovery contract, on open: drop the journal's torn tail; pick the
+newest checkpoint whose journal offset and segment list are actually
+durable (CRC-verified, counts matching); roll journal and segments back
+to exactly that cut; replay the journal's PAGE records into profiles and
+the segments into edge arrays.  Because the control snapshot restores
+the frontier, fleet counters, clock, rate-limiter buckets and failure
+RNG bit-for-bit, the resumed crawl fetches the exact page sequence the
+uninterrupted crawl would have — the resulting dataset is bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.crawler.bfs import (
+    BidirectionalBFSCrawler,
+    CrawlConfig,
+    CrawlHooks,
+    CrawlSnapshot,
+    ResumeState,
+)
+from repro.crawler.dataset import CrawlDataset, profile_from_json
+from repro.crawler.dataset import profile_to_json as _profile_to_json
+from repro.obs.metrics import Registry, get_registry, log_buckets
+
+from . import checkpoint as ckpt
+from .journal import HEADER_SIZE, JournalWriter, iter_records, scan as scan_journal
+from .segments import (
+    SegmentError,
+    SegmentWriter,
+    iter_segment_paths,
+    load_edges,
+    segment_edge_count,
+)
+
+__all__ = [
+    "ARCHIVE_DIR",
+    "CHECKPOINTS_DIR",
+    "CampaignConfig",
+    "CampaignError",
+    "CampaignStore",
+    "CrawlCampaign",
+    "JOURNAL_NAME",
+    "KIND_EDGES",
+    "KIND_PAGE",
+    "KIND_STATS",
+    "MANIFEST_NAME",
+    "SEGMENTS_DIR",
+    "SimulatedCrash",
+    "dataset_diff",
+]
+
+#: Journal record kinds (the u8 leading each payload).
+KIND_PAGE = 1
+KIND_EDGES = 2
+KIND_STATS = 3
+
+KIND_NAMES = {KIND_PAGE: "page", KIND_EDGES: "edges", KIND_STATS: "stats"}
+
+MANIFEST_NAME = "manifest.json"
+JOURNAL_NAME = "journal.wal"
+SEGMENTS_DIR = "segments"
+CHECKPOINTS_DIR = "checkpoints"
+ARCHIVE_DIR = "archive"
+
+
+class CampaignError(Exception):
+    """The campaign directory is unusable or was opened inconsistently."""
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by the crash-injection hook (tests exercise kill/resume)."""
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything needed to rebuild the same world + crawl deterministically.
+
+    A campaign's config is frozen into ``manifest.json`` at creation;
+    reopening with a different config is an error, because resuming
+    under different parameters would silently diverge from the original
+    page sequence.
+    """
+
+    n_users: int = 8_000
+    seed: int = 5
+    circle_display_limit: int = 10_000
+    n_machines: int = 11
+    request_latency: float = 0.02
+    max_pages: int | None = None
+    rate_per_ip: float = 200.0
+    burst: float = 400.0
+    error_rate: float = 0.0
+    #: Checkpoint every N fetched pages (0 disables the page trigger).
+    checkpoint_every_pages: int = 500
+    #: Checkpoint every N seconds of *virtual* time (0 disables).
+    checkpoint_every_virtual: float = 0.0
+    shard_edges: int = 65_536
+    keep_checkpoints: int = 3
+
+    def to_json_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "CampaignConfig":
+        return cls(**data)
+
+    def crawl_config(self) -> CrawlConfig:
+        return CrawlConfig(
+            n_machines=self.n_machines,
+            max_pages=self.max_pages,
+            request_latency=self.request_latency,
+        )
+
+
+def _select_checkpoint(directory: Path):
+    """The newest checkpoint the on-disk data can actually satisfy.
+
+    Returns ``(record | None, journal_scan | None)``.  A checkpoint is
+    usable when it verifies (CRC), its journal offset lies within the
+    journal's valid prefix, and every segment it references exists with
+    counts summing to its edge total.
+    """
+    journal_path = directory / JOURNAL_NAME
+    journal_scan = scan_journal(journal_path) if journal_path.exists() else None
+    for path in reversed(ckpt.list_checkpoint_paths(directory / CHECKPOINTS_DIR)):
+        try:
+            record = ckpt.load_checkpoint(path)
+        except ckpt.CheckpointError:
+            continue
+        if journal_scan is None or record.journal_offset > journal_scan.valid_end:
+            continue
+        try:
+            sealed = sum(
+                segment_edge_count(directory / SEGMENTS_DIR / name)
+                for name in record.segments
+            )
+        except (OSError, SegmentError):
+            continue
+        if sealed != record.n_edges:
+            continue
+        return record, journal_scan
+    return None, journal_scan
+
+
+class CampaignStore(CrawlHooks):
+    """The crawler hooks that persist a crawl into a campaign directory."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        config: CampaignConfig,
+        registry: Registry | None = None,
+        kill_after_pages: int | None = None,
+        crash_after_pages: int | None = None,
+        crash_after_checkpoints: int | None = None,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.config = config
+        registry = registry if registry is not None else get_registry()
+        self._registry = registry
+        self._m_checkpoints = registry.counter(
+            "store.checkpoints", "Checkpoints written"
+        )
+        self._m_checkpoint_seconds = registry.histogram(
+            "store.checkpoint_seconds",
+            "Wall-clock time spent writing one checkpoint",
+            buckets=log_buckets(0.0001, 2.0, 16),
+        )
+        self._m_recoveries = registry.counter(
+            "store.recoveries", "Campaign opens that restored from a checkpoint"
+        )
+        self._m_replayed_pages = registry.counter(
+            "store.replayed_pages", "Page records replayed from the journal on resume"
+        )
+        self._m_rolled_back = registry.counter(
+            "store.rolled_back_records",
+            "Journal records discarded to reach a consistent checkpoint",
+        )
+        #: Crash injection (tests / CI smoke): SIGKILL or raise after N
+        #: pages fetched *by this process*, or right after checkpoint N.
+        self.kill_after_pages = kill_after_pages
+        self.crash_after_pages = crash_after_pages
+        self.crash_after_checkpoints = crash_after_checkpoints
+        self._pages_this_process = 0
+        self._checkpoints_this_process = 0
+
+        self.segments = SegmentWriter(
+            self.directory / SEGMENTS_DIR,
+            shard_edges=config.shard_edges,
+            registry=registry,
+        )
+        self._resume, rollback_offset = self._recover()
+        self.journal = JournalWriter(self.directory / JOURNAL_NAME, registry=registry)
+        if rollback_offset is not None and rollback_offset < self.journal.offset:
+            self.journal.truncate_to(rollback_offset)
+        self._sequence = self._next_sequence()
+        self._pages_since_checkpoint = 0
+        self._last_checkpoint_virtual = (
+            self._resume.snapshot.virtual_now if self._resume is not None else 0.0
+        )
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover(self) -> tuple[ResumeState | None, int | None]:
+        journal_path = self.directory / JOURNAL_NAME
+        record, journal_scan = _select_checkpoint(self.directory)
+        if record is None:
+            # No usable resume point: reset to an empty campaign.
+            self.segments.rollback([])
+            if journal_scan is not None and journal_scan.n_records:
+                self._m_rolled_back.inc(journal_scan.n_records)
+            return None, (HEADER_SIZE if journal_scan is not None else None)
+        self.segments.rollback(record.segments)
+        profiles = {}
+        for rec in iter_records(journal_path, upto=record.journal_offset):
+            if rec.kind == KIND_PAGE:
+                profile = profile_from_json(json.loads(rec.body.decode("utf-8")))
+                profiles[profile.user_id] = profile
+        if len(profiles) != record.n_pages:
+            raise CampaignError(
+                f"journal replays {len(profiles)} pages, checkpoint "
+                f"{record.sequence} expects {record.n_pages}"
+            )
+        if journal_scan is not None:
+            self._m_rolled_back.inc(
+                max(0, journal_scan.n_records - self._count_records_upto(record))
+            )
+        sources, targets = load_edges(
+            self.directory / SEGMENTS_DIR, names=record.segments
+        )
+        snapshot = CrawlSnapshot.from_json_dict(record.snapshot)
+        self._m_recoveries.inc()
+        self._m_replayed_pages.inc(len(profiles))
+        resume = ResumeState(
+            snapshot=snapshot,
+            profiles=profiles,
+            sources=sources.tolist(),
+            targets=targets.tolist(),
+        )
+        return resume, record.journal_offset
+
+    def _count_records_upto(self, record: ckpt.CheckpointRecord) -> int:
+        return sum(
+            1
+            for _ in iter_records(
+                self.directory / JOURNAL_NAME, upto=record.journal_offset
+            )
+        )
+
+    def _next_sequence(self) -> int:
+        paths = ckpt.list_checkpoint_paths(self.directory / CHECKPOINTS_DIR)
+        if not paths:
+            return 1
+        last = paths[-1].stem  # "ckpt-000042"
+        return int(last.split("-")[1]) + 1
+
+    # -- CrawlHooks ----------------------------------------------------------
+
+    def resume_state(self) -> ResumeState | None:
+        return self._resume
+
+    def on_page(self, user_id, profile, new_edges) -> None:
+        body = json.dumps(_profile_to_json(profile), separators=(",", ":"))
+        self.journal.append(KIND_PAGE, body.encode("utf-8"))
+        if new_edges:
+            packed = np.asarray(new_edges, dtype="<i8").tobytes()
+            self.journal.append(KIND_EDGES, packed)
+            self.segments.extend(new_edges)
+        self._pages_since_checkpoint += 1
+        self._pages_this_process += 1
+        if (
+            self.crash_after_pages is not None
+            and self._pages_this_process >= self.crash_after_pages
+        ):
+            # Abandon buffers unflushed — an honest crash, minus the SIGKILL.
+            raise SimulatedCrash(f"injected crash after {self._pages_this_process} pages")
+        if (
+            self.kill_after_pages is not None
+            and self._pages_this_process >= self.kill_after_pages
+        ):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def should_checkpoint(self, n_pages: int, virtual_now: float) -> bool:
+        every_pages = self.config.checkpoint_every_pages
+        if every_pages and self._pages_since_checkpoint >= every_pages:
+            return True
+        every_virtual = self.config.checkpoint_every_virtual
+        if every_virtual and virtual_now - self._last_checkpoint_virtual >= every_virtual:
+            return True
+        return False
+
+    def on_checkpoint(self, snapshot: CrawlSnapshot) -> None:
+        started = time.perf_counter()
+        accounting = {
+            "n_pages": snapshot.n_pages,
+            "n_edges": snapshot.n_edges,
+            "virtual_now": snapshot.virtual_now,
+        }
+        self.journal.append(
+            KIND_STATS, json.dumps(accounting, separators=(",", ":")).encode("utf-8")
+        )
+        self.journal.flush()
+        self.segments.seal()
+        record = ckpt.CheckpointRecord(
+            sequence=self._sequence,
+            n_pages=snapshot.n_pages,
+            n_edges=snapshot.n_edges,
+            journal_offset=self.journal.offset,
+            segments=self.segments.sealed_names(),
+            snapshot=snapshot.to_json_dict(),
+        )
+        ckpt.write_checkpoint(
+            self.directory / CHECKPOINTS_DIR, record, keep=self.config.keep_checkpoints
+        )
+        self._sequence += 1
+        self._pages_since_checkpoint = 0
+        self._last_checkpoint_virtual = snapshot.virtual_now
+        self._checkpoints_this_process += 1
+        self._m_checkpoints.inc()
+        self._m_checkpoint_seconds.observe(time.perf_counter() - started)
+        if (
+            self.crash_after_checkpoints is not None
+            and self._checkpoints_this_process >= self.crash_after_checkpoints
+        ):
+            raise SimulatedCrash(
+                f"injected crash after checkpoint {record.sequence}"
+            )
+
+    def on_finish(self, dataset: CrawlDataset) -> None:
+        self.journal.close()
+
+
+class CrawlCampaign:
+    """A durable synthetic-world crawl campaign rooted at a directory.
+
+    Creating one writes the manifest; reopening an existing directory
+    loads (and enforces) the stored config.  :meth:`run` builds the
+    world and crawls to completion, resuming automatically from the
+    newest checkpoint — running and resuming are the same operation.
+    """
+
+    def __init__(self, directory: str | Path, config: CampaignConfig | None = None):
+        self.directory = Path(directory)
+        manifest = self.directory / MANIFEST_NAME
+        if manifest.exists():
+            data = json.loads(manifest.read_text(encoding="utf-8"))
+            stored = CampaignConfig.from_json_dict(data["config"])
+            if config is not None and config != stored:
+                raise CampaignError(
+                    f"campaign at {self.directory} exists with a different config"
+                )
+            self.config = stored
+            self.status = data.get("status", "created")
+        else:
+            self.config = config if config is not None else CampaignConfig()
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.status = "created"
+            self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        document = {
+            "version": 1,
+            "config": self.config.to_json_dict(),
+            "status": self.status,
+        }
+        tmp = self.directory / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        os.replace(tmp, self.directory / MANIFEST_NAME)
+
+    def run(
+        self,
+        registry: Registry | None = None,
+        kill_after_pages: int | None = None,
+        crash_after_pages: int | None = None,
+        crash_after_checkpoints: int | None = None,
+    ) -> CrawlDataset:
+        """Run (or resume) the campaign to completion and archive it."""
+        # Lazy import: inspect/compact must work without pulling in the
+        # synthetic-world generator stack.
+        from repro.synth import build_world, WorldConfig
+
+        cfg = self.config
+        world = build_world(
+            WorldConfig(
+                n_users=cfg.n_users,
+                seed=cfg.seed,
+                circle_display_limit=cfg.circle_display_limit,
+            )
+        )
+        frontend = world.frontend(
+            rate_per_ip=cfg.rate_per_ip, burst=cfg.burst, error_rate=cfg.error_rate
+        )
+        crawler = BidirectionalBFSCrawler(frontend, cfg.crawl_config())
+        store = CampaignStore(
+            self.directory,
+            cfg,
+            registry=registry,
+            kill_after_pages=kill_after_pages,
+            crash_after_pages=crash_after_pages,
+            crash_after_checkpoints=crash_after_checkpoints,
+        )
+        self.status = "running"
+        self._write_manifest()
+        dataset = crawler.crawl([world.seed_user_id()], hooks=store)
+        self.status = "complete"
+        self._write_manifest()
+        self.compact()
+        return dataset
+
+    def compact(self, out_dir: str | Path | None = None) -> Path:
+        """Merge journal + segments into a ``CrawlDataset.load`` archive.
+
+        Compacts *as of the newest usable checkpoint* — for a completed
+        campaign that is the final state; mid-campaign it is the last
+        consistent cut.
+        """
+        record, _ = _select_checkpoint(self.directory)
+        if record is None:
+            raise CampaignError(f"nothing to compact: {self.directory} has no checkpoint")
+        out = Path(out_dir) if out_dir is not None else self.directory / ARCHIVE_DIR
+        out.mkdir(parents=True, exist_ok=True)
+        sources, targets = load_edges(
+            self.directory / SEGMENTS_DIR, names=record.segments
+        )
+        np.savez_compressed(out / "edges.npz", sources=sources, targets=targets)
+        with open(out / "profiles.jsonl", "w", encoding="utf-8") as handle:
+            for rec in iter_records(
+                self.directory / JOURNAL_NAME, upto=record.journal_offset
+            ):
+                if rec.kind == KIND_PAGE:
+                    handle.write(rec.body.decode("utf-8") + "\n")
+        stats = ckpt.stats_from_snapshot(record.snapshot, self.config.n_machines)
+        with open(out / "stats.json", "w", encoding="utf-8") as handle:
+            json.dump(vars(stats), handle)
+        return out
+
+    def inspect(self) -> dict:
+        """Machine-readable status of the campaign directory."""
+        report: dict = {
+            "directory": str(self.directory),
+            "status": self.status,
+            "config": self.config.to_json_dict(),
+        }
+        journal_path = self.directory / JOURNAL_NAME
+        if journal_path.exists():
+            journal_scan = scan_journal(journal_path)
+            report["journal"] = {
+                "valid_bytes": journal_scan.valid_end,
+                "torn_bytes": journal_scan.torn_bytes,
+                "records": {
+                    KIND_NAMES.get(kind, str(kind)): count
+                    for kind, count in sorted(journal_scan.records_by_kind.items())
+                },
+            }
+        segment_paths = iter_segment_paths(self.directory / SEGMENTS_DIR)
+        report["segments"] = {
+            "count": len(segment_paths),
+            "edges": sum(segment_edge_count(p) for p in segment_paths),
+        }
+        checkpoints = []
+        for path in ckpt.list_checkpoint_paths(self.directory / CHECKPOINTS_DIR):
+            try:
+                rec = ckpt.load_checkpoint(path)
+            except ckpt.CheckpointError:
+                checkpoints.append({"file": path.name, "corrupt": True})
+                continue
+            checkpoints.append(
+                {
+                    "file": path.name,
+                    "sequence": rec.sequence,
+                    "n_pages": rec.n_pages,
+                    "n_edges": rec.n_edges,
+                    "journal_offset": rec.journal_offset,
+                }
+            )
+        report["checkpoints"] = checkpoints
+        report["archive"] = (self.directory / ARCHIVE_DIR / "edges.npz").exists()
+        return report
+
+
+def dataset_diff(a: CrawlDataset, b: CrawlDataset) -> list[str]:
+    """Human-readable differences between two datasets ([] = identical)."""
+    problems: list[str] = []
+    if not np.array_equal(a.sources, b.sources):
+        problems.append(f"sources differ ({len(a.sources)} vs {len(b.sources)} edges)")
+    if not np.array_equal(a.targets, b.targets):
+        problems.append("targets differ")
+    if a.profiles != b.profiles:
+        only_a = a.profiles.keys() - b.profiles.keys()
+        only_b = b.profiles.keys() - a.profiles.keys()
+        changed = sum(
+            1
+            for uid in a.profiles.keys() & b.profiles.keys()
+            if a.profiles[uid] != b.profiles[uid]
+        )
+        problems.append(
+            f"profiles differ ({len(only_a)} extra, {len(only_b)} missing, "
+            f"{changed} changed)"
+        )
+    if vars(a.stats) != vars(b.stats):
+        problems.append(f"stats differ ({vars(a.stats)} vs {vars(b.stats)})")
+    return problems

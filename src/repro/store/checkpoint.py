@@ -1,0 +1,189 @@
+"""Checkpoints: atomic, self-verifying resume points.
+
+A checkpoint pins one consistent cut of a campaign: the journal offset
+and segment list that hold the crawl's *data* up to a page boundary,
+plus the :class:`~repro.crawler.bfs.CrawlSnapshot` holding its *control*
+state (frontier, fleet counters, HTTP front-end clock/limiter/RNG).
+Restoring the snapshot and replaying the data reproduces the exact
+machine state the crawl had at that boundary, so the remaining pages
+replay bit-identically.
+
+Files are ``ckpt-000001.json``, ``ckpt-000002.json``, … under the
+campaign's ``checkpoints/`` directory; the last few are retained.  Each
+file wraps its record in ``{"crc": …, "record": …}`` where the CRC
+covers the canonical (sorted-key, compact) JSON of the record — a
+half-written or bit-rotted checkpoint fails the check and the loader
+falls back to the previous one, which is the crash-recovery contract:
+*the newest verifiable checkpoint wins*.
+
+The module also rebuilds :class:`~repro.crawler.dataset.CrawlStats` and
+:class:`~repro.crawler.frontier.BFSFrontier` objects from snapshot
+dicts, so inspection and compaction work without a live crawler.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.crawler.dataset import CrawlStats
+from repro.crawler.frontier import BFSFrontier
+from repro.obs.metrics import Registry, get_registry
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointRecord",
+    "frontier_from_state",
+    "list_checkpoint_paths",
+    "load_checkpoint",
+    "load_latest",
+    "stats_from_snapshot",
+    "write_checkpoint",
+]
+
+_NAME_RE = re.compile(r"^ckpt-(\d{6})\.json$")
+
+
+class CheckpointError(Exception):
+    """A checkpoint file is unreadable, corrupt, or fails its CRC."""
+
+
+@dataclass
+class CheckpointRecord:
+    """One durable resume point (see module docstring)."""
+
+    sequence: int
+    n_pages: int
+    n_edges: int
+    #: Journal byte offset covering exactly the first ``n_pages`` pages.
+    journal_offset: int
+    #: Sealed segment file names holding exactly the first ``n_edges`` edges.
+    segments: list[str]
+    #: ``CrawlSnapshot.to_json_dict()`` — the crawl's control state.
+    snapshot: dict
+
+    def to_json_dict(self) -> dict:
+        return {
+            "sequence": self.sequence,
+            "n_pages": self.n_pages,
+            "n_edges": self.n_edges,
+            "journal_offset": self.journal_offset,
+            "segments": list(self.segments),
+            "snapshot": self.snapshot,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping) -> "CheckpointRecord":
+        return cls(
+            sequence=int(data["sequence"]),
+            n_pages=int(data["n_pages"]),
+            n_edges=int(data["n_edges"]),
+            journal_offset=int(data["journal_offset"]),
+            segments=list(data["segments"]),
+            snapshot=dict(data["snapshot"]),
+        )
+
+
+def _canonical(record_dict: dict) -> bytes:
+    return json.dumps(record_dict, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def checkpoint_path(directory: str | Path, sequence: int) -> Path:
+    return Path(directory) / f"ckpt-{sequence:06d}.json"
+
+
+def list_checkpoint_paths(directory: str | Path) -> list[Path]:
+    """Checkpoint files in ascending sequence order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    names = [p.name for p in directory.iterdir() if _NAME_RE.match(p.name)]
+    return [directory / name for name in sorted(names)]
+
+
+def write_checkpoint(
+    directory: str | Path, record: CheckpointRecord, keep: int = 3
+) -> Path:
+    """Write one checkpoint atomically and prune all but the last ``keep``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    body = record.to_json_dict()
+    document = {"crc": zlib.crc32(_canonical(body)), "record": body}
+    path = checkpoint_path(directory, record.sequence)
+    tmp = directory / (path.name + ".tmp")
+    tmp.write_text(json.dumps(document), encoding="utf-8")
+    os.replace(tmp, path)
+    if keep > 0:
+        for old in list_checkpoint_paths(directory)[:-keep]:
+            old.unlink()
+    return path
+
+
+def load_checkpoint(path: str | Path) -> CheckpointRecord:
+    """Load and verify one checkpoint file; raises CheckpointError."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"{path}: unreadable ({exc})") from exc
+    if not isinstance(document, dict) or "crc" not in document or "record" not in document:
+        raise CheckpointError(f"{path}: missing crc/record envelope")
+    if zlib.crc32(_canonical(document["record"])) != document["crc"]:
+        raise CheckpointError(f"{path}: CRC mismatch")
+    return CheckpointRecord.from_json_dict(document["record"])
+
+
+def load_latest(
+    directory: str | Path, registry: Registry | None = None
+) -> CheckpointRecord | None:
+    """Newest verifiable checkpoint, or None when none survives.
+
+    Corrupt files are skipped (counted on ``store.checkpoints_rejected``)
+    rather than fatal — the previous checkpoint is a valid resume point.
+    """
+    registry = registry if registry is not None else get_registry()
+    rejected = registry.counter(
+        "store.checkpoints_rejected", "Checkpoint files that failed verification"
+    )
+    for path in reversed(list_checkpoint_paths(directory)):
+        try:
+            return load_checkpoint(path)
+        except CheckpointError:
+            rejected.inc()
+    return None
+
+
+# -- rebuilding crawl objects from snapshot dicts ------------------------------
+
+def frontier_from_state(state: Mapping) -> BFSFrontier:
+    """A fresh :class:`BFSFrontier` holding an exported frontier state."""
+    frontier = BFSFrontier()
+    frontier.restore_state(dict(state))
+    return frontier
+
+
+def stats_from_snapshot(snapshot: Mapping, n_machines: int) -> CrawlStats:
+    """Rebuild :class:`CrawlStats` from a ``CrawlSnapshot`` dict.
+
+    Mirrors exactly how :meth:`BidirectionalBFSCrawler.crawl` derives its
+    final stats — fleet totals summed per machine, duration from the
+    virtual clock, discovered users from the frontier — so stats
+    reconstructed at compaction time equal the live crawl's.
+    """
+    totals = {"pages_fetched": 0, "not_found": 0, "throttled": 0, "server_errors": 0}
+    for machine in snapshot["pool"]["fetchers"]:
+        for key in totals:
+            totals[key] += int(machine[key])
+    return CrawlStats(
+        pages_fetched=totals["pages_fetched"],
+        not_found=totals["not_found"],
+        throttled=totals["throttled"],
+        server_errors=totals["server_errors"],
+        virtual_duration=float(snapshot["virtual_now"]) - float(snapshot["started"]),
+        n_machines=n_machines,
+        discovered=len(snapshot["frontier"]["seen"]),
+    )

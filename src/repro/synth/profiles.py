@@ -13,6 +13,7 @@ Two stages:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -278,7 +279,11 @@ def _contact_blocks(
 ) -> dict[str, ContactInfo]:
     """Public contact blocks for a tel-user (both / work-only / home-only)."""
     code = population.country_codes[user_id]
-    phone = f"+{(hash(code) % 90) + 10} 555 {user_id % 10_000:04d}"
+    # crc32, not hash(): str hashing is salted per process, and worlds
+    # must be bit-identical across processes (checkpoint/resume relies
+    # on rebuilding the same world in a fresh interpreter).
+    prefix = (zlib.crc32(code.encode("ascii")) % 90) + 10
+    phone = f"+{prefix} 555 {user_id % 10_000:04d}"
     contact = ContactInfo(phone=phone, email=f"user{user_id}@example.com")
     roll = rng.random()
     profiles = config.profiles

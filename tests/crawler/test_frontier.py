@@ -1,5 +1,7 @@
 """Tests for the BFS frontier."""
 
+import numpy as np
+
 from repro.crawler.frontier import BFSFrontier
 
 
@@ -43,3 +45,52 @@ class TestFrontier:
         assert frontier
         frontier.pop()
         assert not frontier
+
+    def test_mixed_int_and_numpy_int_dedup(self):
+        # Circle lists arrive as numpy int64; seeds as python ints.  Both
+        # hash identically, so the same id must dedup across the types.
+        frontier = BFSFrontier()
+        assert frontier.add(5)
+        assert not frontier.add(np.int64(5))
+        assert frontier.add(np.int64(6))
+        assert not frontier.add(6)
+        assert len(frontier) == 2
+        assert frontier.n_discovered == 2
+
+    def test_add_all_accepts_a_generator(self):
+        frontier = BFSFrontier()
+        added = frontier.add_all(uid * 2 for uid in range(4))
+        assert added == 4
+        assert [frontier.pop() for _ in range(4)] == [0, 2, 4, 6]
+
+    def test_add_all_generator_with_duplicates(self):
+        frontier = BFSFrontier()
+        assert frontier.add_all(uid % 3 for uid in range(9)) == 3
+
+
+class TestStateExport:
+    def test_round_trip(self):
+        frontier = BFSFrontier()
+        frontier.add_all([7, 3, 9, 5])
+        frontier.pop()
+        state = frontier.export_state()
+        restored = BFSFrontier()
+        restored.restore_state(state)
+        assert restored.export_state() == state
+        assert [restored.pop() for _ in range(3)] == [3, 9, 5]
+        assert restored.visited(7)
+        assert not restored.add(7)
+
+    def test_export_coerces_numpy_ids_to_ints(self):
+        frontier = BFSFrontier()
+        frontier.add(np.int64(42))
+        state = frontier.export_state()
+        assert type(state["queue"][0]) is int
+        assert type(state["seen"][0]) is int
+
+    def test_sets_serialise_sorted(self):
+        frontier = BFSFrontier()
+        frontier.add_all([9, 1, 5])
+        state = frontier.export_state()
+        assert state["seen"] == [1, 5, 9]
+        assert state["queue"] == [9, 1, 5]  # FIFO order is preserved

@@ -1,0 +1,100 @@
+"""The ``python -m repro.store`` command surface.
+
+Everything runs ``main(argv)`` in-process except the kill test, which
+needs a real SIGKILL and therefore a real subprocess — that test is the
+same scenario the CI smoke job runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.crawler import CrawlDataset
+from repro.obs.report import RUN_REPORT_FILENAME, RunReport, validate_run_report
+from repro.store.__main__ import main
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+#: One small campaign, reused as CLI arguments everywhere in this file.
+RUN_ARGS = [
+    "--users", "500",
+    "--seed", "17",
+    "--machines", "4",
+    "--checkpoint-every-pages", "40",
+]
+
+
+def run_args(directory: Path, *extra: str) -> list[str]:
+    return ["run", "--dir", str(directory), *RUN_ARGS, *extra]
+
+
+class TestRunInspectCompactVerify:
+    def test_full_cycle(self, tmp_path, capsys):
+        camp = tmp_path / "camp"
+        assert main(run_args(camp)) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["status"] == "complete"
+        assert summary["pages"] > 0
+
+        assert main(["inspect", "--dir", str(camp), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "complete"
+        assert report["journal"]["records"]["page"] == summary["pages"]
+        assert report["archive"] is True
+
+        assert main(["inspect", "--dir", str(camp)]) == 0
+        text = capsys.readouterr().out
+        assert "campaign" in text and "segments" in text
+
+        out = tmp_path / "archive"
+        assert main(["compact", "--dir", str(camp), "--out", str(out)]) == 0
+        capsys.readouterr()
+        dataset = CrawlDataset.load(out)
+        assert len(dataset.profiles) == summary["pages"]
+
+        assert main(["verify", "--dir", str(camp), "--against", str(out)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_verify_detects_difference(self, tmp_path, capsys):
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        assert main(run_args(a)) == 0
+        assert main(["run", "--dir", str(b), "--users", "500", "--seed", "18"]) == 0
+        capsys.readouterr()
+        assert main(["verify", "--dir", str(a), "--against", str(b)]) == 1
+        assert "DIFFER" in capsys.readouterr().out
+
+    def test_resume_refuses_missing_campaign(self, tmp_path, capsys):
+        assert main(["resume", "--dir", str(tmp_path / "nope")]) == 2
+        assert "no campaign" in capsys.readouterr().out
+
+
+class TestKillAndResume:
+    def test_sigkill_then_resume_matches_reference(self, tmp_path, capsys):
+        camp = tmp_path / "camp"
+        env = dict(os.environ, PYTHONPATH=str(SRC_DIR))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.store"]
+            + run_args(camp, "--kill-after-pages", "90"),
+            env=env,
+            capture_output=True,
+        )
+        assert proc.returncode == -signal.SIGKILL
+
+        assert main(["resume", "--dir", str(camp), "--report"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["status"] == "complete"
+
+        report = RunReport.load(camp / RUN_REPORT_FILENAME)
+        assert validate_run_report(report.to_json_dict()) == []
+        assert report.kind == "campaign"
+
+        reference = tmp_path / "reference"
+        assert main(run_args(reference)) == 0
+        capsys.readouterr()
+        assert main(["verify", "--dir", str(camp), "--against", str(reference)]) == 0

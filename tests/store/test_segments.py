@@ -1,0 +1,152 @@
+"""Segment format, shard sealing, rollback, and compaction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crawler.dataset import CrawlDataset
+from repro.obs.metrics import Registry
+from repro.store.segments import (
+    SegmentError,
+    SegmentWriter,
+    compact,
+    iter_segment_paths,
+    load_edges,
+    read_segment,
+    segment_edge_count,
+    write_segment,
+)
+
+
+@pytest.fixture
+def registry() -> Registry:
+    return Registry()
+
+
+class TestSegmentFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "seg-000001.edges"
+        write_segment(path, np.array([1, 2, 3]), np.array([4, 5, 6]))
+        sources, targets = read_segment(path)
+        assert sources.tolist() == [1, 2, 3]
+        assert targets.tolist() == [4, 5, 6]
+        assert segment_edge_count(path) == 3
+
+    def test_empty_segment(self, tmp_path):
+        path = tmp_path / "seg-000001.edges"
+        write_segment(path, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        sources, targets = read_segment(path)
+        assert len(sources) == 0 and len(targets) == 0
+
+    def test_mismatched_columns_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_segment(tmp_path / "s", np.array([1, 2]), np.array([3]))
+
+    def test_corrupt_data_fails_crc(self, tmp_path):
+        path = tmp_path / "seg-000001.edges"
+        write_segment(path, np.array([1, 2, 3]), np.array([4, 5, 6]))
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(SegmentError, match="CRC"):
+            read_segment(path)
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "seg-000001.edges"
+        write_segment(path, np.array([1, 2, 3]), np.array([4, 5, 6]))
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(SegmentError, match="data bytes"):
+            read_segment(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "seg-000001.edges"
+        path.write_bytes(b"NOTSEG" + b"\x00" * 20)
+        with pytest.raises(SegmentError, match="magic"):
+            read_segment(path)
+        with pytest.raises(SegmentError, match="magic"):
+            segment_edge_count(path)
+
+
+class TestSegmentWriter:
+    def test_seals_at_shard_limit(self, tmp_path, registry):
+        writer = SegmentWriter(tmp_path, shard_edges=3, registry=registry)
+        for i in range(7):
+            writer.append(i, i + 100)
+        assert len(writer.sealed_names()) == 2
+        assert writer.n_sealed_edges == 6
+        assert writer.n_buffered == 1
+
+    def test_explicit_seal_and_reload(self, tmp_path, registry):
+        writer = SegmentWriter(tmp_path, registry=registry)
+        writer.extend([(1, 2), (3, 4)])
+        writer.seal()
+        assert writer.sealed_names() == ["seg-000001.edges"]
+        reopened = SegmentWriter(tmp_path, registry=registry)
+        assert reopened.sealed_names() == ["seg-000001.edges"]
+        assert reopened.n_sealed_edges == 2
+        reopened.append(5, 6)
+        reopened.seal()
+        assert reopened.sealed_names() == ["seg-000001.edges", "seg-000002.edges"]
+
+    def test_seal_empty_buffer_is_noop(self, tmp_path, registry):
+        writer = SegmentWriter(tmp_path, registry=registry)
+        assert writer.seal() is None
+        assert writer.sealed_names() == []
+
+    def test_load_edges_concatenates_in_order(self, tmp_path, registry):
+        writer = SegmentWriter(tmp_path, shard_edges=2, registry=registry)
+        writer.extend([(1, 10), (2, 20), (3, 30)])
+        writer.seal()
+        sources, targets = load_edges(tmp_path)
+        assert sources.tolist() == [1, 2, 3]
+        assert targets.tolist() == [10, 20, 30]
+
+    def test_load_edges_by_name_subset(self, tmp_path, registry):
+        writer = SegmentWriter(tmp_path, shard_edges=2, registry=registry)
+        writer.extend([(1, 10), (2, 20), (3, 30), (4, 40)])
+        sources, _ = load_edges(tmp_path, names=["seg-000001.edges"])
+        assert sources.tolist() == [1, 2]
+
+    def test_load_edges_empty_directory(self, tmp_path):
+        sources, targets = load_edges(tmp_path / "nothing")
+        assert sources.dtype == np.int64
+        assert len(sources) == 0 and len(targets) == 0
+
+    def test_rollback_deletes_suffix(self, tmp_path, registry):
+        writer = SegmentWriter(tmp_path, shard_edges=2, registry=registry)
+        writer.extend([(i, i) for i in range(6)])
+        writer.append(99, 99)  # buffered, not sealed
+        assert len(writer.sealed_names()) == 3
+        writer.rollback(["seg-000001.edges"])
+        assert writer.sealed_names() == ["seg-000001.edges"]
+        assert writer.n_buffered == 0
+        assert [p.name for p in iter_segment_paths(tmp_path)] == ["seg-000001.edges"]
+
+    def test_rollback_rejects_non_prefix(self, tmp_path, registry):
+        writer = SegmentWriter(tmp_path, shard_edges=1, registry=registry)
+        writer.extend([(1, 1), (2, 2)])
+        with pytest.raises(SegmentError, match="prefix"):
+            writer.rollback(["seg-000002.edges"])
+
+    def test_metrics_count_sealed_edges(self, tmp_path, registry):
+        writer = SegmentWriter(tmp_path, shard_edges=2, registry=registry)
+        writer.extend([(1, 1), (2, 2), (3, 3), (4, 4)])
+        assert registry.counter("store.segments_sealed", "").value() == 2
+        assert registry.counter("store.segment_edges", "").value() == 4
+
+
+class TestCompact:
+    def test_compact_produces_loadable_archive(self, tmp_path, registry):
+        seg_dir = tmp_path / "segments"
+        writer = SegmentWriter(seg_dir, shard_edges=2, registry=registry)
+        writer.extend([(1, 2), (3, 4), (5, 6)])
+        writer.seal()
+        out = tmp_path / "archive"
+        compact(seg_dir, out)
+        # CrawlDataset.load needs the companion files save() would write.
+        (out / "profiles.jsonl").write_text("")
+        dataset = CrawlDataset.load(out)
+        assert dataset.sources.tolist() == [1, 3, 5]
+        assert dataset.targets.tolist() == [2, 4, 6]

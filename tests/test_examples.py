@@ -35,9 +35,19 @@ class TestExamples:
         assert "Recommendation-system hint" in out
 
     def test_crawl_campaign(self):
-        out = run_example("crawl_campaign.py", "1200", "3")
+        out = run_example("crawl_campaign.py", "--users", "1200", "--seed", "3")
         assert "edge recall" in out
         assert "archived and reloaded" in out
+
+    def test_crawl_campaign_durable_crash_and_resume(self, tmp_path):
+        camp = str(tmp_path / "camp")
+        args = ("--users", "1200", "--seed", "3", "--campaign-dir", camp)
+        out = run_example("crawl_campaign.py", *args, "--crash-after", "400")
+        assert "crashed on purpose" in out
+        assert "checkpoints" in out
+        out = run_example("crawl_campaign.py", *args, "--resume")
+        assert "campaign complete" in out
+        assert "archive verified" in out
 
     def test_network_growth(self):
         out = run_example("network_growth.py", "1500", "3")
