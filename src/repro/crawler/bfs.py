@@ -30,9 +30,11 @@ from repro.obs.metrics import get_registry
 from repro.platform.http import HttpFrontend
 
 from .dataset import CrawlDataset, CrawlStats
+from .fetch import FetchError
 from .frontier import BFSFrontier
-from .parse import ParsedProfile, parse_profile_page
-from .workers import MachinePool, publish_fetch_stats
+from .parse import PageParseError, ParsedProfile, parse_profile_page
+from .resilience import ResiliencePolicy
+from .workers import MachinePool, publish_fetch_stats, publish_pool_health
 
 #: Packing base for the edge-dedup set; user ids must stay below this.
 _PACK = 1 << 32
@@ -40,17 +42,98 @@ _PACK = 1 << 32
 
 @dataclass(frozen=True)
 class CrawlConfig:
-    """Crawl campaign parameters."""
+    """Crawl campaign parameters.
+
+    The resilience block (retries, backoff, breaker, budget) flows down
+    to every fetcher via :meth:`resilience_policy`; ``parse_retries``
+    and ``max_redrive_rounds`` govern how hard the crawl fights for a
+    page before and after dead-lettering it.
+    """
 
     n_machines: int = 11
     max_pages: int | None = None
     follow_in_lists: bool = True
     follow_out_lists: bool = True
     request_latency: float = 0.02
+    # -- resilience (see repro.crawler.resilience) -----------------------
+    max_retries: int = 6
+    initial_backoff: float = 0.5
+    max_backoff: float = 8.0
+    backoff_seed: int = 0
+    retry_budget: int | None = None
+    breaker_failure_threshold: int = 5
+    breaker_cooldown: float = 1.0
+    breaker_probe_successes: int = 2
+    #: Immediate refetch attempts for a page whose payload fails to parse.
+    parse_retries: int = 1
+    #: End-of-crawl passes over the dead-letter queue.
+    max_redrive_rounds: int = 2
 
     def __post_init__(self) -> None:
         if not (self.follow_in_lists or self.follow_out_lists):
             raise ValueError("crawler must follow at least one list direction")
+        if self.parse_retries < 0:
+            raise ValueError("parse_retries must be >= 0")
+        if self.max_redrive_rounds < 0:
+            raise ValueError("max_redrive_rounds must be >= 0")
+        self.resilience_policy()  # validate the resilience knobs eagerly
+
+    def resilience_policy(self) -> ResiliencePolicy:
+        """The fleet policy this config describes."""
+        return ResiliencePolicy(
+            max_retries=self.max_retries,
+            initial_backoff=self.initial_backoff,
+            max_backoff=self.max_backoff,
+            backoff_seed=self.backoff_seed,
+            retry_budget=self.retry_budget,
+            breaker_failure_threshold=self.breaker_failure_threshold,
+            breaker_cooldown=self.breaker_cooldown,
+            breaker_probe_successes=self.breaker_probe_successes,
+        )
+
+
+class DeadLetterQueue:
+    """Pages that exhausted their retries, awaiting end-of-crawl redrive.
+
+    ``pending`` is the current redrive round's remaining work,
+    ``requeued`` collects this round's repeat failures (they become the
+    next round's ``pending``), and ``failed`` is the permanent record
+    once rounds run out.  The split keeps redrive order — and therefore
+    the virtual timeline — identical whether or not a checkpoint/resume
+    happened mid-round.
+    """
+
+    def __init__(self) -> None:
+        self.pending: list[tuple[int, str]] = []
+        self.requeued: list[tuple[int, str]] = []
+        self.failed: list[tuple[int, str]] = []
+        self.rounds_done = 0
+        self.redriven = 0
+        self.parse_errors = 0
+
+    def add(self, user_id: int, reason: str) -> None:
+        self.pending.append((int(user_id), reason))
+
+    def __len__(self) -> int:
+        return len(self.pending) + len(self.requeued)
+
+    def export_state(self) -> dict:
+        return {
+            "pending": [[u, r] for u, r in self.pending],
+            "requeued": [[u, r] for u, r in self.requeued],
+            "failed": [[u, r] for u, r in self.failed],
+            "rounds_done": self.rounds_done,
+            "redriven": self.redriven,
+            "parse_errors": self.parse_errors,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.pending = [(int(u), str(r)) for u, r in state.get("pending", [])]
+        self.requeued = [(int(u), str(r)) for u, r in state.get("requeued", [])]
+        self.failed = [(int(u), str(r)) for u, r in state.get("failed", [])]
+        self.rounds_done = int(state.get("rounds_done", 0))
+        self.redriven = int(state.get("redriven", 0))
+        self.parse_errors = int(state.get("parse_errors", 0))
 
 
 @dataclass
@@ -72,6 +155,9 @@ class CrawlSnapshot:
     pool: dict
     frontend: dict
     config: dict = field(default_factory=dict)
+    #: Dead-letter queue state (see :class:`DeadLetterQueue`); empty dict
+    #: on snapshots from before the resilience layer.
+    dead_letter: dict = field(default_factory=dict)
 
     def to_json_dict(self) -> dict:
         return {
@@ -83,6 +169,7 @@ class CrawlSnapshot:
             "pool": self.pool,
             "frontend": self.frontend,
             "config": self.config,
+            "dead_letter": self.dead_letter,
         }
 
     @classmethod
@@ -96,6 +183,7 @@ class CrawlSnapshot:
             pool=data["pool"],
             frontend=data["frontend"],
             config=dict(data.get("config", {})),
+            dead_letter=dict(data.get("dead_letter", {})),
         )
 
 
@@ -121,7 +209,11 @@ class CrawlHooks:
       the newly discovered (deduplicated) edges that page contributed;
     * :meth:`should_checkpoint` / :meth:`on_checkpoint` — the periodic
       checkpoint cadence and the snapshot sink.  A final checkpoint is
-      always taken when the frontier drains;
+      always taken when the frontier drains, and a best-effort one when
+      the crawl aborts mid-run;
+    * :meth:`on_dead_letter` / :meth:`on_redrive` — a page entering the
+      dead-letter queue after exhausting retries, and one recovered by
+      an end-of-crawl redrive pass (for the store's audit journal);
     * :meth:`on_finish` — the completed dataset, for archival.
     """
 
@@ -142,6 +234,12 @@ class CrawlHooks:
     def on_checkpoint(self, snapshot: CrawlSnapshot) -> None:
         pass
 
+    def on_dead_letter(self, user_id: int, reason: str, virtual_now: float) -> None:
+        pass
+
+    def on_redrive(self, user_id: int, virtual_now: float) -> None:
+        pass
+
     def on_finish(self, dataset: CrawlDataset) -> None:
         pass
 
@@ -156,6 +254,7 @@ class BidirectionalBFSCrawler:
             frontend,
             n_machines=self.config.n_machines,
             request_latency=self.config.request_latency,
+            policy=self.config.resilience_policy(),
         )
 
     def crawl(self, seeds: list[int], hooks: CrawlHooks | None = None) -> CrawlDataset:
@@ -175,16 +274,29 @@ class BidirectionalBFSCrawler:
         throughput_gauge = registry.gauge(
             "crawl.pages_per_virtual_second", "Crawl throughput on the virtual clock"
         )
+        dead_counter = registry.counter(
+            "crawl.dead_letters",
+            "Pages dead-lettered after exhausting retries, by failure kind",
+            labels=("reason",),
+        )
+        redrive_counter = registry.counter(
+            "crawl.redriven", "Dead-lettered pages recovered by redrive"
+        )
+        parse_error_counter = registry.counter(
+            "crawl.parse_errors", "Fetched pages whose payload failed to parse"
+        )
         with tracer.span(
             "crawl.bfs", machines=self.config.n_machines, seeds=len(seeds)
         ):
             resume = hooks.resume_state() if hooks is not None else None
             frontier = BFSFrontier()
+            dead_letters = DeadLetterQueue()
             if resume is not None:
                 snapshot = resume.snapshot
                 frontier.restore_state(snapshot.frontier)
                 self.pool.restore_state(snapshot.pool)
                 self.frontend.restore_state(snapshot.frontend)
+                dead_letters.restore_state(snapshot.dead_letter)
                 started = snapshot.started
                 profiles = dict(resume.profiles)
                 sources = list(resume.sources)
@@ -214,16 +326,8 @@ class BidirectionalBFSCrawler:
                 targets.append(v)
                 page_edges.append((u, v))
 
-            max_pages = self.config.max_pages
-            while frontier:
-                if max_pages is not None and len(profiles) >= max_pages:
-                    break
-                user_id = frontier.pop()
-                page = self.pool.fetch_profile(user_id)
-                frontier_gauge.set(len(frontier))
-                if page is None:
-                    continue
-                profile = parse_profile_page(page)
+            def ingest(user_id: int, profile: ParsedProfile) -> None:
+                """Record one successfully parsed page and fan out its edges."""
                 profiles[user_id] = profile
                 pages_counter.inc()
                 page_edges.clear()
@@ -241,14 +345,138 @@ class BidirectionalBFSCrawler:
                         len(profiles), self.frontend.clock.now()
                     ):
                         hooks.on_checkpoint(
-                            self._snapshot(frontier, started, len(profiles), len(sources))
+                            self._snapshot(
+                                frontier, dead_letters, started,
+                                len(profiles), len(sources),
+                            )
                         )
+
+            parse_attempts = self.config.parse_retries + 1
+
+            def attempt_page(user_id: int, redrive: bool) -> str:
+                """Fetch, parse, and ingest one page.
+
+                Returns ``"ok"``, ``"missing"`` (404), or ``"dead"``.  A
+                first-time dead letter is queued and journaled here; a
+                redrive failure is left for the caller to requeue.
+                """
+                reason = "fetch"
+                for _ in range(parse_attempts):
+                    try:
+                        page = self.pool.fetch_profile(user_id)
+                    except FetchError:
+                        reason = "fetch"
+                        break
+                    if page is None:
+                        return "missing"
+                    try:
+                        profile = parse_profile_page(page)
+                    except PageParseError:
+                        dead_letters.parse_errors += 1
+                        parse_error_counter.inc()
+                        reason = "parse"
+                        continue
+                    ingest(user_id, profile)
+                    return "ok"
+                if not redrive:
+                    dead_letters.add(user_id, reason)
+                    dead_counter.inc(reason=reason)
+                    if hooks is not None:
+                        hooks.on_dead_letter(
+                            user_id, reason, self.frontend.clock.now()
+                        )
+                return "dead"
+
+            max_pages = self.config.max_pages
+
+            def page_cap_reached() -> bool:
+                return max_pages is not None and len(profiles) >= max_pages
+
+            try:
+                capped = False
+                while not capped:
+                    # -- BFS drain ------------------------------------------
+                    while frontier:
+                        if page_cap_reached():
+                            capped = True
+                            break
+                        user_id = frontier.pop()
+                        attempt_page(user_id, redrive=False)
+                        frontier_gauge.set(len(frontier))
+                    if capped:
+                        break
+                    # -- redrive phase --------------------------------------
+                    # Pages that dead-lettered while the server was hostile
+                    # get fresh rounds of attempts now that the frontier is
+                    # drained — often the ban/outage window has passed.
+                    # Round boundaries live in the DeadLetterQueue so a
+                    # checkpoint/resume mid-round replays identically.
+                    while (
+                        len(dead_letters) > 0
+                        and dead_letters.rounds_done < self.config.max_redrive_rounds
+                    ):
+                        if not dead_letters.pending:
+                            dead_letters.pending = dead_letters.requeued
+                            dead_letters.requeued = []
+                        while dead_letters.pending:
+                            if page_cap_reached():
+                                capped = True
+                                break
+                            user_id, reason = dead_letters.pending.pop(0)
+                            status = attempt_page(user_id, redrive=True)
+                            if status == "dead":
+                                dead_letters.requeued.append((user_id, reason))
+                            elif status == "ok":
+                                dead_letters.redriven += 1
+                                redrive_counter.inc()
+                                if hooks is not None:
+                                    hooks.on_redrive(
+                                        user_id, self.frontend.clock.now()
+                                    )
+                        if capped:
+                            break
+                        dead_letters.rounds_done += 1
+                    if capped:
+                        break
+                    # A redriven page may have discovered new users: go
+                    # back to BFS, and grant any still-dead pages a fresh
+                    # set of rounds once that work is done.  Both facts
+                    # are read from persisted state (frontier, queue), so
+                    # a resumed crawl takes the same branch.
+                    if len(frontier) > 0:
+                        dead_letters.rounds_done = 0
+                        continue
+                    break
+                if not capped:
+                    # Rounds are over: whatever is still queued (a
+                    # never-started round under max_redrive_rounds=0
+                    # included) is permanently failed.
+                    dead_letters.failed.extend(dead_letters.pending)
+                    dead_letters.failed.extend(dead_letters.requeued)
+                    dead_letters.pending = []
+                    dead_letters.requeued = []
+            except Exception:
+                # Lost-work-on-abort guard: persist a best-effort final
+                # checkpoint so the campaign resumes from the abort point
+                # rather than the last periodic checkpoint.
+                if hooks is not None:
+                    try:
+                        hooks.on_checkpoint(
+                            self._snapshot(
+                                frontier, dead_letters, started,
+                                len(profiles), len(sources),
+                            )
+                        )
+                    except Exception:
+                        pass
+                raise
 
             fetch_stats = self.pool.combined_stats()
             virtual_duration = self.frontend.clock.now() - started
             if virtual_duration > 0:
                 throughput_gauge.set(fetch_stats.pages_fetched / virtual_duration)
             publish_fetch_stats(fetch_stats, registry)
+            publish_pool_health(self.pool, registry)
             stats = CrawlStats(
                 pages_fetched=fetch_stats.pages_fetched,
                 not_found=fetch_stats.not_found,
@@ -257,6 +485,12 @@ class BidirectionalBFSCrawler:
                 virtual_duration=virtual_duration,
                 n_machines=self.config.n_machines,
                 discovered=frontier.n_discovered,
+                banned=fetch_stats.banned,
+                timeouts=fetch_stats.timeouts,
+                slow_responses=fetch_stats.slow_responses,
+                parse_errors=dead_letters.parse_errors,
+                dead_lettered=len(dead_letters.failed) + len(dead_letters),
+                redriven=dead_letters.redriven,
             )
             dataset = CrawlDataset(
                 profiles=profiles,
@@ -266,13 +500,20 @@ class BidirectionalBFSCrawler:
             )
             if hooks is not None:
                 hooks.on_checkpoint(
-                    self._snapshot(frontier, started, len(profiles), len(sources))
+                    self._snapshot(
+                        frontier, dead_letters, started, len(profiles), len(sources)
+                    )
                 )
                 hooks.on_finish(dataset)
         return dataset
 
     def _snapshot(
-        self, frontier: BFSFrontier, started: float, n_pages: int, n_edges: int
+        self,
+        frontier: BFSFrontier,
+        dead_letters: DeadLetterQueue,
+        started: float,
+        n_pages: int,
+        n_edges: int,
     ) -> CrawlSnapshot:
         return CrawlSnapshot(
             started=started,
@@ -288,4 +529,5 @@ class BidirectionalBFSCrawler:
                 "follow_in_lists": self.config.follow_in_lists,
                 "follow_out_lists": self.config.follow_out_lists,
             },
+            dead_letter=dead_letters.export_state(),
         )

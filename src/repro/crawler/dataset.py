@@ -42,6 +42,18 @@ class CrawlStats:
     #: Users seen in anyone's circle list (crawled or not) — the paper's
     #: 35.1M discovered vs 27.5M crawled distinction.
     discovered: int = 0
+    # -- chaos accounting (see repro.faults / docs/faults.md) ------------
+    #: Retries caused by injected 403 bans and 408 timeouts.
+    banned: int = 0
+    timeouts: int = 0
+    #: Successful responses a fault rule slowed down.
+    slow_responses: int = 0
+    #: Pages whose payload arrived corrupt and failed to parse.
+    parse_errors: int = 0
+    #: Pages that exhausted retries and stayed dead after redrive.
+    dead_lettered: int = 0
+    #: Dead-lettered pages recovered by end-of-crawl redrive rounds.
+    redriven: int = 0
 
 
 @dataclass

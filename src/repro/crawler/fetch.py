@@ -14,16 +14,23 @@ were spread.
 from __future__ import annotations
 
 import dataclasses
+import zlib
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.obs.metrics import Registry, get_registry
 from repro.platform.http import (
     HttpFrontend,
     Request,
+    STATUS_FORBIDDEN,
     STATUS_NOT_FOUND,
+    STATUS_REQUEST_TIMEOUT,
     STATUS_TOO_MANY_REQUESTS,
 )
 from repro.platform.pages import ProfilePage
+
+from .resilience import CircuitBreaker, RetryBudget
 
 
 class FetchError(Exception):
@@ -47,7 +54,11 @@ class FetchStats:
     not_found: int = 0
     throttled: int = 0
     server_errors: int = 0
+    banned: int = 0
+    timeouts: int = 0
+    slow_responses: int = 0
     time_waiting: float = 0.0
+    time_slowed: float = 0.0
 
     def merge(self, other: "FetchStats") -> "FetchStats":
         """Add ``other``'s counters into self (in place); returns self."""
@@ -83,10 +94,22 @@ class Fetcher:
     request_latency: float = 0.02
     parallelism: int = 1
     max_retries: int = 6
+    initial_backoff: float = 0.5
+    max_backoff: float = 8.0
+    backoff_seed: int = 0
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    budget: RetryBudget | None = None
     stats: FetchStats = field(default_factory=FetchStats)
     registry: Registry | None = None
 
     def __post_init__(self) -> None:
+        # Decorrelated-jitter RNG: seeded from the campaign backoff seed
+        # plus a stable per-IP salt (crc32, never Python's salted hash),
+        # so two machines never share a jitter stream yet every run with
+        # the same seed replays the same waits.
+        self._jitter_rng = np.random.default_rng(
+            [self.backoff_seed, zlib.crc32(self.ip.encode("utf-8"))]
+        )
         registry = self.registry if self.registry is not None else get_registry()
         self._m_latency = registry.histogram(
             "crawler.fetch_virtual_seconds",
@@ -99,35 +122,67 @@ class Fetcher:
             labels=("machine", "reason"),
         )
 
+    def _next_backoff(self, prev: float) -> float:
+        """Capped decorrelated jitter: ``min(cap, U(initial, prev * 3))``."""
+        prev = prev if prev > 0.0 else self.initial_backoff
+        draw = float(self._jitter_rng.uniform(self.initial_backoff, prev * 3.0))
+        return min(self.max_backoff, draw)
+
     def fetch_profile(self, user_id: int) -> ProfilePage | None:
         """Fetch one profile page; None for 404, FetchError when exhausted."""
         clock = self.frontend.clock
         started = clock.now()
-        backoff = 0.5
+        backoff = 0.0
         for _ in range(self.max_retries + 1):
             clock.advance(self.request_latency / max(1, self.parallelism))
             response = self.frontend.handle(Request(f"/u/{user_id}", self.ip))
             if response.ok:
+                if response.slow_by:
+                    # Fault-injected extra latency: the machine is busy
+                    # for it, like request_latency it shrinks with fleet
+                    # parallelism.
+                    self.stats.slow_responses += 1
+                    self.stats.time_slowed += response.slow_by
+                    clock.advance(response.slow_by / max(1, self.parallelism))
+                self.breaker.record_success(clock.now())
                 self.stats.pages_fetched += 1
                 self._m_latency.observe(clock.now() - started, machine=self.ip)
                 return response.payload
             if response.status == STATUS_NOT_FOUND:
+                self.breaker.record_success(clock.now())
                 self.stats.not_found += 1
                 return None
             if not response.should_retry:
                 raise FetchError(
                     f"unexpected status {response.status} for user {user_id}"
                 )
-            # Transient (429/503): one shared wait-and-retry path.
             if response.status == STATUS_TOO_MANY_REQUESTS:
+                # Throttling is ordinary backpressure: it touches neither
+                # the breaker nor the retry budget.
                 self.stats.throttled += 1
                 reason = "throttled"
                 wait = max(response.retry_after, MIN_THROTTLE_WAIT)
             else:
-                self.stats.server_errors += 1
-                reason = "server_error"
-                wait = backoff
-                backoff *= 2.0
+                # An injected fault (503 flake/outage, 403 ban, 408
+                # timeout): the breaker hears about it and the retry is
+                # paid for from the campaign budget.
+                if response.status == STATUS_FORBIDDEN:
+                    self.stats.banned += 1
+                    reason = "banned"
+                elif response.status == STATUS_REQUEST_TIMEOUT:
+                    self.stats.timeouts += 1
+                    reason = "timeout"
+                else:
+                    self.stats.server_errors += 1
+                    reason = "server_error"
+                self.breaker.record_failure(clock.now())
+                if self.budget is not None and not self.budget.spend():
+                    self._m_retries.inc(machine=self.ip, reason="budget_exhausted")
+                    raise FetchError(
+                        f"retry budget exhausted fetching user {user_id}"
+                    )
+                backoff = self._next_backoff(backoff)
+                wait = max(response.retry_after, backoff)
             self._m_retries.inc(machine=self.ip, reason=reason)
             self.stats.time_waiting += wait
             # Waits are NOT divided by fleet parallelism: the server's
@@ -135,3 +190,37 @@ class Fetcher:
             # before the per-IP bucket refills.
             clock.advance(wait)
         raise FetchError(f"retries exhausted fetching user {user_id}")
+
+    # -- checkpointing (see repro.store) ----------------------------------
+
+    def export_resilience_state(self) -> dict:
+        """Jitter-RNG and breaker state (stats are exported by the pool)."""
+        state: dict = {
+            "jitter_rng": _rng_state_to_json(self._jitter_rng),
+            "breaker": self.breaker.export_state(),
+        }
+        return state
+
+    def restore_resilience_state(self, state: dict) -> None:
+        _rng_state_from_json(self._jitter_rng, state["jitter_rng"])
+        self.breaker.restore_state(state["breaker"])
+
+
+def _rng_state_to_json(rng: np.random.Generator) -> dict:
+    """A Generator's bit-generator state as a JSON-clean dict."""
+    state = rng.bit_generator.state
+    return {
+        "bit_generator": state["bit_generator"],
+        "state": {k: int(v) for k, v in state["state"].items()},
+        "has_uint32": int(state["has_uint32"]),
+        "uinteger": int(state["uinteger"]),
+    }
+
+
+def _rng_state_from_json(rng: np.random.Generator, state: dict) -> None:
+    rng.bit_generator.state = {
+        "bit_generator": state["bit_generator"],
+        "state": {k: int(v) for k, v in state["state"].items()},
+        "has_uint32": int(state["has_uint32"]),
+        "uinteger": int(state["uinteger"]),
+    }

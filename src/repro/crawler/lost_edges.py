@@ -72,6 +72,50 @@ def estimate_lost_edges(
     )
 
 
+@dataclass(frozen=True)
+class DeadLetterLossEstimate:
+    """Edges presumed lost to pages that stayed dead-lettered.
+
+    A page the crawl never managed to fetch contributes no circle lists
+    of its own.  Bidirectional crawling recovers any of its edges whose
+    other endpoint was crawled, so the residual loss is estimated as the
+    dead page count times the mean *unique* edge yield of a crawled page
+    — an upper-bound companion to the display-cap loss of Section 2.2.
+    """
+
+    dead_pages: int
+    mean_page_yield: float
+    total_edges: int
+
+    @property
+    def estimated_missing_edges(self) -> float:
+        return self.dead_pages * self.mean_page_yield
+
+    @property
+    def lost_fraction(self) -> float:
+        """Estimated missing edges over all collected edges."""
+        if self.total_edges == 0:
+            return 0.0
+        return self.estimated_missing_edges / self.total_edges
+
+
+def estimate_dead_letter_loss(dataset: CrawlDataset) -> DeadLetterLossEstimate:
+    """Loss attributable to dead-lettered pages (the chaos loss source).
+
+    Uses ``dataset.stats.dead_lettered`` — pages that exhausted retries
+    and were never recovered by redrive — and the crawl's own mean new
+    edges per page as the yield model.
+    """
+    dead = dataset.stats.dead_lettered
+    if dataset.n_profiles == 0:
+        return DeadLetterLossEstimate(dead, 0.0, dataset.n_edges)
+    return DeadLetterLossEstimate(
+        dead_pages=dead,
+        mean_page_yield=dataset.n_edges / dataset.n_profiles,
+        total_edges=dataset.n_edges,
+    )
+
+
 def naive_truncation_loss(
     dataset: CrawlDataset, display_limit: int = CIRCLE_DISPLAY_LIMIT
 ) -> LostEdgeEstimate:

@@ -17,6 +17,17 @@ from repro.platform.models import ContactInfo, Gender, Place, Relationship
 from repro.platform.pages import ProfilePage
 
 
+class PageParseError(Exception):
+    """A fetched page document was malformed, truncated, or empty.
+
+    The typed failure the extraction layer raises for every corrupt
+    document shape the fault layer can inject (see
+    :data:`repro.faults.CORRUPTION_MODES`) — never a bare ``KeyError`` /
+    ``AttributeError`` / ``IndexError``.  The crawler treats it as a
+    transient page-level failure: refetch, then dead-letter.
+    """
+
+
 @dataclass(frozen=True)
 class ParsedProfile:
     """One crawled profile: public fields plus circle-list observations.
@@ -74,20 +85,62 @@ class ParsedProfile:
         return place.country if place is not None else None
 
 
+def _parse_circle_list(page_user_id: int, which: str, view: Any) -> tuple[tuple[int, ...], int]:
+    """Validate one circle-list view; raises :class:`PageParseError`."""
+    user_ids = getattr(view, "user_ids", None)
+    declared = getattr(view, "declared_count", None)
+    if not isinstance(user_ids, (tuple, list)):
+        raise PageParseError(
+            f"page {page_user_id}: {which} circle list has no id sequence"
+        )
+    clean: list[int] = []
+    for entry in user_ids:
+        if not isinstance(entry, int) or isinstance(entry, bool) or entry < 0:
+            raise PageParseError(
+                f"page {page_user_id}: {which} circle list holds a non-id "
+                f"entry {entry!r}"
+            )
+        clean.append(entry)
+    if not isinstance(declared, int) or isinstance(declared, bool) or declared < len(clean):
+        raise PageParseError(
+            f"page {page_user_id}: {which} circle list declares an invalid "
+            f"count {declared!r} for {len(clean)} shown ids"
+        )
+    return tuple(clean), declared
+
+
 def parse_profile_page(page: ProfilePage) -> ParsedProfile:
-    """Extract a crawl record from a served profile page."""
+    """Extract a crawl record from a served profile page.
+
+    The document is validated structurally before anything is read out:
+    a blank body, a half-delivered fragment, a page missing its
+    mandatory name, or circle lists full of non-ids all raise
+    :class:`PageParseError` (the shapes :func:`repro.faults.corrupt_payload`
+    produces) instead of leaking ``KeyError``/``AttributeError``.
+    """
+    if page is None:
+        raise PageParseError("empty page document")
+    user_id = getattr(page, "user_id", None)
+    if not isinstance(user_id, int) or isinstance(user_id, bool) or user_id < 0:
+        raise PageParseError(f"page document has no usable user id: {user_id!r}")
+    name = getattr(page, "name", None)
+    if not isinstance(name, str):
+        raise PageParseError(f"page {user_id}: missing mandatory name field")
+    fields = getattr(page, "fields", None)
+    if not isinstance(fields, dict):
+        raise PageParseError(f"page {user_id}: field block missing or malformed")
     in_list = out_list = None
     declared_in = declared_out = 0
-    if page.in_list is not None:
-        in_list = page.in_list.user_ids
-        declared_in = page.in_list.declared_count
-    if page.out_list is not None:
-        out_list = page.out_list.user_ids
-        declared_out = page.out_list.declared_count
+    page_in = getattr(page, "in_list", None)
+    page_out = getattr(page, "out_list", None)
+    if page_in is not None:
+        in_list, declared_in = _parse_circle_list(user_id, "in", page_in)
+    if page_out is not None:
+        out_list, declared_out = _parse_circle_list(user_id, "out", page_out)
     return ParsedProfile(
-        user_id=page.user_id,
-        name=page.name,
-        fields=dict(page.fields),
+        user_id=user_id,
+        name=name,
+        fields=dict(fields),
         in_list=in_list,
         out_list=out_list,
         declared_in=declared_in,

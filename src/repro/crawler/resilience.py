@@ -1,0 +1,214 @@
+"""Resilience primitives for the crawl fleet.
+
+The authors' 46-day crawl survived throttling, bans, and outages by
+treating server misbehaviour as the normal case.  This module provides
+the deterministic building blocks the fleet uses to do the same on the
+virtual clock:
+
+* :class:`CircuitBreaker` — classic closed/open/half-open breaker, one
+  per crawl machine, so a banned or flaky IP is quarantined instead of
+  hammering the server.
+* :class:`RetryBudget` — a per-campaign cap on fault-driven retries, so
+  a hostile stretch degrades into dead letters rather than an unbounded
+  retry storm.
+* :class:`ResiliencePolicy` — the bundle of knobs (backoff, breaker,
+  budget) that flows from :class:`repro.crawler.bfs.CrawlConfig` down to
+  every fetcher.
+
+Everything here is plain state + a seeded RNG where needed, with
+``export_state``/``restore_state`` so checkpoint/resume stays
+bit-identical under chaos (see ``docs/faults.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "RetryBudget",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker on the virtual clock.
+
+    ``failure_threshold`` consecutive transient failures open the
+    breaker; after ``cooldown`` virtual seconds it half-opens and admits
+    probe requests; ``probe_successes`` consecutive probe successes close
+    it again, while any probe failure re-opens it for a fresh cooldown.
+
+    The breaker never blocks by itself — :class:`~repro.crawler.workers.
+    MachinePool` consults :meth:`allow` when routing and skips machines
+    whose breaker refuses.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 1.0,
+        probe_successes: int = 2,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        if probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.probe_successes = probe_successes
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_succeeded = 0
+        #: Times the breaker has opened — a cheap health indicator that
+        #: feeds the ``crawler.breaker_opens`` metric at publish time.
+        self.opens = 0
+
+    def state(self, now: float) -> str:
+        """Current state, applying the open→half-open timeout transition."""
+        if self._state == BREAKER_OPEN and now - self._opened_at >= self.cooldown:
+            self._state = BREAKER_HALF_OPEN
+            self._probes_succeeded = 0
+        return self._state
+
+    def allow(self, now: float) -> bool:
+        """May this machine take a request at virtual time ``now``?"""
+        return self.state(now) != BREAKER_OPEN
+
+    def cooldown_remaining(self, now: float) -> float:
+        """Virtual seconds until an open breaker will admit a probe."""
+        if self.state(now) != BREAKER_OPEN:
+            return 0.0
+        return max(0.0, self._opened_at + self.cooldown - now)
+
+    def record_success(self, now: float) -> None:
+        state = self.state(now)
+        self._consecutive_failures = 0
+        if state == BREAKER_HALF_OPEN:
+            self._probes_succeeded += 1
+            if self._probes_succeeded >= self.probe_successes:
+                self._state = BREAKER_CLOSED
+                self._probes_succeeded = 0
+
+    def record_failure(self, now: float) -> None:
+        state = self.state(now)
+        self._consecutive_failures += 1
+        if state == BREAKER_HALF_OPEN or (
+            state == BREAKER_CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = BREAKER_OPEN
+            self._opened_at = now
+            self._probes_succeeded = 0
+            self.opens += 1
+
+    # -- checkpointing (see repro.store) ----------------------------------
+
+    def export_state(self) -> dict:
+        return {
+            "state": self._state,
+            "consecutive_failures": self._consecutive_failures,
+            "opened_at": self._opened_at,
+            "probes_succeeded": self._probes_succeeded,
+            "opens": self.opens,
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        if state["state"] not in (BREAKER_CLOSED, BREAKER_OPEN, BREAKER_HALF_OPEN):
+            raise ValueError(f"unknown breaker state {state['state']!r}")
+        self._state = str(state["state"])
+        self._consecutive_failures = int(state["consecutive_failures"])
+        self._opened_at = float(state["opened_at"])
+        self._probes_succeeded = int(state["probes_succeeded"])
+        self.opens = int(state["opens"])
+
+
+class RetryBudget:
+    """A campaign-wide cap on fault-driven retries.
+
+    Throttle (429) waits are free — they are ordinary backpressure — but
+    every retry caused by an injected fault (503/403/408) spends one unit.
+    When the budget runs dry, fetchers stop retrying and fail fast, which
+    the crawl turns into dead letters instead of an abort.
+
+    ``budget=None`` means unlimited (the default: chaos opt-in only).
+    """
+
+    def __init__(self, budget: int | None = None):
+        if budget is not None and budget < 0:
+            raise ValueError("budget must be >= 0 (or None for unlimited)")
+        self.budget = budget
+        self.spent = 0
+
+    @property
+    def remaining(self) -> int | None:
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.spent)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.budget is not None and self.spent >= self.budget
+
+    def spend(self, n: int = 1) -> bool:
+        """Try to spend ``n`` units; False (and nothing spent) when dry."""
+        if self.budget is not None and self.spent + n > self.budget:
+            return False
+        self.spent += n
+        return True
+
+    def export_state(self) -> dict:
+        return {"budget": self.budget, "spent": self.spent}
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        budget = state["budget"]
+        self.budget = None if budget is None else int(budget)
+        self.spent = int(state["spent"])
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """The fleet's resilience knobs, flowed from ``CrawlConfig``.
+
+    ``backoff_seed`` seeds each fetcher's decorrelated-jitter RNG
+    (combined with a stable per-IP salt), keeping retry timing — and
+    therefore the whole virtual timeline — deterministic per seed.
+    """
+
+    max_retries: int = 6
+    initial_backoff: float = 0.5
+    max_backoff: float = 8.0
+    backoff_seed: int = 0
+    retry_budget: int | None = None
+    breaker_failure_threshold: int = 5
+    breaker_cooldown: float = 1.0
+    breaker_probe_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.initial_backoff <= 0:
+            raise ValueError("initial_backoff must be positive")
+        if self.max_backoff < self.initial_backoff:
+            raise ValueError("max_backoff must be >= initial_backoff")
+
+    def make_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            failure_threshold=self.breaker_failure_threshold,
+            cooldown=self.breaker_cooldown,
+            probe_successes=self.breaker_probe_successes,
+        )
+
+    def make_budget(self) -> RetryBudget:
+        return RetryBudget(self.retry_budget)

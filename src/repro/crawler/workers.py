@@ -2,8 +2,12 @@
 
 The authors used 11 machines to spread the request load (Section 2.2);
 :class:`MachinePool` models that fleet on the simulated clock. Requests
-are issued round-robin, which both balances load and keeps every IP under
-the server's per-IP rate limit.
+are issued round-robin over *healthy* machines: each machine carries a
+circuit breaker (see :mod:`repro.crawler.resilience`), and a machine
+whose breaker is open — banned, or mid-outage from the server's point of
+view — is quarantined and skipped until its cooldown lapses. With every
+breaker closed the rotation is exactly the classic round-robin, so
+fault-free crawls are unchanged.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from repro.platform.http import HttpFrontend
 from repro.platform.pages import ProfilePage
 
 from .fetch import Fetcher, FetchStats
+from .resilience import BREAKER_CLOSED, BREAKER_OPEN, ResiliencePolicy, RetryBudget
 
 
 def publish_fetch_stats(stats: FetchStats, registry: Registry | None = None) -> None:
@@ -31,37 +36,111 @@ def publish_fetch_stats(stats: FetchStats, registry: Registry | None = None) -> 
         ).set(float(getattr(stats, f.name)))
 
 
+def publish_pool_health(pool: "MachinePool", registry: Registry | None = None) -> None:
+    """Export fleet health: per-machine breaker state and open counts.
+
+    Breaker state is encoded 0=closed, 1=half_open, 2=open so dashboards
+    can plot the fleet as a heat strip.  Called at the same cadence as
+    :func:`publish_fetch_stats` (checkpoints and crawl end), never on the
+    per-request hot path.
+    """
+    registry = registry if registry is not None else get_registry()
+    now = pool.frontend.clock.now()
+    g_state = registry.gauge(
+        "crawler.breaker_state",
+        "Circuit-breaker state per machine (0=closed, 1=half_open, 2=open)",
+        labels=("machine",),
+    )
+    g_opens = registry.gauge(
+        "crawler.breaker_opens",
+        "Times each machine's breaker has opened",
+        labels=("machine",),
+    )
+    encoding = {BREAKER_CLOSED: 0.0, BREAKER_OPEN: 2.0}
+    for fetcher in pool.fetchers:
+        state = fetcher.breaker.state(now)
+        g_state.set(encoding.get(state, 1.0), machine=fetcher.ip)
+        g_opens.set(float(fetcher.breaker.opens), machine=fetcher.ip)
+    registry.gauge(
+        "crawler.quarantine_waits", "Times the whole fleet was quarantined at once"
+    ).set(float(pool.quarantine_waits))
+    registry.gauge(
+        "crawler.time_quarantined",
+        "Virtual seconds spent waiting out whole-fleet quarantine",
+    ).set(pool.time_quarantined)
+    if pool.budget.budget is not None:
+        registry.gauge(
+            "crawler.retry_budget_remaining", "Campaign retry budget left"
+        ).set(float(pool.budget.remaining))
+
+
 class MachinePool:
-    """Round-robin scheduler over a fleet of crawl machines."""
+    """Health-aware round-robin scheduler over a fleet of crawl machines."""
 
     def __init__(
         self,
         frontend: HttpFrontend,
         n_machines: int = 11,
         request_latency: float = 0.02,
+        policy: ResiliencePolicy | None = None,
     ):
         if n_machines < 1:
             raise ValueError("need at least one crawl machine")
+        self.frontend = frontend
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        #: Campaign-wide retry budget, shared by every fetcher.
+        self.budget: RetryBudget = self.policy.make_budget()
         self.fetchers = [
             Fetcher(
                 frontend=frontend,
                 ip=f"10.0.0.{i + 1}",
                 request_latency=request_latency,
                 parallelism=n_machines,
+                max_retries=self.policy.max_retries,
+                initial_backoff=self.policy.initial_backoff,
+                max_backoff=self.policy.max_backoff,
+                backoff_seed=self.policy.backoff_seed,
+                breaker=self.policy.make_breaker(),
+                budget=self.budget,
             )
             for i in range(n_machines)
         ]
         self._next = 0
+        #: Times every machine was quarantined at once (the pool then
+        #: waits out the soonest cooldown) and the virtual time it cost.
+        self.quarantine_waits = 0
+        self.time_quarantined = 0.0
 
     @property
     def n_machines(self) -> int:
         return len(self.fetchers)
 
+    def _select(self) -> Fetcher:
+        """Next healthy machine in rotation; waits out a full quarantine.
+
+        With all breakers closed this is plain round-robin.  When every
+        machine is quarantined the pool advances the clock to the soonest
+        breaker cooldown so that machine can probe — the fleet equivalent
+        of the operators waiting out a site-wide ban.
+        """
+        now = self.frontend.clock.now()
+        n = len(self.fetchers)
+        for offset in range(n):
+            idx = (self._next + offset) % n
+            if self.fetchers[idx].breaker.allow(now):
+                self._next = (idx + 1) % n
+                return self.fetchers[idx]
+        waits = [f.breaker.cooldown_remaining(now) for f in self.fetchers]
+        idx = min(range(n), key=waits.__getitem__)
+        self.quarantine_waits += 1
+        self.time_quarantined += waits[idx]
+        self.frontend.clock.advance(waits[idx])
+        self._next = (idx + 1) % n
+        return self.fetchers[idx]
+
     def fetch_profile(self, user_id: int) -> ProfilePage | None:
-        """Fetch via the next machine in rotation."""
-        fetcher = self.fetchers[self._next]
-        self._next = (self._next + 1) % len(self.fetchers)
-        return fetcher.fetch_profile(user_id)
+        """Fetch via the next healthy machine in rotation."""
+        return self._select().fetch_profile(user_id)
 
     def combined_stats(self) -> FetchStats:
         """Fleet-wide totals, merged field-by-field (new fields included)."""
@@ -73,10 +152,22 @@ class MachinePool:
     # -- checkpointing (see repro.store) -------------------------------------
 
     def export_state(self) -> dict:
-        """Rotation cursor plus per-machine counters, JSON-ready."""
+        """Rotation cursor, per-machine counters, and resilience state.
+
+        The ``resilience`` block (jitter RNGs, breakers, budget,
+        quarantine counters) restores the fleet's exact retry timing, so
+        a resumed crawl replays the same virtual timeline it would have
+        lived uninterrupted.
+        """
         return {
             "next": self._next,
             "fetchers": [dataclasses.asdict(f.stats) for f in self.fetchers],
+            "resilience": {
+                "fetchers": [f.export_resilience_state() for f in self.fetchers],
+                "budget": self.budget.export_state(),
+                "quarantine_waits": self.quarantine_waits,
+                "time_quarantined": self.time_quarantined,
+            },
         }
 
     def restore_state(self, state: dict) -> None:
@@ -84,6 +175,8 @@ class MachinePool:
 
         The pool must have been built with the same machine count — a
         checkpoint taken on an 11-machine fleet cannot resume on 4.
+        Snapshots from before the resilience layer (no ``resilience``
+        block) restore with fresh breakers and RNGs.
         """
         per_machine = state["fetchers"]
         if len(per_machine) != len(self.fetchers):
@@ -93,4 +186,12 @@ class MachinePool:
             )
         self._next = int(state["next"]) % len(self.fetchers)
         for fetcher, stats in zip(self.fetchers, per_machine):
-            fetcher.stats = FetchStats(**stats)
+            known = {f.name for f in dataclasses.fields(FetchStats)}
+            fetcher.stats = FetchStats(**{k: v for k, v in stats.items() if k in known})
+        resilience = state.get("resilience")
+        if resilience is not None:
+            for fetcher, sub in zip(self.fetchers, resilience["fetchers"]):
+                fetcher.restore_resilience_state(sub)
+            self.budget.restore_state(resilience["budget"])
+            self.quarantine_waits = int(resilience["quarantine_waits"])
+            self.time_quarantined = float(resilience["time_quarantined"])

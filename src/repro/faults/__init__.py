@@ -1,0 +1,55 @@
+"""Scripted fault injection (``repro.faults``).
+
+Deterministic, virtual-clock-scheduled chaos for the simulated Google+
+transport: error-rate bursts, per-IP bans, outages, timeouts, slow
+responses, and corrupted pages — all seeded, all resumable, so the
+crawler's resilience layer can be exercised end-to-end and a campaign
+interrupted mid-chaos still resumes bit-identically.
+
+See ``docs/faults.md`` for the scenario schema and determinism
+guarantees, and ``python -m repro.faults --scenario flaky-fleet`` for an
+end-to-end chaos run.
+"""
+
+from .schedule import (
+    BernoulliErrors,
+    CORRUPTION_MODES,
+    CorruptPages,
+    ErrorBurst,
+    FaultDecision,
+    FaultRule,
+    FaultSchedule,
+    FaultSpecError,
+    IpBan,
+    Outage,
+    SlowResponses,
+    STATUS_FORBIDDEN,
+    STATUS_REQUEST_TIMEOUT,
+    STATUS_SERVER_ERROR,
+    Timeouts,
+    corrupt_payload,
+)
+from .scenarios import SCENARIOS, get_scenario, load_scenario_file, scenario_names
+
+__all__ = [
+    "BernoulliErrors",
+    "CORRUPTION_MODES",
+    "CorruptPages",
+    "ErrorBurst",
+    "FaultDecision",
+    "FaultRule",
+    "FaultSchedule",
+    "FaultSpecError",
+    "IpBan",
+    "Outage",
+    "SCENARIOS",
+    "SlowResponses",
+    "STATUS_FORBIDDEN",
+    "STATUS_REQUEST_TIMEOUT",
+    "STATUS_SERVER_ERROR",
+    "Timeouts",
+    "corrupt_payload",
+    "get_scenario",
+    "load_scenario_file",
+    "scenario_names",
+]

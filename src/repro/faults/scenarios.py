@@ -1,0 +1,121 @@
+"""Named chaos scenarios — curated fault scripts for tests, CI, and demos.
+
+Each scenario is a plain JSON-compatible document (see
+:meth:`repro.faults.schedule.FaultSchedule.from_dict`) whose windows are
+calibrated for the default campaign shape the ``python -m repro.faults``
+CLI runs (a few thousand users, 11 machines, 20 ms request latency —
+roughly 4–10 virtual seconds of crawl).  Scenarios are data, not code:
+copy one, tweak the windows, and feed it back via ``--scenario-file``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from .schedule import FaultSchedule, FaultSpecError
+
+__all__ = ["SCENARIOS", "get_scenario", "load_scenario_file", "scenario_names"]
+
+
+SCENARIOS: dict[str, dict[str, Any]] = {
+    # The bread-and-butter chaos mix: two 503 bursts, a partial-fleet
+    # ban, and a stretch of dirty pages.  The crawl should complete with
+    # zero (or fully re-driven) dead letters.
+    "flaky-fleet": {
+        "seed": 7,
+        "description": "503 bursts + a 3-machine ban + corrupted pages",
+        "rules": [
+            {"kind": "error_burst", "start": 0.2, "end": 1.4, "rate": 0.35,
+             "retry_after": 0.01},
+            {"kind": "error_burst", "start": 2.4, "end": 3.0, "rate": 0.5,
+             "retry_after": 0.01},
+            {
+                "kind": "ip_ban",
+                "start": 0.9,
+                "end": 1.8,
+                "ips": ["10.0.0.2", "10.0.0.5", "10.0.0.8"],
+                "retry_after": 0.05,
+            },
+            {"kind": "corrupt_pages", "start": 0.6, "end": 2.6, "rate": 0.12},
+        ],
+    },
+    # Every IP banned for a window: the breaker fleet must quarantine,
+    # wait the bans out, and re-drive whatever dead-lettered meanwhile.
+    "ban-hammer": {
+        "seed": 11,
+        "description": "a whole-fleet 403 window plus background 503s",
+        "rules": [
+            {"kind": "ip_ban", "start": 1.0, "end": 2.2, "retry_after": 0.1},
+            {"kind": "bernoulli_errors", "rate": 0.05},
+        ],
+    },
+    # A hard outage mid-crawl: everything 503s until the window lifts.
+    "rolling-outage": {
+        "seed": 13,
+        "description": "two short full outages with clean air between",
+        "rules": [
+            {"kind": "outage", "start": 0.8, "end": 1.5, "retry_after": 0.1},
+            {"kind": "outage", "start": 2.6, "end": 3.1, "retry_after": 0.1},
+        ],
+    },
+    # Garbage in: a long window of mangled payloads plus slow responses
+    # and hung requests.  Exercises parse hardening and timeout retries.
+    "dirty-pages": {
+        "seed": 17,
+        "description": "heavy page corruption, slow responses, timeouts",
+        "rules": [
+            {"kind": "corrupt_pages", "start": 0.3, "end": 3.5, "rate": 0.25},
+            {"kind": "slow_responses", "start": 0.5, "end": 2.5, "rate": 0.2,
+             "extra_latency": 0.3},
+            {"kind": "timeouts", "start": 1.0, "end": 2.0, "rate": 0.08,
+             "timeout": 0.05},
+        ],
+    },
+    # Everything at once — the closest analogue to a hostile live site.
+    "kitchen-sink": {
+        "seed": 23,
+        "description": "bursts + bans + outage + corruption + timeouts",
+        "rules": [
+            {"kind": "bernoulli_errors", "rate": 0.03},
+            {"kind": "error_burst", "start": 0.4, "end": 1.2, "rate": 0.4,
+             "retry_after": 0.01},
+            {"kind": "ip_ban", "start": 0.8, "end": 1.6,
+             "ips": ["10.0.0.1", "10.0.0.4", "10.0.0.7", "10.0.0.10"],
+             "retry_after": 0.05},
+            {"kind": "outage", "start": 2.0, "end": 2.4, "retry_after": 0.1},
+            {"kind": "corrupt_pages", "start": 0.5, "end": 3.0, "rate": 0.1},
+            {"kind": "timeouts", "start": 1.4, "end": 2.8, "rate": 0.05,
+             "timeout": 0.05},
+        ],
+    },
+}
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> dict[str, Any]:
+    """The named scenario document (validated buildable); KeyError-safe."""
+    try:
+        spec = SCENARIOS[name]
+    except KeyError:
+        raise FaultSpecError(
+            f"unknown scenario {name!r} (known: {', '.join(scenario_names())})"
+        ) from None
+    FaultSchedule.from_dict(spec)  # validate eagerly: bad data fails loudly
+    return spec
+
+
+def load_scenario_file(path: str | Path) -> dict[str, Any]:
+    """Load and validate a scenario document from a JSON file."""
+    try:
+        spec = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise FaultSpecError(f"{path}: unreadable scenario file ({exc})") from exc
+    if not isinstance(spec, Mapping):
+        raise FaultSpecError(f"{path}: scenario must be a JSON object")
+    FaultSchedule.from_dict(spec)
+    return dict(spec)

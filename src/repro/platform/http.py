@@ -16,16 +16,33 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.faults.schedule import (
+    BernoulliErrors,
+    FaultSchedule,
+    STATUS_FORBIDDEN,
+    STATUS_REQUEST_TIMEOUT,
+    corrupt_payload,
+)
 from repro.obs.metrics import Registry, get_registry, log_buckets
 
-#: HTTP-ish status codes the simulated server can return.
+#: HTTP-ish status codes the simulated server can return.  403 and 408
+#: are injected by the fault layer (:mod:`repro.faults`) and defined
+#: there; they are re-exported here as the canonical status namespace.
 STATUS_OK = 200
 STATUS_NOT_FOUND = 404
 STATUS_TOO_MANY_REQUESTS = 429
 STATUS_SERVER_ERROR = 503
 
-#: Statuses that signal a transient condition worth retrying.
-RETRYABLE_STATUSES = frozenset({STATUS_TOO_MANY_REQUESTS, STATUS_SERVER_ERROR})
+#: Statuses that signal a transient condition worth retrying: throttle,
+#: flake/outage, temporary ban, and request timeout.
+RETRYABLE_STATUSES = frozenset(
+    {
+        STATUS_TOO_MANY_REQUESTS,
+        STATUS_SERVER_ERROR,
+        STATUS_FORBIDDEN,
+        STATUS_REQUEST_TIMEOUT,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -38,11 +55,16 @@ class Request:
 
 @dataclass(frozen=True)
 class Response:
-    """The server's reply. ``payload`` carries the page document on 200."""
+    """The server's reply. ``payload`` carries the page document on 200.
+
+    ``slow_by`` is extra virtual latency a fault rule attached to a
+    successful response — the client must spend it on the clock.
+    """
 
     status: int
     payload: Any = None
     retry_after: float = 0.0
+    slow_by: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -50,7 +72,8 @@ class Response:
 
     @property
     def should_retry(self) -> bool:
-        """True for transient statuses (429 throttle, 503 flake).
+        """True for transient statuses (429 throttle, 503 flake/outage,
+        403 temporary ban, 408 timeout).
 
         Clients should wait at least :attr:`retry_after` (the server's
         advertised delay; 0 when it offered none) before retrying.
@@ -147,7 +170,14 @@ class RateLimiter:
 
 
 class FlakinessModel:
-    """Injects transient 503s with a seeded RNG so crawls stay deterministic."""
+    """Injects transient 503s with a seeded RNG so crawls stay deterministic.
+
+    Superseded as the front end's failure hook by the composable
+    :class:`repro.faults.FaultSchedule` (the ``error_rate`` constructor
+    knob now builds a :class:`repro.faults.BernoulliErrors` rule with
+    identical draw behaviour); kept as a small standalone model for
+    direct use.
+    """
 
     def __init__(self, error_rate: float = 0.0, seed: int = 0):
         if not 0.0 <= error_rate < 1.0:
@@ -169,10 +199,14 @@ class FlakinessModel:
 
 
 class HttpFrontend:
-    """Ties the rate limiter and flakiness model in front of a page handler.
+    """Ties the rate limiter and fault schedule in front of a page handler.
 
     The handler is any callable mapping a path to ``(status, payload)``;
     :class:`repro.platform.service.GooglePlusService` provides one.
+
+    ``faults`` is a :class:`repro.faults.FaultSchedule` of scripted
+    failure windows; the legacy ``error_rate``/``seed`` pair still works
+    and simply prepends an always-on Bernoulli 503 rule.
     """
 
     def __init__(
@@ -183,12 +217,16 @@ class HttpFrontend:
         burst: float = 100.0,
         error_rate: float = 0.0,
         seed: int = 0,
+        faults: FaultSchedule | None = None,
         registry: Registry | None = None,
     ):
         self._handler = handler
         self.clock = clock if clock is not None else SimulatedClock()
         self._limiter = RateLimiter(rate_per_ip, burst, self.clock)
-        self._flakiness = FlakinessModel(error_rate, seed)
+        rules = list(faults.rules) if faults is not None else []
+        if error_rate:
+            rules.insert(0, BernoulliErrors(error_rate, seed=seed))
+        self._faults = FaultSchedule(rules) if rules else None
         self.requests_served = 0
         self.requests_throttled = 0
         self.requests_failed = 0
@@ -201,15 +239,27 @@ class HttpFrontend:
             "Retry-after advertised on rate-limiter rejections",
             buckets=log_buckets(0.001, 2.0, 16),
         )
+        self._m_faults = registry.counter(
+            "http.faults_injected",
+            "Faults injected by the schedule, per rule kind",
+            labels=("kind",),
+        )
         # Materialise every status series up front so reports always carry
-        # the full 200/404/429/503 breakdown, zeros included.
+        # the full 200/403/404/408/429/503 breakdown, zeros included.
         for status in (
             STATUS_OK,
+            STATUS_FORBIDDEN,
             STATUS_NOT_FOUND,
+            STATUS_REQUEST_TIMEOUT,
             STATUS_TOO_MANY_REQUESTS,
             STATUS_SERVER_ERROR,
         ):
             self._m_requests.inc(0, status=status)
+
+    @property
+    def faults(self) -> FaultSchedule | None:
+        """The active fault schedule (None when the transport is clean)."""
+        return self._faults
 
     def export_state(self) -> dict:
         """Complete resumable transport state: clock, counters, limiter, RNG.
@@ -225,7 +275,7 @@ class HttpFrontend:
             "requests_throttled": self.requests_throttled,
             "requests_failed": self.requests_failed,
             "limiter": self._limiter.export_state(),
-            "flakiness": self._flakiness.export_state(),
+            "faults": self._faults.export_state() if self._faults is not None else None,
         }
 
     def restore_state(self, state: Mapping[str, Any]) -> None:
@@ -234,21 +284,42 @@ class HttpFrontend:
         self.requests_throttled = int(state["requests_throttled"])
         self.requests_failed = int(state["requests_failed"])
         self._limiter.restore_state(state["limiter"])
-        self._flakiness.restore_state(state["flakiness"])
+        faults_state = state.get("faults")
+        if faults_state is not None:
+            if self._faults is None:
+                raise ValueError(
+                    "checkpoint carries fault-schedule state but this front "
+                    "end was built without a fault schedule"
+                )
+            self._faults.restore_state(faults_state)
 
     def handle(self, request: Request) -> Response:
-        """Serve one request, applying throttling and failure injection."""
+        """Serve one request, applying throttling and fault injection."""
         granted, retry_after = self._limiter.admit(request.client_ip)
         if not granted:
             self.requests_throttled += 1
             self._m_requests.inc(status=STATUS_TOO_MANY_REQUESTS)
             self._m_throttle_wait.observe(retry_after)
             return Response(STATUS_TOO_MANY_REQUESTS, retry_after=retry_after)
-        if self._flakiness.should_fail():
+        decision = (
+            self._faults.evaluate(self.clock.now(), request.client_ip)
+            if self._faults is not None
+            else None
+        )
+        if decision is not None and decision.status is not None:
             self.requests_failed += 1
-            self._m_requests.inc(status=STATUS_SERVER_ERROR)
-            return Response(STATUS_SERVER_ERROR, retry_after=1.0)
+            self._m_requests.inc(status=decision.status)
+            self._m_faults.inc(kind=decision.kind)
+            return Response(decision.status, retry_after=decision.retry_after)
         status, payload = self._handler(request.path)
+        slow_by = 0.0
+        if decision is not None and status == STATUS_OK:
+            slow_by = decision.slow_by
+            if slow_by:
+                self._m_faults.inc(kind="slow_responses")
+            if decision.corrupt_mode is not None:
+                payload = corrupt_payload(payload, decision.corrupt_mode)
+                self._m_faults.inc(kind=decision.kind)
         self.requests_served += 1
         self._m_requests.inc(status=status)
-        return Response(status, payload)
+        return Response(status, payload, slow_by=slow_by)

@@ -70,6 +70,7 @@ __all__ = [
     "CampaignStore",
     "CrawlCampaign",
     "JOURNAL_NAME",
+    "KIND_DEADLETTER",
     "KIND_EDGES",
     "KIND_PAGE",
     "KIND_STATS",
@@ -83,8 +84,17 @@ __all__ = [
 KIND_PAGE = 1
 KIND_EDGES = 2
 KIND_STATS = 3
+#: Audit trail of dead-letter traffic (a page entering the queue, or
+#: being recovered by redrive).  Never replayed into state — the
+#: authoritative queue lives in the checkpoint snapshot.
+KIND_DEADLETTER = 4
 
-KIND_NAMES = {KIND_PAGE: "page", KIND_EDGES: "edges", KIND_STATS: "stats"}
+KIND_NAMES = {
+    KIND_PAGE: "page",
+    KIND_EDGES: "edges",
+    KIND_STATS: "stats",
+    KIND_DEADLETTER: "dead_letter",
+}
 
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.wal"
@@ -126,6 +136,14 @@ class CampaignConfig:
     checkpoint_every_virtual: float = 0.0
     shard_edges: int = 65_536
     keep_checkpoints: int = 3
+    #: Fault scenario document (``repro.faults.FaultSchedule.from_dict``
+    #: schema), frozen into the manifest like every other knob so a
+    #: resumed campaign replays the exact same chaos.  None = clean run.
+    faults: dict | None = None
+    #: Overrides for :class:`~repro.crawler.bfs.CrawlConfig`'s resilience
+    #: knobs (max_retries, max_backoff, retry_budget, breaker_*,
+    #: parse_retries, max_redrive_rounds, ...).  None = defaults.
+    resilience: dict | None = None
 
     def to_json_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
@@ -135,10 +153,12 @@ class CampaignConfig:
         return cls(**data)
 
     def crawl_config(self) -> CrawlConfig:
+        resilience = dict(self.resilience) if self.resilience else {}
         return CrawlConfig(
             n_machines=self.n_machines,
             max_pages=self.max_pages,
             request_latency=self.request_latency,
+            **resilience,
         )
 
 
@@ -206,6 +226,11 @@ class CampaignStore(CrawlHooks):
         self._m_rolled_back = registry.counter(
             "store.rolled_back_records",
             "Journal records discarded to reach a consistent checkpoint",
+        )
+        self._m_dead_letters = registry.counter(
+            "store.dead_letter_records",
+            "Dead-letter audit records journaled, by event",
+            labels=("event",),
         )
         #: Crash injection (tests / CI smoke): SIGKILL or raise after N
         #: pages fetched *by this process*, or right after checkpoint N.
@@ -311,6 +336,22 @@ class CampaignStore(CrawlHooks):
         ):
             os.kill(os.getpid(), signal.SIGKILL)
 
+    def _dead_letter_record(self, event: str, user_id: int, detail: dict) -> None:
+        body = json.dumps(
+            {"event": event, "user_id": int(user_id), **detail},
+            separators=(",", ":"),
+        )
+        self.journal.append(KIND_DEADLETTER, body.encode("utf-8"))
+        self._m_dead_letters.inc(event=event)
+
+    def on_dead_letter(self, user_id, reason, virtual_now) -> None:
+        self._dead_letter_record(
+            "dead", user_id, {"reason": reason, "virtual_now": virtual_now}
+        )
+
+    def on_redrive(self, user_id, virtual_now) -> None:
+        self._dead_letter_record("redriven", user_id, {"virtual_now": virtual_now})
+
     def should_checkpoint(self, n_pages: int, virtual_now: float) -> bool:
         every_pages = self.config.checkpoint_every_pages
         if every_pages and self._pages_since_checkpoint >= every_pages:
@@ -408,6 +449,7 @@ class CrawlCampaign:
         """Run (or resume) the campaign to completion and archive it."""
         # Lazy import: inspect/compact must work without pulling in the
         # synthetic-world generator stack.
+        from repro.faults import FaultSchedule
         from repro.synth import build_world, WorldConfig
 
         cfg = self.config
@@ -418,8 +460,12 @@ class CrawlCampaign:
                 circle_display_limit=cfg.circle_display_limit,
             )
         )
+        faults = FaultSchedule.from_dict(cfg.faults) if cfg.faults else None
         frontend = world.frontend(
-            rate_per_ip=cfg.rate_per_ip, burst=cfg.burst, error_rate=cfg.error_rate
+            rate_per_ip=cfg.rate_per_ip,
+            burst=cfg.burst,
+            error_rate=cfg.error_rate,
+            faults=faults,
         )
         crawler = BidirectionalBFSCrawler(frontend, cfg.crawl_config())
         store = CampaignStore(

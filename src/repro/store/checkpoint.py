@@ -174,10 +174,25 @@ def stats_from_snapshot(snapshot: Mapping, n_machines: int) -> CrawlStats:
     virtual clock, discovered users from the frontier — so stats
     reconstructed at compaction time equal the live crawl's.
     """
-    totals = {"pages_fetched": 0, "not_found": 0, "throttled": 0, "server_errors": 0}
+    totals = {
+        "pages_fetched": 0,
+        "not_found": 0,
+        "throttled": 0,
+        "server_errors": 0,
+        "banned": 0,
+        "timeouts": 0,
+        "slow_responses": 0,
+    }
     for machine in snapshot["pool"]["fetchers"]:
         for key in totals:
-            totals[key] += int(machine[key])
+            # .get: snapshots predating a counter simply lack its key.
+            totals[key] += int(machine.get(key, 0))
+    dead_letter = snapshot.get("dead_letter", {})
+    unresolved = (
+        len(dead_letter.get("failed", []))
+        + len(dead_letter.get("pending", []))
+        + len(dead_letter.get("requeued", []))
+    )
     return CrawlStats(
         pages_fetched=totals["pages_fetched"],
         not_found=totals["not_found"],
@@ -186,4 +201,10 @@ def stats_from_snapshot(snapshot: Mapping, n_machines: int) -> CrawlStats:
         virtual_duration=float(snapshot["virtual_now"]) - float(snapshot["started"]),
         n_machines=n_machines,
         discovered=len(snapshot["frontier"]["seen"]),
+        banned=totals["banned"],
+        timeouts=totals["timeouts"],
+        slow_responses=totals["slow_responses"],
+        parse_errors=int(dead_letter.get("parse_errors", 0)),
+        dead_lettered=unresolved,
+        redriven=int(dead_letter.get("redriven", 0)),
     )

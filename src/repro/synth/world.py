@@ -41,8 +41,13 @@ class SyntheticWorld:
         rate_per_ip: float = 200.0,
         burst: float = 400.0,
         error_rate: float = 0.0,
+        faults=None,
     ) -> HttpFrontend:
-        """A fresh HTTP front end over this world's service."""
+        """A fresh HTTP front end over this world's service.
+
+        ``faults`` is an optional :class:`repro.faults.FaultSchedule` of
+        scripted failure windows (chaos campaigns).
+        """
         return HttpFrontend(
             self.service.handle_path,
             clock=self.clock,
@@ -50,6 +55,7 @@ class SyntheticWorld:
             burst=burst,
             error_rate=error_rate,
             seed=self.config.seed + 101,
+            faults=faults,
         )
 
     @property

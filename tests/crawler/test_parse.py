@@ -1,6 +1,11 @@
 """Tests for profile-page parsing."""
 
-from repro.crawler.parse import parse_profile_page, ParsedProfile
+from types import SimpleNamespace
+
+import pytest
+
+from repro.crawler.parse import PageParseError, parse_profile_page, ParsedProfile
+from repro.faults import CORRUPTION_MODES, corrupt_payload
 from repro.platform.models import ContactInfo, Gender, Place, Relationship
 from repro.platform.pages import CircleListView, ProfilePage
 
@@ -86,3 +91,83 @@ class TestParsedProfileAccessors:
         assert profile.has_field("name")
         assert profile.has_field("phrase")
         assert not profile.has_field("education")
+
+
+class TestCorruptPageHardening:
+    """Every shape the fault layer can inject raises PageParseError."""
+
+    def full_page(self) -> ProfilePage:
+        return page_with(
+            fields={"occupation": "Engineer"},
+            in_list=CircleListView((1, 2), 2),
+            out_list=CircleListView((3,), 5),
+        )
+
+    @pytest.mark.parametrize("mode", CORRUPTION_MODES)
+    def test_injected_corruption_raises_typed_error(self, mode):
+        mangled = corrupt_payload(self.full_page(), mode)
+        with pytest.raises(PageParseError):
+            parse_profile_page(mangled)
+
+    def test_blank_page(self):
+        with pytest.raises(PageParseError, match="empty page"):
+            parse_profile_page(None)
+
+    def test_truncated_document(self):
+        with pytest.raises(PageParseError, match="name"):
+            parse_profile_page(SimpleNamespace(user_id=7))
+
+    def test_unusable_user_id(self):
+        for bad in (None, "7", -1, True):
+            with pytest.raises(PageParseError, match="user id"):
+                parse_profile_page(SimpleNamespace(user_id=bad, name="Ada"))
+
+    def test_missing_name(self):
+        with pytest.raises(PageParseError, match="name"):
+            parse_profile_page(SimpleNamespace(user_id=7, name=None, fields={}))
+
+    def test_malformed_field_block(self):
+        with pytest.raises(PageParseError, match="field block"):
+            parse_profile_page(
+                SimpleNamespace(user_id=7, name="Ada", fields="occupation")
+            )
+
+    def test_circle_list_without_ids(self):
+        page = SimpleNamespace(
+            user_id=7,
+            name="Ada",
+            fields={},
+            in_list=SimpleNamespace(declared_count=3),
+            out_list=None,
+        )
+        with pytest.raises(PageParseError, match="no id sequence"):
+            parse_profile_page(page)
+
+    def test_circle_list_with_garbage_ids(self):
+        for garbage in ("<a href>", None, -1.5, -2, True):
+            page = SimpleNamespace(
+                user_id=7,
+                name="Ada",
+                fields={},
+                in_list=None,
+                out_list=SimpleNamespace(user_ids=(1, garbage), declared_count=5),
+            )
+            with pytest.raises(PageParseError, match="non-id"):
+                parse_profile_page(page)
+
+    def test_circle_list_with_invalid_declared_count(self):
+        for declared in (None, 1, True, "5"):
+            page = SimpleNamespace(
+                user_id=7,
+                name="Ada",
+                fields={},
+                in_list=SimpleNamespace(user_ids=(1, 2, 3), declared_count=declared),
+                out_list=None,
+            )
+            with pytest.raises(PageParseError, match="invalid"):
+                parse_profile_page(page)
+
+    def test_intact_page_still_parses(self):
+        profile = parse_profile_page(self.full_page())
+        assert profile.user_id == 7
+        assert profile.in_list == (1, 2)

@@ -1,0 +1,68 @@
+"""Smoke tests for the ``python -m repro.faults`` chaos CLI."""
+
+import json
+import subprocess
+import sys
+
+from repro.obs import validate_run_report
+
+
+def run_cli(*args: str, check: bool = True) -> subprocess.CompletedProcess:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.faults", *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if check:
+        assert result.returncode == 0, result.stderr[-2000:]
+    return result
+
+
+class TestChaosCLI:
+    def test_list_names_every_scenario(self):
+        out = run_cli("--list").stdout
+        for name in ("flaky-fleet", "ban-hammer", "rolling-outage",
+                     "dirty-pages", "kitchen-sink"):
+            assert name in out
+
+    def test_scenario_runs_end_to_end(self, tmp_path):
+        report_path = tmp_path / "run_report.json"
+        result = run_cli(
+            "--scenario", "flaky-fleet",
+            "--users", "1500",
+            "--dir", str(tmp_path / "camp"),
+            "--report", str(report_path),
+        )
+        assert "crawl survived" in result.stdout
+        assert "chaos absorbed" in result.stdout
+        report = json.loads(report_path.read_text())
+        assert validate_run_report(report) == []
+        assert report["kind"] == "chaos"
+        coverage = report["coverage"]
+        assert coverage["completed"] is True
+        assert coverage["pages"] == 1500
+        assert coverage["server_errors"] > 0
+        assert coverage["redriven"] >= 1
+        assert coverage["dead_letter_lost_fraction"] == 0.0
+
+    def test_scenario_file(self, tmp_path):
+        spec = {
+            "seed": 3,
+            "rules": [
+                {"kind": "outage", "start": 0.5, "end": 0.8, "retry_after": 0.1}
+            ],
+        }
+        path = tmp_path / "my.json"
+        path.write_text(json.dumps(spec))
+        result = run_cli(
+            "--scenario-file", str(path),
+            "--users", "1500",
+            "--dir", str(tmp_path / "camp"),
+            "--report", str(tmp_path / "run_report.json"),
+        )
+        assert "crawl survived" in result.stdout
+
+    def test_no_source_is_an_error(self):
+        result = run_cli(check=False)
+        assert result.returncode == 2

@@ -1,0 +1,65 @@
+"""The named scenarios must stay loadable, valid, and deterministic."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    FaultSchedule,
+    FaultSpecError,
+    SCENARIOS,
+    get_scenario,
+    load_scenario_file,
+    scenario_names,
+)
+
+
+class TestCatalog:
+    def test_names_sorted_and_nonempty(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert "flaky-fleet" in names
+        assert "kitchen-sink" in names
+
+    def test_every_scenario_builds(self):
+        for name in scenario_names():
+            schedule = FaultSchedule.from_dict(get_scenario(name))
+            assert len(schedule) >= 1
+
+    def test_every_scenario_is_json_round_trippable(self):
+        # Scenarios are data: they must survive the JSON round trip a
+        # --scenario-file or a campaign manifest puts them through.
+        for name, spec in SCENARIOS.items():
+            assert json.loads(json.dumps(spec)) == spec, name
+
+    def test_every_scenario_has_a_description(self):
+        for name in scenario_names():
+            assert get_scenario(name).get("description"), name
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown scenario"):
+            get_scenario("does-not-exist")
+
+
+class TestScenarioFiles:
+    def test_load_valid_file(self, tmp_path):
+        path = tmp_path / "my.json"
+        path.write_text(json.dumps(get_scenario("rolling-outage")))
+        spec = load_scenario_file(path)
+        assert len(FaultSchedule.from_dict(spec)) >= 1
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        with pytest.raises(FaultSpecError, match="unreadable"):
+            load_scenario_file(tmp_path / "missing.json")
+
+    def test_non_object_document_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(FaultSpecError, match="JSON object"):
+            load_scenario_file(path)
+
+    def test_invalid_rules_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"rules": [{"kind": "gremlins"}]}))
+        with pytest.raises(FaultSpecError, match="unknown kind"):
+            load_scenario_file(path)

@@ -1,0 +1,246 @@
+"""Unit tests for the fault rules and their composition."""
+
+import pytest
+
+from repro.faults import (
+    BernoulliErrors,
+    CORRUPTION_MODES,
+    CorruptPages,
+    ErrorBurst,
+    FaultSchedule,
+    FaultSpecError,
+    IpBan,
+    Outage,
+    SlowResponses,
+    STATUS_FORBIDDEN,
+    STATUS_REQUEST_TIMEOUT,
+    STATUS_SERVER_ERROR,
+    Timeouts,
+    corrupt_payload,
+)
+from repro.platform.pages import CircleListView, ProfilePage
+
+
+def profile_page() -> ProfilePage:
+    return ProfilePage(
+        user_id=7,
+        name="Ada",
+        fields={"occupation": "Engineer"},
+        in_list=CircleListView((1, 2), 2),
+        out_list=CircleListView((3,), 5),
+    )
+
+
+class TestWindows:
+    def test_rule_inactive_outside_window(self):
+        ban = IpBan(start=1.0, end=2.0)
+        assert ban.decide(0.5, "10.0.0.1") is None
+        assert ban.decide(2.0, "10.0.0.1") is None  # end is exclusive
+        assert ban.decide(1.0, "10.0.0.1") is not None  # start is inclusive
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(FaultSpecError, match="before start"):
+            IpBan(start=2.0, end=1.0)
+
+    def test_rate_out_of_unit_rejected(self):
+        with pytest.raises(FaultSpecError, match=r"\[0, 1\]"):
+            ErrorBurst(rate=1.5)
+
+
+class TestRuleDecisions:
+    def test_error_burst_emits_503(self):
+        burst = ErrorBurst(start=0.0, end=10.0, rate=1.0, retry_after=0.25, seed=1)
+        decision = burst.decide(5.0, "10.0.0.1")
+        assert decision.status == STATUS_SERVER_ERROR
+        assert decision.retry_after == 0.25
+
+    def test_error_burst_rate_is_probabilistic(self):
+        burst = ErrorBurst(start=0.0, end=10.0, rate=0.5, seed=3)
+        hits = sum(burst.decide(1.0, "ip") is not None for _ in range(400))
+        assert 120 < hits < 280
+
+    def test_bernoulli_errors_always_on(self):
+        flake = BernoulliErrors(rate=1.0, seed=0)
+        assert flake.decide(0.0, "ip").status == STATUS_SERVER_ERROR
+        assert flake.decide(1e9, "ip").status == STATUS_SERVER_ERROR
+
+    def test_ip_ban_targets_listed_ips_only(self):
+        ban = IpBan(start=0.0, end=1.0, ips=["10.0.0.2"])
+        assert ban.decide(0.5, "10.0.0.2").status == STATUS_FORBIDDEN
+        assert ban.decide(0.5, "10.0.0.3") is None
+
+    def test_ip_ban_without_ips_bans_everyone(self):
+        ban = IpBan(start=0.0, end=1.0)
+        assert ban.decide(0.5, "anything").status == STATUS_FORBIDDEN
+
+    def test_outage_retry_after_capped_by_window(self):
+        outage = Outage(start=0.0, end=1.0, retry_after=5.0)
+        decision = outage.decide(0.8, "ip")
+        assert decision.status == STATUS_SERVER_ERROR
+        assert decision.retry_after == pytest.approx(0.2)
+
+    def test_timeouts_emit_408_costing_the_timeout(self):
+        rule = Timeouts(start=0.0, end=1.0, rate=1.0, timeout=0.5, seed=0)
+        decision = rule.decide(0.5, "ip")
+        assert decision.status == STATUS_REQUEST_TIMEOUT
+        assert decision.retry_after == 0.5
+
+    def test_slow_responses_add_latency_not_status(self):
+        rule = SlowResponses(start=0.0, end=1.0, rate=1.0, extra_latency=0.3, seed=0)
+        decision = rule.decide(0.5, "ip")
+        assert decision.status is None
+        assert decision.slow_by == 0.3
+
+    def test_corrupt_pages_picks_a_known_mode(self):
+        rule = CorruptPages(start=0.0, end=1.0, rate=1.0, seed=5)
+        modes = {rule.decide(0.5, "ip").corrupt_mode for _ in range(50)}
+        assert modes <= set(CORRUPTION_MODES)
+        assert len(modes) > 1  # the mode draw actually varies
+
+    def test_corrupt_pages_rejects_unknown_modes(self):
+        with pytest.raises(FaultSpecError, match="unknown corruption modes"):
+            CorruptPages(modes=["blank", "on_fire"])
+
+
+class TestCorruptPayload:
+    def test_every_mode_produces_an_unparseable_page(self):
+        from repro.crawler.parse import PageParseError, parse_profile_page
+
+        for mode in CORRUPTION_MODES:
+            mangled = corrupt_payload(profile_page(), mode)
+            with pytest.raises(PageParseError):
+                parse_profile_page(mangled)
+
+    def test_blank_is_not_none(self):
+        # None is the transport's 404 signal: a blank page must stay
+        # distinguishable from a missing profile so it dead-letters
+        # instead of being recorded as not-found.
+        assert corrupt_payload(profile_page(), "blank") is not None
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown corruption mode"):
+            corrupt_payload(profile_page(), "nope")
+
+
+class TestScheduleComposition:
+    def test_first_blocking_rule_wins(self):
+        schedule = FaultSchedule(
+            [Outage(start=0.0, end=1.0, retry_after=0.7), IpBan(start=0.0, end=1.0)]
+        )
+        decision = schedule.evaluate(0.1, "ip")
+        assert decision.status == STATUS_SERVER_ERROR
+
+    def test_slowdowns_accumulate(self):
+        schedule = FaultSchedule(
+            [
+                SlowResponses(rate=1.0, extra_latency=0.2, seed=1),
+                SlowResponses(rate=1.0, extra_latency=0.3, seed=2),
+            ]
+        )
+        assert schedule.evaluate(0.0, "ip").slow_by == pytest.approx(0.5)
+
+    def test_quiet_schedule_returns_none(self):
+        schedule = FaultSchedule([IpBan(start=5.0, end=6.0)])
+        assert schedule.evaluate(0.0, "ip") is None
+
+    def test_rng_draws_independent_of_rule_order(self):
+        # Fixed draw discipline: a blocking rule upstream must not
+        # change what a downstream seeded rule decides later.
+        def burst():
+            return ErrorBurst(start=0.0, end=10.0, rate=0.4, seed=9)
+
+        alone = FaultSchedule([burst()])
+        behind_ban = FaultSchedule([IpBan(start=0.0, end=5.0), burst()])
+        lone_hits = [alone.evaluate(t / 10, "ip") is not None for t in range(100)]
+        # With the ban in front, the burst's own decisions (observable
+        # once the ban lifts, t >= 5.0) must match the solo sequence.
+        paired_hits = []
+        for t in range(100):
+            decision = behind_ban.evaluate(t / 10, "ip")
+            paired_hits.append(
+                decision is not None and decision.kind == "error_burst"
+            )
+        assert lone_hits[50:] == paired_hits[50:]
+
+
+class TestExportRestore:
+    def test_round_trip_resumes_the_draw_sequence(self):
+        schedule = FaultSchedule(
+            [
+                ErrorBurst(start=0.0, end=10.0, rate=0.5, seed=2),
+                CorruptPages(start=0.0, end=10.0, rate=0.5, seed=3),
+            ]
+        )
+        for _ in range(37):
+            schedule.evaluate(1.0, "ip")
+        state = schedule.export_state()
+        expected = [schedule.evaluate(1.0, "ip") for _ in range(20)]
+
+        fresh = FaultSchedule(
+            [
+                ErrorBurst(start=0.0, end=10.0, rate=0.5, seed=2),
+                CorruptPages(start=0.0, end=10.0, rate=0.5, seed=3),
+            ]
+        )
+        fresh.restore_state(state)
+        resumed = [fresh.evaluate(1.0, "ip") for _ in range(20)]
+        for a, b in zip(expected, resumed):
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert (a.kind, a.status, a.corrupt_mode) == (
+                    b.kind,
+                    b.status,
+                    b.corrupt_mode,
+                )
+
+    def test_restore_rejects_mismatched_rule_count(self):
+        schedule = FaultSchedule([BernoulliErrors(rate=0.1)])
+        with pytest.raises(FaultSpecError, match="state covers"):
+            schedule.restore_state({"rules": [{}, {}]})
+
+
+class TestFromDict:
+    def test_builds_every_kind(self):
+        spec = {
+            "seed": 7,
+            "rules": [
+                {"kind": "error_burst", "start": 0, "end": 1, "rate": 0.5},
+                {"kind": "bernoulli_errors", "rate": 0.1},
+                {"kind": "ip_ban", "start": 0, "end": 1, "ips": ["a"]},
+                {"kind": "outage", "start": 0, "end": 1},
+                {"kind": "timeouts", "start": 0, "end": 1, "rate": 0.1},
+                {"kind": "slow_responses", "start": 0, "end": 1, "rate": 0.1},
+                {"kind": "corrupt_pages", "start": 0, "end": 1, "rate": 0.1},
+            ],
+        }
+        schedule = FaultSchedule.from_dict(spec)
+        assert len(schedule) == 7
+
+    def test_same_document_same_chaos(self):
+        spec = {
+            "seed": 21,
+            "rules": [{"kind": "error_burst", "start": 0, "end": 9, "rate": 0.4}],
+        }
+        first = FaultSchedule.from_dict(spec)
+        second = FaultSchedule.from_dict(spec)
+        a = [first.evaluate(1.0, "ip") is not None for _ in range(200)]
+        b = [second.evaluate(1.0, "ip") is not None for _ in range(200)]
+        assert a == b
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown kind"):
+            FaultSchedule.from_dict({"rules": [{"kind": "gremlins"}]})
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown parameters"):
+            FaultSchedule.from_dict(
+                {"rules": [{"kind": "outage", "start": 0, "end": 1, "color": "red"}]}
+            )
+
+    def test_missing_rules_rejected(self):
+        with pytest.raises(FaultSpecError, match="'rules' list"):
+            FaultSchedule.from_dict({"seed": 3})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(FaultSpecError, match="mapping"):
+            FaultSchedule.from_dict(["not", "a", "mapping"])

@@ -53,7 +53,9 @@ class TestProperties:
         ab = float(haversine_miles(a1, b1, a2, b2))
         bc = float(haversine_miles(a2, b2, a3, b3))
         ac = float(haversine_miles(a1, b1, a3, b3))
-        assert ac <= ab + bc + 1e-6
+        # Slack scales with distance: haversine loses absolute precision
+        # near the antipode, where arcsin's argument saturates at 1.
+        assert ac <= ab + bc + 1e-9 * (ab + bc) + 1e-6
 
 
 class TestVectorisation:

@@ -129,8 +129,12 @@ class TestEndToEndStudyReport:
             s["labels"]["status"]: s["value"]
             for s in metrics["http.requests"]["samples"]
         }
-        assert set(statuses) == {"200", "404", "429", "503"}
+        assert set(statuses) == {"200", "404", "403", "408", "429", "503"}
         assert statuses["200"] > 0
+        # No fault schedule armed in a study run: the fault-only status
+        # series exist (materialised up front) but never fire.
+        assert statuses["403"] == 0
+        assert statuses["408"] == 0
 
     def test_per_machine_fetch_histograms(self, study_report_path):
         data = json.loads(study_report_path.read_text())

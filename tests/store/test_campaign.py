@@ -154,8 +154,9 @@ class TestCrashAndResume:
         registry = Registry()
         CrawlCampaign(directory).run(registry=registry)
         assert registry.counter("store.recoveries", "").value() == 1
-        # The newest durable checkpoint was at page 80.
-        assert registry.counter("store.replayed_pages", "").value() == 80
+        # The best-effort abort checkpoint lands at the crash point
+        # (page 90), not the last periodic checkpoint (page 80).
+        assert registry.counter("store.replayed_pages", "").value() == 90
         assert registry.counter("store.checkpoints", "").value() > 0
 
 

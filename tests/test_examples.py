@@ -59,6 +59,11 @@ class TestExamples:
         assert "walled-garden penalty" in out
         assert "Posting culture" in out
 
+    def test_chaos_crawl(self):
+        out = run_example("chaos_crawl.py", "--users", "1500", "--seed", "3")
+        assert "chaos crawl" in out
+        assert "recovered the identical graph" in out
+
     def test_market_strategies(self):
         out = run_example("market_strategies.py", "1500", "3")
         assert "product strategy" in out
