@@ -1,8 +1,24 @@
-"""Figure 5 bench: sampled path-length distributions (degrees of separation)."""
+"""Figure 5 bench: sampled path-length distributions (degrees of separation).
+
+Besides the artifact itself, this bench races the retained sequential
+reference (one ``bfs_distances`` per source) against the batched BFS
+engine with 4 workers, asserts the two distributions are bit-identical,
+and records both wall times and the speedup into
+``BENCH_fig5_path_length.json`` (the ``extra`` block).
+"""
+
+import time
 
 import numpy as np
 
 from repro.analysis.structure import analyze_path_lengths
+from repro.graph.parallel import BFSEngine
+from repro.graph.paths import (
+    DIRECTED,
+    sampled_path_lengths,
+    sampled_path_lengths_sequential,
+    UNDIRECTED,
+)
 
 
 def test_fig5_path_length(benchmark, bench_graph, bench_results, artifact_sink):
@@ -22,3 +38,47 @@ def test_fig5_path_length(benchmark, bench_graph, bench_results, artifact_sink):
     probabilities = analysis.directed.probabilities()
     mode = analysis.directed.mode
     assert probabilities[mode] == probabilities.max()
+
+
+def test_fig5_parallel_speedup(bench_graph, bench_extra):
+    """Sequential vs engine (n_workers=4): identical counts, >= 3x faster."""
+    kwargs = dict(initial_k=200, max_k=600)
+
+    started = time.perf_counter()
+    sequential = {
+        mode: sampled_path_lengths_sequential(
+            bench_graph, np.random.default_rng(11), mode=mode, **kwargs
+        )
+        for mode in (DIRECTED, UNDIRECTED)
+    }
+    sequential_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    with BFSEngine(bench_graph, n_workers=4) as engine:
+        parallel = {
+            mode: sampled_path_lengths(
+                bench_graph, np.random.default_rng(11), mode=mode,
+                engine=engine, **kwargs,
+            )
+            for mode in (DIRECTED, UNDIRECTED)
+        }
+    parallel_seconds = time.perf_counter() - started
+
+    for mode in (DIRECTED, UNDIRECTED):
+        assert sequential[mode].n_sources == parallel[mode].n_sources
+        np.testing.assert_array_equal(
+            sequential[mode].counts, parallel[mode].counts
+        )
+    speedup = sequential_seconds / parallel_seconds
+    bench_extra(
+        sequential_seconds=sequential_seconds,
+        parallel_seconds=parallel_seconds,
+        parallel_workers=4,
+        speedup=speedup,
+        n_sources={m: d.n_sources for m, d in sequential.items()},
+    )
+    print(
+        f"\nfig5 sequential {sequential_seconds:.2f}s, "
+        f"engine(4 workers) {parallel_seconds:.2f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0

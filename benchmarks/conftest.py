@@ -33,6 +33,10 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 #: Per-module bench timings collected as run-report phase records.
 _BENCH_PHASES: dict[str, list[dict]] = {}
 
+#: Free-form per-module payloads merged into each report's ``extra``
+#: (e.g. the fig5 bench records its sequential-vs-parallel speedup).
+_BENCH_EXTRA: dict[str, dict] = {}
+
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
@@ -64,6 +68,7 @@ def pytest_sessionfinish(session, exitstatus):
             config={"module": module, "users": BENCH_USERS, "seed": BENCH_SEED},
             phases=phases,
             metrics=get_registry().snapshot(),
+            extra=_BENCH_EXTRA.get(module, {}),
         )
         report.write(OUTPUT_DIR / f"BENCH_{module.removeprefix('bench_')}.json")
 
@@ -110,6 +115,17 @@ def bench_results(bench_study, bench_dataset) -> StudyResults:
 @pytest.fixture(scope="session")
 def bench_rng():
     return np.random.default_rng(99)
+
+
+@pytest.fixture
+def bench_extra(request):
+    """Record a payload into this bench module's BENCH_<name>.json extra."""
+    module = Path(str(request.fspath)).stem
+
+    def record(**payload) -> None:
+        _BENCH_EXTRA.setdefault(module, {}).update(payload)
+
+    return record
 
 
 @pytest.fixture(scope="session")

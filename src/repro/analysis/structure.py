@@ -17,6 +17,7 @@ from repro.graph.components import (
 )
 from repro.graph.csr import CSRGraph
 from repro.graph.degree import degree_distributions, DegreeDistributions
+from repro.graph.parallel import BFSEngine
 from repro.graph.paths import (
     DIRECTED,
     PathLengthDistribution,
@@ -150,16 +151,30 @@ def analyze_path_lengths(
     rng: np.random.Generator,
     initial_k: int = 2_000,
     max_k: int = 10_000,
+    engine: BFSEngine | None = None,
 ) -> PathLengthAnalysis:
-    """Figure 5 with the paper's grow-until-stable sampling."""
-    return PathLengthAnalysis(
-        directed=sampled_path_lengths(
-            graph, rng, initial_k=initial_k, max_k=max_k, mode=DIRECTED
-        ),
-        undirected=sampled_path_lengths(
-            graph, rng, initial_k=initial_k, max_k=max_k, mode=UNDIRECTED
-        ),
-    )
+    """Figure 5 with the paper's grow-until-stable sampling.
+
+    Pass ``engine`` to run both sweeps through one (possibly
+    multi-process) BFS worker pool; results do not depend on it.
+    """
+    own_engine = engine is None
+    if own_engine:
+        engine = BFSEngine(graph)
+    try:
+        return PathLengthAnalysis(
+            directed=sampled_path_lengths(
+                graph, rng, initial_k=initial_k, max_k=max_k, mode=DIRECTED,
+                engine=engine,
+            ),
+            undirected=sampled_path_lengths(
+                graph, rng, initial_k=initial_k, max_k=max_k, mode=UNDIRECTED,
+                engine=engine,
+            ),
+        )
+    finally:
+        if own_engine:
+            engine.close()
 
 
 def google_plus_table4_row(
@@ -167,10 +182,12 @@ def google_plus_table4_row(
     rng: np.random.Generator,
     path_samples: int = 2_000,
     paths: PathLengthAnalysis | None = None,
+    engine: BFSEngine | None = None,
 ) -> GraphSummary:
     """The measured Google+ row of Table 4.
 
-    Pass the Figure 5 result via ``paths`` to reuse its BFS sampling.
+    Pass the Figure 5 result via ``paths`` to reuse its BFS sampling,
+    and ``engine`` to share a BFS worker pool with the other analyses.
     """
     return summarize_graph(
         graph,
@@ -178,4 +195,5 @@ def google_plus_table4_row(
         path_samples=path_samples,
         precomputed_directed=paths.directed if paths else None,
         precomputed_undirected=paths.undirected if paths else None,
+        engine=engine,
     )

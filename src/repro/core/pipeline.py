@@ -73,6 +73,7 @@ from repro.crawler.dataset import CrawlDataset
 from repro.crawler.lost_edges import estimate_lost_edges, LostEdgeEstimate
 from repro.geo.index import build_geo_index, GeoIndex
 from repro.graph.csr import CSRGraph
+from repro.graph.parallel import BFSEngine
 from repro.obs import trace
 from repro.graph.stats import GraphSummary
 from repro.synth.countries import TOP10_CODES
@@ -95,6 +96,10 @@ class StudyConfig:
     path_sample_max: int = 1_200
     #: Maximum pairs per population for the path-mile analysis.
     path_mile_pairs: int = 200_000
+    #: Worker processes for the batched BFS analysis engine (Figure 5,
+    #: Table 4 diameters). 1 = in-process; results are identical for any
+    #: worker count (see ``docs/analysis.md``).
+    path_workers: int = 1
     world: WorldConfig | None = None
 
     def world_config(self) -> WorldConfig:
@@ -177,21 +182,30 @@ class MeasurementStudy:
             geo = build_geo_index(dataset)
         rng = np.random.default_rng(config.seed + 1)
         top10 = list(TOP10_CODES)
-        with trace.span("study.analyze.paths"):
-            fig5 = analyze_path_lengths(
-                graph,
-                rng,
-                initial_k=config.path_sample_start,
-                max_k=config.path_sample_max,
-            )
-        with trace.span("study.analyze.structure"):
-            table4_row = google_plus_table4_row(
-                graph, rng, path_samples=config.path_sample_max, paths=fig5
-            )
-            fig3_degrees = analyze_degrees(graph)
-            fig4a_reciprocity = analyze_reciprocity(graph)
-            fig4b_clustering = analyze_clustering(graph, rng)
-            fig4c_sccs = analyze_sccs(graph)
+        engine = BFSEngine(graph, n_workers=config.path_workers)
+        try:
+            with trace.span("study.analyze.paths", workers=config.path_workers):
+                fig5 = analyze_path_lengths(
+                    graph,
+                    rng,
+                    initial_k=config.path_sample_start,
+                    max_k=config.path_sample_max,
+                    engine=engine,
+                )
+            with trace.span("study.analyze.structure"):
+                table4_row = google_plus_table4_row(
+                    graph,
+                    rng,
+                    path_samples=config.path_sample_max,
+                    paths=fig5,
+                    engine=engine,
+                )
+                fig3_degrees = analyze_degrees(graph)
+                fig4a_reciprocity = analyze_reciprocity(graph)
+                fig4b_clustering = analyze_clustering(graph, rng)
+                fig4c_sccs = analyze_sccs(graph)
+        finally:
+            engine.close()
         with trace.span("study.analyze.profiles"):
             table1_top_users = top_users_by_in_degree(dataset, graph, k=20)
             table2_attributes = attribute_availability(dataset)

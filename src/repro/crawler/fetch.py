@@ -133,7 +133,8 @@ class Fetcher:
         clock = self.frontend.clock
         started = clock.now()
         backoff = 0.0
-        for _ in range(self.max_retries + 1):
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
             clock.advance(self.request_latency / max(1, self.parallelism))
             response = self.frontend.handle(Request(f"/u/{user_id}", self.ip))
             if response.ok:
@@ -156,16 +157,15 @@ class Fetcher:
                 raise FetchError(
                     f"unexpected status {response.status} for user {user_id}"
                 )
-            if response.status == STATUS_TOO_MANY_REQUESTS:
+            throttled = response.status == STATUS_TOO_MANY_REQUESTS
+            if throttled:
                 # Throttling is ordinary backpressure: it touches neither
                 # the breaker nor the retry budget.
                 self.stats.throttled += 1
                 reason = "throttled"
-                wait = max(response.retry_after, MIN_THROTTLE_WAIT)
             else:
                 # An injected fault (503 flake/outage, 403 ban, 408
-                # timeout): the breaker hears about it and the retry is
-                # paid for from the campaign budget.
+                # timeout): the breaker hears about it either way.
                 if response.status == STATUS_FORBIDDEN:
                     self.stats.banned += 1
                     reason = "banned"
@@ -176,6 +176,15 @@ class Fetcher:
                     self.stats.server_errors += 1
                     reason = "server_error"
                 self.breaker.record_failure(clock.now())
+            if attempt == attempts - 1:
+                # Terminal failure: no further attempt follows, so the
+                # backoff wait is never paid — no clock advance, no
+                # time_waiting, no budget spend, no jitter draw.
+                break
+            if throttled:
+                wait = max(response.retry_after, MIN_THROTTLE_WAIT)
+            else:
+                # The retry is paid for from the campaign budget.
                 if self.budget is not None and not self.budget.spend():
                     self._m_retries.inc(machine=self.ip, reason="budget_exhausted")
                     raise FetchError(

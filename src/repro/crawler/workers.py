@@ -19,7 +19,13 @@ from repro.platform.http import HttpFrontend
 from repro.platform.pages import ProfilePage
 
 from .fetch import Fetcher, FetchStats
-from .resilience import BREAKER_CLOSED, BREAKER_OPEN, ResiliencePolicy, RetryBudget
+from .resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    ResiliencePolicy,
+    RetryBudget,
+)
 
 
 def publish_fetch_stats(stats: FetchStats, registry: Registry | None = None) -> None:
@@ -56,10 +62,14 @@ def publish_pool_health(pool: "MachinePool", registry: Registry | None = None) -
         "Times each machine's breaker has opened",
         labels=("machine",),
     )
-    encoding = {BREAKER_CLOSED: 0.0, BREAKER_OPEN: 2.0}
+    encoding = {BREAKER_CLOSED: 0.0, BREAKER_HALF_OPEN: 1.0, BREAKER_OPEN: 2.0}
     for fetcher in pool.fetchers:
         state = fetcher.breaker.state(now)
-        g_state.set(encoding.get(state, 1.0), machine=fetcher.ip)
+        if state not in encoding:
+            # A silent default would plot an unknown state as half-open;
+            # better to fail loudly than publish a wrong dashboard.
+            raise ValueError(f"unrecognised breaker state {state!r}")
+        g_state.set(encoding[state], machine=fetcher.ip)
         g_opens.set(float(fetcher.breaker.opens), machine=fetcher.ip)
     registry.gauge(
         "crawler.quarantine_waits", "Times the whole fleet was quarantined at once"
@@ -190,7 +200,16 @@ class MachinePool:
             fetcher.stats = FetchStats(**{k: v for k, v in stats.items() if k in known})
         resilience = state.get("resilience")
         if resilience is not None:
-            for fetcher, sub in zip(self.fetchers, resilience["fetchers"]):
+            per_resilience = resilience["fetchers"]
+            if len(per_resilience) != len(self.fetchers):
+                # zip() would silently truncate, leaving part of the fleet
+                # on fresh RNG/breaker state — a corrupted checkpoint must
+                # not half-restore.
+                raise ValueError(
+                    f"resilience block covers {len(per_resilience)} machines, "
+                    f"pool has {len(self.fetchers)}"
+                )
+            for fetcher, sub in zip(self.fetchers, per_resilience):
                 fetcher.restore_resilience_state(sub)
             self.budget.restore_state(resilience["budget"])
             self.quarantine_waits = int(resilience["quarantine_waits"])

@@ -73,8 +73,25 @@ def build_study_report(results: StudyResults) -> RunReport:
             "display_limit": lost.display_limit,
         },
     }
+    fig5 = results.fig5_paths
+    extra = {
+        # The Figure 5 distribution rides along verbatim so runs with
+        # different BFS worker counts can be diffed for bit-identity
+        # (the CI analysis-parallel job does exactly that).
+        "fig5_paths": {
+            "directed": {
+                "counts": fig5.directed.counts.tolist(),
+                "n_sources": fig5.directed.n_sources,
+            },
+            "undirected": {
+                "counts": fig5.undirected.counts.tolist(),
+                "n_sources": fig5.undirected.n_sources,
+            },
+        },
+        "path_workers": results.config.path_workers,
+    }
     return build_report(
-        kind="study", config=asdict(results.config), coverage=coverage
+        kind="study", config=asdict(results.config), coverage=coverage, extra=extra
     )
 
 
@@ -116,6 +133,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--users", type=int, default=20_000)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--path-workers", type=int, default=1, metavar="N",
+        help="worker processes for the batched BFS analysis engine "
+        "(default 1 = in-process; results are identical for any N)",
+    )
+    parser.add_argument(
         "--compare", action="store_true",
         help="also print the paper-vs-measured summary table",
     )
@@ -134,7 +156,11 @@ def main(argv: list[str] | None = None) -> int:
         # process accumulated before it.
         get_registry().reset()
         trace.get_tracer().reset()
-    study = MeasurementStudy(StudyConfig(n_users=args.users, seed=args.seed))
+    study = MeasurementStudy(
+        StudyConfig(
+            n_users=args.users, seed=args.seed, path_workers=args.path_workers
+        )
+    )
     results = study.run()
     for artifact_id, text in run_experiments(results, args.artifacts or None).items():
         print(f"\n=== {artifact_id}: {EXPERIMENTS[artifact_id].title} ===")

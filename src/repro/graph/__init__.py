@@ -27,12 +27,19 @@ from .degree import (
     EmpiricalCCDF,
 )
 from .digraph import DiGraph
+from .msbfs import (
+    batch_eccentricities,
+    batch_hop_counts,
+    msbfs_distances,
+)
+from .parallel import BFSEngine, SharedCSR
 from .paths import (
     bfs_distances,
     DIRECTED,
     estimate_diameter,
     PathLengthDistribution,
     sampled_path_lengths,
+    sampled_path_lengths_sequential,
     UNDIRECTED,
 )
 from .powerlaw import (
@@ -58,7 +65,10 @@ from .triads import (
 
 __all__ = [
     "average_clustering",
+    "batch_eccentricities",
+    "batch_hop_counts",
     "bfs_distances",
+    "BFSEngine",
     "ccdf",
     "cdf",
     "clustering_coefficient",
@@ -78,6 +88,7 @@ __all__ = [
     "in_out_degree_correlation",
     "mean_neighbor_degree",
     "GraphSummary",
+    "msbfs_distances",
     "PathLengthDistribution",
     "PowerLawFit",
     "reciprocated_edge_mask",
@@ -89,7 +100,9 @@ __all__ = [
     "sample_powerlaw_degrees",
     "sampled_clustering",
     "sampled_path_lengths",
+    "sampled_path_lengths_sequential",
     "scc_size_ccdf_input",
+    "SharedCSR",
     "strongly_connected_components",
     "summarize_graph",
     "transitivity_signature",

@@ -5,19 +5,25 @@ Exact all-pairs BFS is infeasible at crawl scale, so the paper samples
 (2,000 -> 10,000) until the hop distribution stops changing. The same
 procedure is implemented here, for the directed graph and its undirected
 version, together with the observed-diameter estimate.
+
+The sampled estimators route their traversals through the batched
+multi-source kernel (:mod:`repro.graph.msbfs`) via a
+:class:`~repro.graph.parallel.BFSEngine` — pass ``engine=`` to share a
+worker pool across calls; the default is an in-process engine that is
+still batched.  Results are bit-identical to the retained sequential
+reference implementations for every engine configuration.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from .csr import CSRGraph
-
-#: BFS traversal modes.
-DIRECTED = "directed"
-UNDIRECTED = "undirected"
+from .msbfs import DIRECTED, UNDIRECTED
+from .parallel import BFSEngine
 
 
 def _gather_neighbors(
@@ -108,22 +114,21 @@ class PathLengthDistribution:
         return int(nonzero[-1]) if len(nonzero) else 0
 
 
-def sampled_path_lengths(
+def _grow_until_stable(
     graph: CSRGraph,
     rng: np.random.Generator,
-    initial_k: int = 2_000,
-    max_k: int = 10_000,
-    growth_step: int = 2_000,
-    tolerance: float = 1e-3,
-    mode: str = DIRECTED,
+    hop_counts: Callable[[np.ndarray], np.ndarray],
+    initial_k: int,
+    max_k: int,
+    growth_step: int,
+    tolerance: float,
 ) -> PathLengthDistribution:
-    """Estimate the hop distribution, growing the sample until stable.
+    """The paper's grow-until-stable procedure over any batch runner.
 
-    Mirrors the paper's procedure: start from ``initial_k`` sampled
-    sources, add ``growth_step`` more at a time, and stop when the
-    L-infinity distance between successive normalised distributions drops
-    below ``tolerance`` (or ``max_k`` sources were used). All sampling is
-    without replacement.
+    Start from ``initial_k`` sampled sources, add ``growth_step`` more at
+    a time, and stop when the L-infinity distance between successive
+    normalised distributions drops below ``tolerance`` (or ``max_k``
+    sources were used). All sampling is without replacement.
     """
     if graph.n == 0:
         raise ValueError("cannot sample paths of an empty graph")
@@ -136,17 +141,12 @@ def sampled_path_lengths(
 
     def run_batch(sources: np.ndarray) -> None:
         nonlocal counts
-        for source in sources:
-            dist = bfs_distances(graph, int(source), mode=mode)
-            reached = dist[dist > 0]
-            if reached.size == 0:
-                continue
-            top = int(reached.max())
-            if top + 1 > len(counts):
-                grown = np.zeros(top + 1, dtype=np.int64)
-                grown[: len(counts)] = counts
-                counts = grown
-            counts += np.bincount(reached, minlength=len(counts))
+        batch = hop_counts(sources)
+        if len(batch) > len(counts):
+            grown = np.zeros(len(batch), dtype=np.int64)
+            grown[: len(counts)] = counts
+            counts = grown
+        counts[: len(batch)] += batch
 
     run_batch(order[:initial_k])
     used = initial_k
@@ -167,28 +167,105 @@ def sampled_path_lengths(
     return PathLengthDistribution(counts=counts, n_sources=used)
 
 
+def sampled_path_lengths(
+    graph: CSRGraph,
+    rng: np.random.Generator,
+    initial_k: int = 2_000,
+    max_k: int = 10_000,
+    growth_step: int = 2_000,
+    tolerance: float = 1e-3,
+    mode: str = DIRECTED,
+    engine: BFSEngine | None = None,
+) -> PathLengthDistribution:
+    """Estimate the hop distribution, growing the sample until stable.
+
+    Traversals run through the batched multi-source kernel; pass
+    ``engine`` to reuse a (possibly multi-process) :class:`BFSEngine`.
+    The result is bit-identical to
+    :func:`sampled_path_lengths_sequential` for any engine.
+    """
+    own_engine = engine is None
+    if own_engine:
+        engine = BFSEngine(graph)
+    try:
+        return _grow_until_stable(
+            graph,
+            rng,
+            lambda sources: engine.hop_counts(sources, mode),
+            initial_k,
+            max_k,
+            growth_step,
+            tolerance,
+        )
+    finally:
+        if own_engine:
+            engine.close()
+
+
+def sampled_path_lengths_sequential(
+    graph: CSRGraph,
+    rng: np.random.Generator,
+    initial_k: int = 2_000,
+    max_k: int = 10_000,
+    growth_step: int = 2_000,
+    tolerance: float = 1e-3,
+    mode: str = DIRECTED,
+) -> PathLengthDistribution:
+    """Reference implementation: one :func:`bfs_distances` per source.
+
+    Kept as the ground truth the batched engine is verified against (and
+    as the baseline the fig5 bench times the engine's speedup from).
+    """
+
+    def hop_counts(sources: np.ndarray) -> np.ndarray:
+        counts = np.zeros(1, dtype=np.int64)
+        for source in sources:
+            dist = bfs_distances(graph, int(source), mode=mode)
+            reached = dist[dist > 0]
+            if reached.size == 0:
+                continue
+            top = int(reached.max())
+            if top + 1 > len(counts):
+                grown = np.zeros(top + 1, dtype=np.int64)
+                grown[: len(counts)] = counts
+                counts = grown
+            counts += np.bincount(reached, minlength=len(counts))
+        return counts
+
+    return _grow_until_stable(
+        graph, rng, hop_counts, initial_k, max_k, growth_step, tolerance
+    )
+
+
 def estimate_diameter(
     graph: CSRGraph,
     rng: np.random.Generator,
     n_sweeps: int = 20,
     mode: str = DIRECTED,
+    engine: BFSEngine | None = None,
 ) -> int:
     """Lower-bound the diameter via repeated double sweeps.
 
     From each random start, run a BFS, then a second BFS from the farthest
     node found; the largest eccentricity observed is returned. This is the
-    standard practical diameter estimator for huge graphs.
+    standard practical diameter estimator for huge graphs.  Both sweep
+    phases run batched through the engine; the answer matches the
+    one-source-at-a-time double sweep exactly.
     """
     if graph.n == 0:
         return 0
-    best = 0
     starts = rng.integers(0, graph.n, size=min(n_sweeps, graph.n))
-    for start in starts:
-        dist = bfs_distances(graph, int(start), mode=mode)
-        ecc = int(dist.max())
-        if ecc <= 0:
-            continue
-        far = int(np.flatnonzero(dist == ecc)[0])
-        second = bfs_distances(graph, far, mode=mode)
-        best = max(best, ecc, int(second.max()))
-    return best
+    own_engine = engine is None
+    if own_engine:
+        engine = BFSEngine(graph)
+    try:
+        ecc, far = engine.eccentricities(starts.astype(np.int64), mode)
+        best = int(ecc.max(initial=0))
+        reachable = ecc > 0
+        if reachable.any():
+            second, _ = engine.eccentricities(far[reachable], mode)
+            best = max(best, int(second.max(initial=0)))
+        return best
+    finally:
+        if own_engine:
+            engine.close()

@@ -14,6 +14,7 @@ import numpy as np
 
 from .components import strongly_connected_components
 from .csr import CSRGraph
+from .parallel import BFSEngine
 from .paths import DIRECTED, UNDIRECTED, estimate_diameter, sampled_path_lengths
 from .reciprocity import global_reciprocity
 
@@ -43,39 +44,66 @@ def summarize_graph(
     diameter_sweeps: int = 10,
     precomputed_directed=None,
     precomputed_undirected=None,
+    engine: BFSEngine | None = None,
 ) -> GraphSummary:
     """Compute the full structural summary of a graph.
 
     ``path_samples`` caps the BFS-source count for the path-length
     estimates; the convergence procedure of Section 3.3.5 may stop
     earlier. Callers that already ran the Figure 5 sampling can pass the
-    two distributions in to avoid recomputing them.
+    two distributions in to avoid recomputing them, and an ``engine``
+    to share one BFS worker pool across every sweep.
     """
-    dist_directed = precomputed_directed or sampled_path_lengths(
-        graph, rng, initial_k=min(500, path_samples), max_k=path_samples, mode=DIRECTED
-    )
-    dist_undirected = precomputed_undirected or sampled_path_lengths(
-        graph, rng, initial_k=min(500, path_samples), max_k=path_samples, mode=UNDIRECTED
-    )
-    sccs = strongly_connected_components(graph)
-    mean_degree = graph.n_edges / graph.n if graph.n else 0.0
-    return GraphSummary(
-        n_nodes=graph.n,
-        n_edges=graph.n_edges,
-        mean_in_degree=mean_degree,
-        mean_out_degree=mean_degree,
-        reciprocity=global_reciprocity(graph),
-        avg_path_length=dist_directed.mean,
-        path_length_mode=dist_directed.mode,
-        diameter=max(
-            estimate_diameter(graph, rng, n_sweeps=diameter_sweeps, mode=DIRECTED),
-            dist_directed.max_observed,
-        ),
-        undirected_avg_path_length=dist_undirected.mean,
-        undirected_diameter=max(
-            estimate_diameter(graph, rng, n_sweeps=diameter_sweeps, mode=UNDIRECTED),
-            dist_undirected.max_observed,
-        ),
-        n_sccs=sccs.n_components,
-        giant_scc_fraction=sccs.giant_fraction(),
-    )
+    own_engine = engine is None
+    if own_engine:
+        engine = BFSEngine(graph)
+    try:
+        dist_directed = precomputed_directed or sampled_path_lengths(
+            graph,
+            rng,
+            initial_k=min(500, path_samples),
+            max_k=path_samples,
+            mode=DIRECTED,
+            engine=engine,
+        )
+        dist_undirected = precomputed_undirected or sampled_path_lengths(
+            graph,
+            rng,
+            initial_k=min(500, path_samples),
+            max_k=path_samples,
+            mode=UNDIRECTED,
+            engine=engine,
+        )
+        sccs = strongly_connected_components(graph)
+        mean_degree = graph.n_edges / graph.n if graph.n else 0.0
+        return GraphSummary(
+            n_nodes=graph.n,
+            n_edges=graph.n_edges,
+            mean_in_degree=mean_degree,
+            mean_out_degree=mean_degree,
+            reciprocity=global_reciprocity(graph),
+            avg_path_length=dist_directed.mean,
+            path_length_mode=dist_directed.mode,
+            diameter=max(
+                estimate_diameter(
+                    graph, rng, n_sweeps=diameter_sweeps, mode=DIRECTED, engine=engine
+                ),
+                dist_directed.max_observed,
+            ),
+            undirected_avg_path_length=dist_undirected.mean,
+            undirected_diameter=max(
+                estimate_diameter(
+                    graph,
+                    rng,
+                    n_sweeps=diameter_sweeps,
+                    mode=UNDIRECTED,
+                    engine=engine,
+                ),
+                dist_undirected.max_observed,
+            ),
+            n_sccs=sccs.n_components,
+            giant_scc_fraction=sccs.giant_fraction(),
+        )
+    finally:
+        if own_engine:
+            engine.close()

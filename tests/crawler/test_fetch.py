@@ -5,6 +5,9 @@ import dataclasses
 import pytest
 
 from repro.crawler.fetch import Fetcher, FetchError, FetchStats
+from repro.crawler.resilience import RetryBudget
+from repro.faults import FaultSchedule, Outage
+from repro.obs.metrics import Registry
 from repro.platform.http import HttpFrontend
 from repro.platform.models import UserProfile
 from repro.platform.service import GooglePlusService
@@ -68,6 +71,55 @@ class TestFetcher:
             assert fetcher.fetch_profile(1) is not None
         assert fetcher.stats.throttled > 0
         assert fetcher.stats.server_errors > 0
+
+    def test_terminal_failure_pays_no_final_backoff(self, service):
+        """Regression: the exhausted-retries path used to spend a backoff
+        (clock advance, time_waiting, budget unit, jitter draw) after the
+        last attempt, though no further attempt ever followed.
+
+        A permanent outage makes every attempt 503; pinning
+        ``initial_backoff == max_backoff`` collapses the decorrelated
+        jitter to exactly ``min(cap, U(cap, 3*prev)) == cap``, so every
+        paid wait is exactly 8.0 virtual seconds and the accounting is
+        exact.
+        """
+        faults = FaultSchedule([Outage(start=0.0, end=1e9, retry_after=2.0)])
+        frontend = HttpFrontend(service.handle_path, faults=faults)
+        budget = RetryBudget(100)
+        registry = Registry()
+        fetcher = Fetcher(
+            frontend=frontend,
+            ip="10.0.0.1",
+            max_retries=3,
+            initial_backoff=8.0,
+            max_backoff=8.0,
+            budget=budget,
+            registry=registry,
+        )
+        with pytest.raises(FetchError, match="retries exhausted"):
+            fetcher.fetch_profile(1)
+        # 4 attempts happened and all were observed as server errors...
+        assert fetcher.stats.server_errors == fetcher.max_retries + 1
+        # ...but only the 3 retries that actually ran were paid for.
+        assert budget.spent == fetcher.max_retries
+        assert fetcher.stats.time_waiting == pytest.approx(3 * 8.0)
+        retries = registry.counter(
+            "crawler.fetch_retries", labels=("machine", "reason")
+        )
+        assert retries.value(machine="10.0.0.1", reason="server_error") == 3
+        expected = 4 * fetcher.request_latency + 3 * 8.0
+        assert frontend.clock.now() == pytest.approx(expected)
+
+    def test_terminal_failure_still_trips_breaker(self, service):
+        """The terminal failure skips the backoff but not the breaker."""
+        faults = FaultSchedule([Outage(start=0.0, end=1e9)])
+        frontend = HttpFrontend(service.handle_path, faults=faults)
+        fetcher = Fetcher(frontend=frontend, ip="10.0.0.1", max_retries=4)
+        with pytest.raises(FetchError):
+            fetcher.fetch_profile(1)
+        # failure_threshold=5 == attempts, so the fifth (terminal)
+        # failure must have been recorded for the breaker to open.
+        assert not fetcher.breaker.allow(frontend.clock.now())
 
     def test_parallelism_scales_time(self, service):
         solo = make_fetcher(service)

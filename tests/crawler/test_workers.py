@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.crawler.workers import MachinePool
+from repro.crawler.resilience import BREAKER_HALF_OPEN
+from repro.crawler.workers import MachinePool, publish_pool_health
+from repro.obs.metrics import Registry
 from repro.platform.http import HttpFrontend
 from repro.platform.models import UserProfile
 from repro.platform.service import GooglePlusService
@@ -42,3 +44,60 @@ class TestMachinePool:
     def test_zero_machines_rejected(self, frontend):
         with pytest.raises(ValueError):
             MachinePool(frontend, n_machines=0)
+
+
+class TestRestoreState:
+    def test_roundtrip(self, frontend):
+        pool = MachinePool(frontend, n_machines=3)
+        for uid in range(4):
+            pool.fetch_profile(uid)
+        clone = MachinePool(frontend, n_machines=3)
+        clone.restore_state(pool.export_state())
+        assert clone.combined_stats() == pool.combined_stats()
+        assert clone._next == pool._next
+
+    def test_truncated_resilience_block_rejected(self, frontend):
+        """Regression: a short resilience block used to zip-truncate,
+        silently leaving part of the fleet on fresh breakers/RNGs."""
+        pool = MachinePool(frontend, n_machines=3)
+        state = pool.export_state()
+        state["resilience"]["fetchers"] = state["resilience"]["fetchers"][:2]
+        with pytest.raises(ValueError, match="resilience block covers 2"):
+            MachinePool(frontend, n_machines=3).restore_state(state)
+
+    def test_oversized_resilience_block_rejected(self, frontend):
+        pool = MachinePool(frontend, n_machines=3)
+        state = pool.export_state()
+        extra = state["resilience"]["fetchers"][0]
+        state["resilience"]["fetchers"] = state["resilience"]["fetchers"] + [extra]
+        with pytest.raises(ValueError, match="resilience block covers 4"):
+            MachinePool(frontend, n_machines=3).restore_state(state)
+
+    def test_machine_count_mismatch_rejected(self, frontend):
+        state = MachinePool(frontend, n_machines=3).export_state()
+        with pytest.raises(ValueError, match="checkpoint covers 3"):
+            MachinePool(frontend, n_machines=4).restore_state(state)
+
+
+class TestPublishPoolHealth:
+    def test_half_open_encoded_as_one(self, frontend):
+        """Regression: half-open used to be the silent fallback encoding
+        rather than an explicitly mapped state."""
+        pool = MachinePool(frontend, n_machines=2)
+        breaker = pool.fetchers[0].breaker
+        now = frontend.clock.now()
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure(now)
+        frontend.clock.advance(breaker.cooldown)
+        assert breaker.state(frontend.clock.now()) == BREAKER_HALF_OPEN
+        registry = Registry()
+        publish_pool_health(pool, registry)
+        g_state = registry.gauge("crawler.breaker_state", labels=("machine",))
+        assert g_state.value(machine=pool.fetchers[0].ip) == 1.0
+        assert g_state.value(machine=pool.fetchers[1].ip) == 0.0
+
+    def test_unrecognised_state_raises(self, frontend):
+        pool = MachinePool(frontend, n_machines=1)
+        pool.fetchers[0].breaker._state = "melted"
+        with pytest.raises(ValueError, match="unrecognised breaker state"):
+            publish_pool_health(pool, Registry())

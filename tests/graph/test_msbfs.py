@@ -1,0 +1,115 @@
+"""Tests for the batched multi-source BFS kernel.
+
+The load-bearing property is bit-identity with the sequential
+:func:`repro.graph.paths.bfs_distances`: BFS levels are unique, so the
+batched kernel must reproduce it exactly — not approximately — in both
+traversal modes, for any batch width (including multi-word batches of
+more than 64 sources).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.msbfs import (
+    batch_eccentricities,
+    batch_hop_counts,
+    msbfs_distances,
+)
+from repro.graph.paths import bfs_distances, DIRECTED, UNDIRECTED
+
+
+def edges_strategy(max_nodes: int = 24, max_edges: int = 70):
+    node = st.integers(min_value=0, max_value=max_nodes - 1)
+    return st.lists(
+        st.tuples(node, node).filter(lambda e: e[0] != e[1]),
+        min_size=1,
+        max_size=max_edges,
+    )
+
+
+def sequential_distances(graph, sources, mode):
+    return np.vstack(
+        [bfs_distances(graph, int(s), mode=mode) for s in sources]
+    ) if len(sources) else np.empty((0, graph.n), dtype=np.int32)
+
+
+class TestDistances:
+    @given(edges=edges_strategy(), mode=st.sampled_from([DIRECTED, UNDIRECTED]))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sequential_bfs(self, edges, mode):
+        graph = CSRGraph.from_edges(edges)
+        sources = np.arange(graph.n, dtype=np.int64)
+        expected = sequential_distances(graph, sources, mode)
+        np.testing.assert_array_equal(
+            msbfs_distances(graph, sources, mode), expected
+        )
+
+    @given(edges=edges_strategy(), mode=st.sampled_from([DIRECTED, UNDIRECTED]))
+    @settings(max_examples=25, deadline=None)
+    def test_multi_word_batches(self, edges, mode):
+        """More than 64 sources forces a second frontier word per node;
+        duplicated sources must each get their own identical lane."""
+        graph = CSRGraph.from_edges(edges)
+        sources = np.resize(np.arange(graph.n, dtype=np.int64), 70)
+        got = msbfs_distances(graph, sources, mode)
+        np.testing.assert_array_equal(
+            got, sequential_distances(graph, sources, mode)
+        )
+
+    def test_empty_sources(self):
+        graph = CSRGraph.from_edges([(0, 1)])
+        assert msbfs_distances(graph, []).shape == (0, 2)
+
+    def test_invalid_mode(self):
+        graph = CSRGraph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            msbfs_distances(graph, [0], mode="sideways")
+        with pytest.raises(ValueError):
+            msbfs_distances(graph, [], mode="sideways")
+
+
+class TestHopCounts:
+    @given(edges=edges_strategy(), mode=st.sampled_from([DIRECTED, UNDIRECTED]))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_per_source_bincounts(self, edges, mode):
+        graph = CSRGraph.from_edges(edges)
+        sources = np.arange(graph.n, dtype=np.int64)
+        counts = batch_hop_counts(graph, sources, mode)
+        assert counts[0] == 0
+        dist = sequential_distances(graph, sources, mode)
+        reached = dist[dist > 0]
+        expected = (
+            np.bincount(reached, minlength=1)
+            if reached.size
+            else np.zeros(1, dtype=np.int64)
+        )
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_empty_sources(self):
+        graph = CSRGraph.from_edges([(0, 1)])
+        assert batch_hop_counts(graph, []).tolist() == [0]
+
+
+class TestEccentricities:
+    @given(edges=edges_strategy(), mode=st.sampled_from([DIRECTED, UNDIRECTED]))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_sequential_bookkeeping(self, edges, mode):
+        graph = CSRGraph.from_edges(edges)
+        sources = np.arange(graph.n, dtype=np.int64)
+        ecc, far = batch_eccentricities(graph, sources, mode)
+        for j, source in enumerate(sources):
+            dist = bfs_distances(graph, int(source), mode=mode)
+            expected_ecc = int(dist.max(initial=0))
+            assert ecc[j] == expected_ecc
+            if expected_ecc == 0:
+                assert far[j] == source
+            else:
+                # First farthest node = smallest compact index at max hop.
+                assert far[j] == int(np.flatnonzero(dist == expected_ecc)[0])
+
+    def test_empty_sources(self):
+        graph = CSRGraph.from_edges([(0, 1)])
+        ecc, far = batch_eccentricities(graph, [])
+        assert len(ecc) == 0 and len(far) == 0

@@ -1,0 +1,140 @@
+"""Tests for the BFS engine: sharding, shared memory, determinism.
+
+The end-to-end guarantee under test: any worker count and batch size
+produce bit-identical results — the in-process fallback, a multi-process
+pool over shared-memory CSR views, and the retained sequential reference
+all agree exactly on a seeded synthetic world.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.parallel import BFSEngine, SharedCSR, _SharedCSRView
+from repro.graph.paths import (
+    DIRECTED,
+    estimate_diameter,
+    sampled_path_lengths,
+    sampled_path_lengths_sequential,
+    UNDIRECTED,
+)
+from repro.obs.metrics import Registry
+from repro.synth.world import build_world, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def world_graph() -> CSRGraph:
+    world = build_world(WorldConfig(n_users=600, seed=23))
+    return CSRGraph.from_edge_arrays(world.graph.sources, world.graph.targets)
+
+
+class TestSharedCSR:
+    def test_view_roundtrips_arrays(self, world_graph):
+        shared = SharedCSR(world_graph)
+        try:
+            view = _SharedCSRView(shared.descriptor)
+            assert view.n == world_graph.n
+            for name in ("indptr", "indices", "rindptr", "rindices"):
+                np.testing.assert_array_equal(
+                    getattr(view, name), getattr(world_graph, name)
+                )
+        finally:
+            shared.unlink()
+
+    def test_unlink_idempotent(self, world_graph):
+        shared = SharedCSR(world_graph)
+        shared.unlink()
+        shared.unlink()
+
+
+class TestBFSEngine:
+    def test_validation(self, world_graph):
+        with pytest.raises(ValueError):
+            BFSEngine(world_graph, n_workers=0)
+        with pytest.raises(ValueError):
+            BFSEngine(world_graph, batch_size=0)
+
+    @pytest.mark.parametrize("mode", [DIRECTED, UNDIRECTED])
+    def test_worker_count_invariance(self, world_graph, mode):
+        """n_workers=2 over shared memory == the in-process fallback,
+        bit for bit, on every engine operation."""
+        rng = np.random.default_rng(5)
+        sources = rng.integers(0, world_graph.n, size=150).astype(np.int64)
+        with BFSEngine(world_graph, n_workers=1, batch_size=32) as solo, \
+                BFSEngine(world_graph, n_workers=2, batch_size=32) as duo:
+            np.testing.assert_array_equal(
+                solo.hop_counts(sources, mode), duo.hop_counts(sources, mode)
+            )
+            ecc1, far1 = solo.eccentricities(sources, mode)
+            ecc2, far2 = duo.eccentricities(sources, mode)
+            np.testing.assert_array_equal(ecc1, ecc2)
+            np.testing.assert_array_equal(far1, far2)
+            np.testing.assert_array_equal(
+                solo.distances(sources[:40], mode), duo.distances(sources[:40], mode)
+            )
+
+    def test_batch_size_invariance(self, world_graph):
+        sources = np.arange(0, world_graph.n, 3, dtype=np.int64)
+        with BFSEngine(world_graph, batch_size=7) as small, \
+                BFSEngine(world_graph, batch_size=128) as large:
+            np.testing.assert_array_equal(
+                small.hop_counts(sources), large.hop_counts(sources)
+            )
+
+    def test_empty_sources(self, world_graph):
+        with BFSEngine(world_graph) as engine:
+            assert engine.hop_counts([]).tolist() == [0]
+            ecc, far = engine.eccentricities([])
+            assert len(ecc) == 0 and len(far) == 0
+            assert engine.distances([]).shape == (0, world_graph.n)
+
+    def test_metrics_published(self, world_graph):
+        registry = Registry()
+        with BFSEngine(world_graph, n_workers=1, registry=registry) as engine:
+            engine.hop_counts(np.arange(10, dtype=np.int64))
+        counter = registry.counter("graph.bfs_sources", labels=("mode",))
+        assert counter.value(mode=DIRECTED) == 10
+        workers = registry.gauge("graph.parallel_workers")
+        assert workers.value() == 1.0
+
+    def test_close_is_idempotent(self, world_graph):
+        engine = BFSEngine(world_graph, n_workers=2, batch_size=8)
+        engine.hop_counts(np.arange(30, dtype=np.int64))
+        engine.close()
+        engine.close()
+
+
+class TestEndToEnd:
+    """The ISSUE acceptance check: parallel == in-process == sequential."""
+
+    @pytest.mark.parametrize("mode", [DIRECTED, UNDIRECTED])
+    def test_fig5_distribution_identical_across_workers(self, world_graph, mode):
+        kwargs = dict(initial_k=60, max_k=240, growth_step=60)
+        sequential = sampled_path_lengths_sequential(
+            world_graph, np.random.default_rng(42), mode=mode, **kwargs
+        )
+        with BFSEngine(world_graph, n_workers=1, batch_size=32) as engine:
+            solo = sampled_path_lengths(
+                world_graph, np.random.default_rng(42), mode=mode,
+                engine=engine, **kwargs,
+            )
+        with BFSEngine(world_graph, n_workers=2, batch_size=32) as engine:
+            duo = sampled_path_lengths(
+                world_graph, np.random.default_rng(42), mode=mode,
+                engine=engine, **kwargs,
+            )
+        assert sequential.n_sources == solo.n_sources == duo.n_sources
+        np.testing.assert_array_equal(sequential.counts, solo.counts)
+        np.testing.assert_array_equal(solo.counts, duo.counts)
+
+    def test_diameter_identical_across_workers(self, world_graph):
+        estimates = []
+        for n_workers in (1, 2):
+            with BFSEngine(world_graph, n_workers=n_workers, batch_size=8) as eng:
+                estimates.append(
+                    estimate_diameter(
+                        world_graph, np.random.default_rng(9), n_sweeps=24,
+                        engine=eng,
+                    )
+                )
+        assert estimates[0] == estimates[1]
