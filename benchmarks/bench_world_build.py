@@ -1,0 +1,118 @@
+"""World-build bench: reference vs fast engine wall time and peak RSS.
+
+Each (engine, size) cell runs ``build_world`` in a fresh subprocess —
+heap reuse and allocator state make in-process trials flatter than
+reality — and takes the best of ``TRIALS`` runs, the standard way to damp
+scheduler noise on a busy box. The per-cell numbers land in
+``BENCH_world_build.json`` via the shared bench harness, and the ≥5×
+speedup acceptance gate is asserted at the largest size when that size
+reaches 100k users.
+
+Override the sizes with ``REPRO_BENCH_WORLD_USERS`` (comma-separated)
+and the trial count with ``REPRO_BENCH_WORLD_TRIALS``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SIZES = tuple(
+    int(s)
+    for s in os.environ.get("REPRO_BENCH_WORLD_USERS", "20000,100000").split(",")
+)
+TRIALS = int(os.environ.get("REPRO_BENCH_WORLD_TRIALS", "3"))
+
+_CHILD = """\
+import json
+import resource
+import sys
+import time
+
+from repro.synth import build_world, WorldConfig
+
+engine, n = sys.argv[1], int(sys.argv[2])
+wall0 = time.perf_counter()
+cpu0 = time.process_time()
+world = build_world(WorldConfig(n_users=n, engine=engine))
+cpu1 = time.process_time()
+wall1 = time.perf_counter()
+print(json.dumps({
+    "wall_seconds": wall1 - wall0,
+    "cpu_seconds": cpu1 - cpu0,
+    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // 1024,
+    "edges": world.graph.n_edges,
+}))
+"""
+
+
+def _build_once(engine: str, n_users: int) -> dict:
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD, engine, str(n_users)],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    return json.loads(out.stdout)
+
+
+def _best_of(engine: str, n_users: int, trials: int) -> dict:
+    runs = [_build_once(engine, n_users) for _ in range(trials)]
+    best = min(runs, key=lambda r: r["wall_seconds"])
+    edges = {r["edges"] for r in runs}
+    assert len(edges) == 1, f"{engine} n={n_users} not deterministic: {edges}"
+    return {
+        **best,
+        "trials": trials,
+        "all_wall_seconds": sorted(r["wall_seconds"] for r in runs),
+    }
+
+
+def test_world_build_speedup(bench_extra):
+    cells: dict[str, dict] = {}
+    for n_users in SIZES:
+        for engine in ("reference", "fast"):
+            cell = _best_of(engine, n_users, TRIALS)
+            cells[f"{engine}_{n_users}"] = cell
+            print(
+                f"\n{engine:>9} n={n_users}: wall {cell['wall_seconds']:.2f}s"
+                f" cpu {cell['cpu_seconds']:.2f}s rss {cell['peak_rss_mb']}MB"
+                f" edges {cell['edges']}"
+            )
+    largest = max(SIZES)
+    speedups = {
+        n: cells[f"reference_{n}"]["wall_seconds"]
+        / cells[f"fast_{n}"]["wall_seconds"]
+        for n in SIZES
+    }
+    for n, ratio in speedups.items():
+        print(f"speedup n={n}: {ratio:.2f}x")
+    bench_extra(
+        sizes=list(SIZES),
+        trials=TRIALS,
+        cells=cells,
+        speedups={str(n): round(s, 3) for n, s in speedups.items()},
+    )
+    # Memory: the fast engine must not out-eat the reference.
+    assert (
+        cells[f"fast_{largest}"]["peak_rss_mb"]
+        <= 1.2 * cells[f"reference_{largest}"]["peak_rss_mb"]
+    )
+    # Acceptance gate: ≥5× at 100k users.
+    if largest >= 100_000:
+        assert speedups[largest] >= 5.0, (
+            f"fast engine only {speedups[largest]:.2f}x faster at n={largest}"
+        )
+    else:
+        assert speedups[largest] >= 3.0  # smoke-scale floor

@@ -100,12 +100,15 @@ class StudyConfig:
     #: Table 4 diameters). 1 = in-process; results are identical for any
     #: worker count (see ``docs/analysis.md``).
     path_workers: int = 1
+    #: World generation engine: "reference" (bit-stable sequential) or
+    #: "fast" (vectorized, statistically equivalent — see docs/synth.md).
+    engine: str = "reference"
     world: WorldConfig | None = None
 
     def world_config(self) -> WorldConfig:
         if self.world is not None:
             return self.world
-        return WorldConfig(n_users=self.n_users, seed=self.seed)
+        return WorldConfig(n_users=self.n_users, seed=self.seed, engine=self.engine)
 
 
 @dataclass

@@ -138,6 +138,12 @@ def main(argv: list[str] | None = None) -> int:
         "(default 1 = in-process; results are identical for any N)",
     )
     parser.add_argument(
+        "--engine", choices=("reference", "fast"), default="reference",
+        help="world generation engine: 'reference' is the bit-stable "
+        "sequential original, 'fast' the vectorized statistically "
+        "equivalent engine (see docs/synth.md)",
+    )
+    parser.add_argument(
         "--compare", action="store_true",
         help="also print the paper-vs-measured summary table",
     )
@@ -158,7 +164,10 @@ def main(argv: list[str] | None = None) -> int:
         trace.get_tracer().reset()
     study = MeasurementStudy(
         StudyConfig(
-            n_users=args.users, seed=args.seed, path_workers=args.path_workers
+            n_users=args.users,
+            seed=args.seed,
+            path_workers=args.path_workers,
+            engine=args.engine,
         )
     )
     results = study.run()

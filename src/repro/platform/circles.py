@@ -76,6 +76,33 @@ class CircleStore:
         self.all_members[target_id] = None
         return is_new_contact
 
+    def extend(self, target_ids, circle: str = DEFAULT_CIRCLE) -> list[int]:
+        """Batch :meth:`add`: validate once, then insert in a tight loop.
+
+        Unlike repeated ``add`` calls, all validation (self-adds, the
+        out-circle cap) happens up front, so a failing batch mutates
+        nothing — and a succeeding batch leaves the store in exactly the
+        state the equivalent ``add`` sequence would. Returns the targets
+        that became *new* contacts, in first-added order.
+        """
+        target_ids = [int(t) for t in target_ids]
+        owner_id = self.owner_id
+        all_members = self.all_members
+        if any(t == owner_id for t in target_ids):
+            raise ValueError("users cannot add themselves to their own circles")
+        if not self.exempt_from_limit:
+            new_count = len({t for t in target_ids if t not in all_members})
+            if len(all_members) + new_count > OUT_CIRCLE_LIMIT:
+                raise CircleLimitError(owner_id, OUT_CIRCLE_LIMIT)
+        members = self.members_by_circle.setdefault(circle, {})
+        new_contacts: list[int] = []
+        for t in target_ids:
+            if t not in all_members:
+                new_contacts.append(t)
+            members[t] = None
+            all_members[t] = None
+        return new_contacts
+
     def remove(self, target_id: int, circle: str | None = None) -> bool:
         """Remove a contact from one circle, or from all circles.
 

@@ -11,11 +11,21 @@ platform description of Section 2.1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Iterator
 
-from .circles import CIRCLE_DISPLAY_LIMIT, CircleStore, DEFAULT_CIRCLE
+import numpy as np
+
+from .gcpause import gc_paused
+from .circles import (
+    CIRCLE_DISPLAY_LIMIT,
+    CircleStore,
+    DEFAULT_CIRCLE,
+    OUT_CIRCLE_LIMIT,
+)
 from .errors import (
     AlreadyRegisteredError,
+    CircleLimitError,
     SignupClosedError,
     UnknownUserError,
 )
@@ -107,6 +117,51 @@ class GooglePlusService:
         store.create_circle(DEFAULT_CIRCLE)
         self._accounts[profile.user_id] = _Account(profile=profile, circles=store)
 
+    def register_bulk(
+        self,
+        profiles,
+        exempt_ids=(),
+        invited_by=None,
+    ) -> int:
+        """Create many accounts in one call; returns how many were created.
+
+        State-identical to calling :meth:`register` once per profile in
+        order: same accounts, same iteration order, same errors at the
+        same profile. ``exempt_ids`` is the set of user ids whitelisted
+        past the out-circle cap (ids not in ``profiles`` are ignored);
+        ``invited_by`` aligns with ``profiles`` and is required, as in
+        the scalar path, while signup is invitation-only. The batch form
+        hoists the signup-phase branching out of the per-account work
+        and builds each account's stores directly.
+        """
+        accounts = self._accounts
+        exempt = frozenset(int(u) for u in exempt_ids)
+        open_signup = self.open_signup
+        inviters = repeat(None) if invited_by is None else invited_by
+        created = 0
+        with gc_paused():
+            for profile, inviter in zip(profiles, inviters):
+                user_id = profile.user_id
+                if user_id in accounts:
+                    raise AlreadyRegisteredError(user_id)
+                if not open_signup:
+                    if inviter is None:
+                        raise SignupClosedError(
+                            "signups are invitation-only during the field trial"
+                        )
+                    if inviter not in accounts:
+                        raise UnknownUserError(inviter)
+                accounts[user_id] = _Account(
+                    profile=profile,
+                    circles=CircleStore(
+                        user_id,
+                        exempt_from_limit=user_id in exempt,
+                        members_by_circle={DEFAULT_CIRCLE: {}},
+                    ),
+                )
+                created += 1
+        return created
+
     def enable_open_signup(self) -> None:
         """End the field trial: anyone may sign up (September 20th, 2011)."""
         self.open_signup = True
@@ -149,6 +204,235 @@ class GooglePlusService:
                 Notification(kind="added_to_circle", actor_id=user_id)
             )
         return is_new_link
+
+    def add_edges_bulk(
+        self,
+        sources,
+        targets,
+        circles=None,
+        *,
+        circle_index=None,
+    ) -> int:
+        """Plant many directed links in one call; returns new-link count.
+
+        On success the service state is identical to calling
+        :meth:`add_to_circle` once per ``(sources[i], targets[i],
+        circles[i])`` in order — including every insertion order the
+        crawl depends on: each owner's circle membership and flattened
+        contact list, each target's follower list, and the notification
+        feeds. Instead of 2N dict lookups per edge, the batch is sorted
+        once per side and each account's dicts are built with
+        ``dict.fromkeys`` over contiguous, originally-ordered slices.
+
+        ``circles`` may be a sequence of circle names (one per edge) or
+        ``None`` for :data:`DEFAULT_CIRCLE` throughout; alternatively
+        ``circle_index=(labels, index_array)`` names each edge's circle
+        as ``labels[index_array[i]]`` without materializing a per-edge
+        string list. Validation is batched: unknown users and self-edges
+        fail up front with nothing mutated, and the out-circle cap is
+        checked per owner before that owner's circles are touched (the
+        scalar path raises at the exact offending edge instead; a batch
+        that succeeds is unaffected).
+        """
+        # The ingest allocates millions of dict entries in one burst;
+        # pausing cyclic GC for the duration avoids repeated whole-heap
+        # collections triggered by allocation thresholds.
+        with gc_paused():
+            return self._add_edges_bulk(sources, targets, circles, circle_index)
+
+    def _add_edges_bulk(self, sources, targets, circles, circle_index) -> int:
+        src = np.asarray(sources, dtype=np.int64)
+        dst = np.asarray(targets, dtype=np.int64)
+        if src.ndim != 1 or dst.shape != src.shape:
+            raise ValueError("sources and targets must have equal length")
+        m = len(src)
+        if circles is not None and circle_index is not None:
+            raise ValueError("pass either circles or circle_index, not both")
+        if circles is not None and len(circles) != m:
+            raise ValueError("circles must have one entry per edge")
+        if m == 0:
+            return 0
+        accounts = self._accounts
+        ids = np.concatenate((src, dst))
+        top = max(accounts) if accounts else -1
+        lo, hi = int(ids.min()), int(ids.max())
+        if lo < 0 or hi > top:
+            raise UnknownUserError(lo if lo < 0 else hi)
+        known = np.zeros(top + 1, dtype=bool)
+        known[np.fromiter(accounts.keys(), dtype=np.int64, count=len(accounts))] = True
+        missing = np.flatnonzero(~known[ids])
+        if len(missing):
+            raise UnknownUserError(int(ids[missing[0]]))
+        if bool((src == dst).any()):
+            raise ValueError("users cannot add themselves to their own circles")
+        if circle_index is not None:
+            label_seq, index_arr = circle_index
+            labels = [str(name) for name in label_seq]
+            cidx = np.asarray(index_arr, dtype=np.int64)
+            if cidx.shape != src.shape:
+                raise ValueError("circle_index array must have one entry per edge")
+            if len(cidx) and (
+                int(cidx.min()) < 0 or int(cidx.max()) >= len(labels)
+            ):
+                raise ValueError("circle_index entries out of label range")
+        elif circles is None:
+            labels = [DEFAULT_CIRCLE]
+            cidx = np.zeros(m, dtype=np.int64)
+        else:
+            labels = list(dict.fromkeys(circles))
+            label_index = {name: i for i, name in enumerate(labels)}
+            cidx = np.fromiter(
+                map(label_index.__getitem__, circles), dtype=np.int64, count=m
+            )
+        n_labels = len(labels)
+        if top * n_labels + n_labels < 2**31:
+            # User ids (and the owner*n_labels+circle group keys) fit in
+            # int32: the stable radix argsorts below run half the passes.
+            src = src.astype(np.int32)
+            dst = dst.astype(np.int32)
+            cidx = cidx.astype(np.int32)
+
+        # Owner side. Two stable sorts: by owner (original edge order per
+        # owner → all_members / new-link flags) and by (owner, circle)
+        # (contiguous per-circle member slices, original order within).
+        # Everything sliced inside the loop is converted to plain lists
+        # up front — list slicing is far cheaper than per-slice tolist().
+        order_src = np.argsort(src, kind="stable")
+        s_by_src = src[order_src]
+        d_by_src = dst[order_src].tolist()
+        obounds = np.flatnonzero(np.diff(s_by_src)) + 1
+        ostarts = np.concatenate(([0], obounds)).tolist()
+        ostops = np.concatenate((obounds, [m])).tolist()
+        owners = s_by_src[np.concatenate(([0], obounds))].tolist()
+
+        if n_labels == 1:
+            order_grp, key_sorted = order_src, s_by_src
+        else:
+            group_key = src * n_labels + cidx
+            order_grp = np.argsort(group_key, kind="stable")
+            key_sorted = group_key[order_grp]
+        d_by_grp = dst[order_grp].tolist()
+        gbounds = np.flatnonzero(np.diff(key_sorted)) + 1
+        gstart_arr = np.concatenate(([0], gbounds))
+        gstarts = gstart_arr.tolist()
+        gstops = np.concatenate((gbounds, [m])).tolist()
+        gowners = (key_sorted[gstart_arr] // n_labels).tolist()
+        glabels = (key_sorted[gstart_arr] % n_labels).tolist()
+        #: original index of each group's first edge — per owner, groups
+        #: sorted by this value are in first-occurrence label order.
+        gfirst = order_grp[gstart_arr].tolist()
+
+        #: new-link flag per edge, in owner-sorted order.
+        new_by_src = np.ones(m, dtype=bool)
+        limit = OUT_CIRCLE_LIMIT
+        n_groups = len(gowners)
+        gp = 0  # group cursor: groups are sorted by owner, like owners
+        fromkeys = dict.fromkeys
+        for seg, owner in enumerate(owners):
+            a, b = ostarts[seg], ostops[seg]
+            store = accounts[owner].circles
+            all_members = store.all_members
+            members_seg = d_by_src[a:b]
+            distinct = fromkeys(members_seg)
+            if not all_members and b - a <= limit:
+                # Fresh store, segment within the cap: no violation is
+                # possible, exempt or not — the hot path for world gen.
+                if len(distinct) != b - a:
+                    # Duplicate (u, v) pairs inside the batch: only the
+                    # first occurrence forms the link.
+                    local: set[int] = set()
+                    for pos, v in enumerate(members_seg, start=a):
+                        if v in local:
+                            new_by_src[pos] = False
+                        else:
+                            local.add(v)
+                store.all_members = distinct
+            elif all_members:
+                fresh = [v for v in distinct if v not in all_members]
+                if (
+                    not store.exempt_from_limit
+                    and len(all_members) + len(fresh) > OUT_CIRCLE_LIMIT
+                ):
+                    raise CircleLimitError(owner, OUT_CIRCLE_LIMIT)
+                for pos, v in enumerate(members_seg, start=a):
+                    if v in all_members:
+                        new_by_src[pos] = False
+                    else:
+                        all_members[v] = None
+            else:
+                if (
+                    not store.exempt_from_limit
+                    and len(distinct) > OUT_CIRCLE_LIMIT
+                ):
+                    raise CircleLimitError(owner, OUT_CIRCLE_LIMIT)
+                if len(distinct) != len(members_seg):
+                    local2: set[int] = set()
+                    for pos, v in enumerate(members_seg, start=a):
+                        if v in local2:
+                            new_by_src[pos] = False
+                        else:
+                            local2.add(v)
+                store.all_members = distinct
+
+            # Circle sub-dicts for this owner: its groups are contiguous
+            # at the cursor. Visiting them by their first edge's original
+            # position yields first-occurrence label order, so circles are
+            # created exactly when the per-edge path would have created
+            # them (order across owners is free).
+            g0 = gp
+            while gp < n_groups and gowners[gp] == owner:
+                gp += 1
+            by_circle = store.members_by_circle
+            span = (
+                range(g0, gp)
+                if gp - g0 == 1
+                else sorted(range(g0, gp), key=gfirst.__getitem__)
+            )
+            for g in span:
+                name = labels[glabels[g]]
+                chunk = fromkeys(d_by_grp[gstarts[g]:gstops[g]])
+                existing = by_circle.get(name)
+                if existing:
+                    existing.update(chunk)
+                else:
+                    by_circle[name] = chunk
+
+        # Target side: follower lists and notifications, for new links
+        # only, in original edge order per target.
+        new_links = int(new_by_src.sum())
+        if new_links:
+            if new_links == m:
+                sub_src, sub_dst = src, dst
+            else:
+                new_orig = np.empty(m, dtype=bool)
+                new_orig[order_src] = new_by_src
+                sel = np.flatnonzero(new_orig)
+                sub_src, sub_dst = src[sel], dst[sel]
+            order_t = np.argsort(sub_dst, kind="stable")
+            t_sorted = sub_dst[order_t]
+            actor_list = sub_src[order_t].tolist()
+            tbounds = np.flatnonzero(np.diff(t_sorted)) + 1
+            tstart_arr = np.concatenate(([0], tbounds))
+            tstarts = tstart_arr.tolist()
+            tstops = np.concatenate((tbounds, [new_links])).tolist()
+            tids = t_sorted[tstart_arr].tolist()
+            # One cached Notification per actor: the dataclass is frozen
+            # and compares by value, so sharing instances is identical to
+            # constructing one per link. Every linking actor is an owner.
+            note_of = {
+                u: Notification(kind="added_to_circle", actor_id=u)
+                for u in owners
+            }
+            notes_all = list(map(note_of.__getitem__, actor_list))
+            for t, a, b in zip(tids, tstarts, tstops):
+                account = accounts[t]
+                chunk = dict.fromkeys(actor_list[a:b])
+                if account.followers:
+                    account.followers.update(chunk)
+                else:
+                    account.followers = chunk
+                account.notifications.extend(notes_all[a:b])
+        return new_links
 
     def remove_from_circle(
         self, user_id: int, target_id: int, circle: str | None = None

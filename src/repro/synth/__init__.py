@@ -36,6 +36,8 @@ from .demographics import (
     TEL_USER_RATE,
     tel_user_weights,
 )
+from .fastgen import generate_graph_fast, IncrementalPools
+from .fastprofiles import build_profiles_fast
 from .graphgen import GeneratedGraph, generate_graph
 from .growth import (
     assign_edge_days,
@@ -69,6 +71,7 @@ __all__ = [
     "build_country_table",
     "build_gazetteer",
     "build_profiles",
+    "build_profiles_fast",
     "build_world",
     "CELEBRITY_OCCUPATIONS",
     "CelebritySpec",
@@ -84,6 +87,8 @@ __all__ = [
     "CRAWL_DAY",
     "GeneratedGraph",
     "generate_graph",
+    "generate_graph_fast",
+    "IncrementalPools",
     "GrowthConfig",
     "GrowthTimeline",
     "OPEN_SIGNUP_DAY",

@@ -249,9 +249,16 @@ class CitySampler:
         self._gazetteer = build_gazetteer()
         self._jitter = jitter_deg
         self._weights: dict[str, np.ndarray] = {}
+        self._cums: dict[str, np.ndarray] = {}
+        self._latlons: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         for code, cities in self._gazetteer.items():
             weights = np.array([c.weight for c in cities], dtype=float)
             self._weights[code] = weights / weights.sum()
+            self._cums[code] = self._weights[code].cumsum()
+            self._latlons[code] = (
+                np.array([c.latitude for c in cities]),
+                np.array([c.longitude for c in cities]),
+            )
 
     def countries(self) -> list[str]:
         return list(self._gazetteer)
@@ -262,6 +269,52 @@ class CitySampler:
     def sample_city_index(self, country: str, rng: np.random.Generator) -> int:
         """Pick a city index within a country, population-weighted."""
         return int(rng.choice(len(self._gazetteer[country]), p=self._weights[country]))
+
+    def sample_city_indices(
+        self, countries: list[str], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorized :meth:`sample_city_index`, one country code per row.
+
+        Rows are grouped by country and drawn by inverse-CDF lookup over
+        the country's cumulative weights — the same distribution as the
+        scalar path, but a different consumption of the RNG stream (one
+        uniform per row instead of ``rng.choice`` internals).
+        """
+        codes = np.asarray(countries)
+        rolls = rng.random(len(codes))
+        out = np.empty(len(codes), dtype=np.int64)
+        for code in np.unique(codes):
+            mask = codes == code
+            cum = self._cums[str(code)]
+            idx = cum.searchsorted(rolls[mask], side="right")
+            out[mask] = np.minimum(idx, len(cum) - 1)
+        return out
+
+    def coordinates_for_many(
+        self,
+        countries: list[str],
+        city_indices: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`coordinates_for` (jittered lat/lon arrays).
+
+        Draws all latitude jitters, then all longitude jitters — a
+        different RNG consumption order than the scalar per-user path,
+        with identical marginal distributions.
+        """
+        codes = np.asarray(countries)
+        n = len(codes)
+        lats = np.empty(n)
+        lons = np.empty(n)
+        for code in np.unique(codes):
+            mask = codes == code
+            base_lat, base_lon = self._latlons[str(code)]
+            picks = city_indices[mask]
+            lats[mask] = base_lat[picks]
+            lons[mask] = base_lon[picks]
+        lats = lats + rng.normal(0.0, self._jitter, size=n)
+        lons = lons + rng.normal(0.0, self._jitter, size=n)
+        return np.clip(lats, -90.0, 90.0), (lons + 180.0) % 360.0 - 180.0
 
     def coordinates_for(
         self, country: str, city_index: int, rng: np.random.Generator

@@ -105,10 +105,21 @@ class WorldConfig:
     #: Public circle-list display cap. The real service used 10,000; small
     #: worlds can lower it to exercise the Section 2.2 lost-edge machinery.
     circle_display_limit: int = 10_000
+    #: Generation engine. ``"reference"`` is the sequential, bit-stable
+    #: original (every golden test pins its output); ``"fast"`` is the
+    #: vectorized engine (:mod:`repro.synth.fastgen`), which produces the
+    #: same *calibrated* graph family — statistically equivalent, not
+    #: bit-identical — at a fraction of the time and memory. See
+    #: ``docs/synth.md`` for the equivalence contract.
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         if self.n_users < 200:
             raise ValueError("worlds below 200 users cannot host the celebrity set")
+        if self.engine not in ("reference", "fast"):
+            raise ValueError(
+                f"engine must be 'reference' or 'fast', got {self.engine!r}"
+            )
         if not 0.0 <= self.field_trial_fraction <= 1.0:
             raise ValueError("field_trial_fraction must be in [0, 1]")
         if not 0.0 <= self.tel_user_rate < 1.0:

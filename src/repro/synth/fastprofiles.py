@@ -1,0 +1,380 @@
+"""Vectorized profile generation — the ``engine="fast"`` counterpart of
+:func:`repro.synth.profiles.build_profiles`.
+
+The reference builder draws ~30 scalar uniforms per user (one or two per
+field decision). This module draws them as whole-population matrices —
+one ``(n, n_fields)`` public-share Bernoulli matrix, one hidden-field
+matrix, one privacy-level matrix — and then assembles the
+:class:`~repro.platform.models.UserProfile` objects in a lean loop that
+only constructs field values that actually appear on the profile.
+
+Equivalence contract (same as :mod:`repro.synth.fastgen`): identical
+marginal distributions per decision, *not* an identical RNG stream. Every
+decision gets its own roll (the reference draws a second roll only when
+the first fails, and reuses none), and rolls are consumed column-by-column
+rather than user-by-user. Determinism holds: the same seed produces the
+same profiles across runs and processes, because everything flows from the
+caller's ``Generator`` in a fixed order and the phone prefix uses
+``zlib.crc32`` (never salted ``hash()``).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.platform.models import (
+    ContactInfo,
+    FieldValue,
+    LookingFor,
+    OCCUPATION_LABELS,
+    Place,
+    UserProfile,
+)
+from repro.platform.gcpause import gc_paused
+from repro.platform.privacy import PUBLIC
+
+from .cities import CitySampler
+from .config import WorldConfig
+from .demographics import FIELD_SHARE_PROBABILITY
+from .profiles import _HIDDEN_LEVELS, Population
+
+#: The decide()-style fields, in the reference builder's set order.
+#: ``gender`` and the contact blocks are handled specially, as there.
+_DECIDE_FIELDS: tuple[str, ...] = (
+    "places_lived",
+    "education",
+    "employment",
+    "phrase",
+    "other_profiles",
+    "occupation",
+    "contributor_to",
+    "introduction",
+    "other_names",
+    "relationship",
+    "bragging_rights",
+    "recommended_links",
+    "looking_for",
+)
+
+#: Fields celebrities always publish (curated public presence).
+_CELEBRITY_PUBLIC: tuple[str, ...] = (
+    "occupation",
+    "places_lived",
+    "employment",
+)
+
+
+def _decision_matrices(
+    population: Population,
+    config: WorldConfig,
+    openness: np.ndarray,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-(user, field) presence status and hidden privacy level.
+
+    Status: 0 = absent, 1 = public, 2 = hidden (privacy from ``level``).
+    """
+    n = population.n
+    k = len(_DECIDE_FIELDS)
+    base = np.array([FIELD_SHARE_PROBABILITY[f] for f in _DECIDE_FIELDS])
+    factor = np.repeat(openness[:, None], k, axis=1)
+    factor[:, _DECIDE_FIELDS.index("places_lived")] = 1.0
+    p_public = np.minimum(
+        0.995, base[None, :] * factor * population.disclosure[:, None]
+    )
+    public = rng.random((n, k)) < p_public
+    hidden = rng.random((n, k)) < config.profiles.hidden_field_prob
+    status = np.where(public, 1, np.where(hidden, 2, 0)).astype(np.int8)
+    level = rng.integers(0, len(_HIDDEN_LEVELS), size=(n, k), dtype=np.int8)
+
+    # Tel-users always carry a relationship status: 40% public (Table 3),
+    # the rest hidden at a uniform level.
+    rel = _DECIDE_FIELDS.index("relationship")
+    tel = np.flatnonzero(population.tel_users)
+    if len(tel):
+        tel_public = rng.random(len(tel)) < 0.40
+        status[tel, rel] = np.where(tel_public, 1, 2)
+        level[tel, rel] = rng.integers(
+            0, len(_HIDDEN_LEVELS), size=len(tel), dtype=np.int8
+        )
+    # Celebrities run open, curated profiles: forced-public fields.
+    celebs = np.fromiter(
+        population.celebrity_spec, dtype=np.int64, count=len(population.celebrity_spec)
+    )
+    if len(celebs):
+        for key in _CELEBRITY_PUBLIC:
+            status[celebs, _DECIDE_FIELDS.index(key)] = 1
+    return status, level
+
+
+def _places_values(
+    population: Population,
+    config: WorldConfig,
+    sampler: CitySampler,
+    present: np.ndarray,
+    rng: np.random.Generator,
+) -> dict[int, list[Place]]:
+    """Places-lived lists for every user whose field is present.
+
+    Previous places are drawn in one batch across the population (foreign
+    flag, country, city, jittered coordinates), then sliced per owner; the
+    current city always closes the list, as in the reference.
+    """
+    owners = np.flatnonzero(present)
+    n_present = len(owners)
+    multi = rng.random(n_present) < config.profiles.multi_place_prob
+    extra = np.where(multi, rng.integers(1, 3, size=n_present), 0)
+    total = int(extra.sum())
+
+    codes = np.asarray(population.country_codes)
+    gaz_codes = np.asarray(sampler.countries())
+    prev_owner = np.repeat(owners, extra)
+    foreign = rng.random(total) < config.profiles.foreign_previous_place_prob
+    prev_codes = codes[prev_owner].copy()
+    prev_codes[foreign] = gaz_codes[rng.integers(0, len(gaz_codes), size=int(foreign.sum()))]
+    prev_list = [str(c) for c in prev_codes]
+    prev_city = sampler.sample_city_indices(prev_list, rng)
+    prev_lat, prev_lon = sampler.coordinates_for_many(prev_list, prev_city, rng)
+
+    names_of = {
+        code: [c.name for c in sampler.cities_of(code)] for code in sampler.countries()
+    }
+    prev_places = [
+        Place(names_of[code][city], lat, lon, code)
+        for code, city, lat, lon in zip(
+            prev_list, prev_city.tolist(), prev_lat.tolist(), prev_lon.tolist()
+        )
+    ]
+    offsets = np.zeros(n_present + 1, dtype=np.int64)
+    np.cumsum(extra, out=offsets[1:])
+    city_idx = population.city_indices
+    lats = population.latitudes
+    lons = population.longitudes
+    result: dict[int, list[Place]] = {}
+    country_list = population.country_codes
+    for row, user_id in enumerate(owners.tolist()):
+        code = country_list[user_id]
+        places = prev_places[offsets[row] : offsets[row + 1]]
+        places.append(
+            Place(
+                names_of[code][int(city_idx[user_id])],
+                float(lats[user_id]),
+                float(lons[user_id]),
+                code,
+            )
+        )
+        result[user_id] = places
+    return result
+
+
+def build_profiles_fast(
+    population: Population, config: WorldConfig, rng: np.random.Generator
+) -> dict[int, UserProfile]:
+    """Drop-in fast counterpart of :func:`repro.synth.profiles.build_profiles`."""
+    with gc_paused():
+        return _build_profiles_fast(population, config, rng)
+
+
+def _build_profiles_fast(
+    population: Population, config: WorldConfig, rng: np.random.Generator
+) -> dict[int, UserProfile]:
+    n = population.n
+    sampler = CitySampler()
+    openness = np.array(
+        [population.countries[c].openness for c in population.country_codes]
+    )
+    lists_public = (
+        rng.random(n) >= config.profiles.private_lists_prob
+    ).tolist()
+
+    # Gender availability barely varies by culture; soft openness exponent,
+    # exactly as the reference.
+    gender_p = np.minimum(
+        0.999, FIELD_SHARE_PROBABILITY["gender"] * openness**0.05
+    )
+    # Note: the reference routes gender around decide(), so the celebrity
+    # forced-public rule never applies to it; mirror that exactly.
+    gender_public = rng.random(n) < gender_p
+    gender_level = rng.integers(0, len(_HIDDEN_LEVELS), size=n)
+
+    status, level = _decision_matrices(population, config, openness, rng)
+    places_col = _DECIDE_FIELDS.index("places_lived")
+    places = _places_values(
+        population, config, sampler, status[:, places_col] > 0, rng
+    )
+
+    looking_for_options = list(LookingFor)
+    looking_idx = rng.integers(0, len(looking_for_options), size=n)
+
+    tel_roll = rng.random(n).tolist()
+    sliver = rng.random(n) < 0.01
+    sliver_level = rng.integers(0, len(_HIDDEN_LEVELS), size=n).tolist()
+
+    both_frac = config.profiles.tel_both_fraction
+    work_frac = both_frac + config.profiles.tel_work_only_fraction
+    hidden_levels = _HIDDEN_LEVELS
+    genders = population.genders
+    relationships = population.relationships
+    occupations = population.occupations
+    spec_of = population.celebrity_spec
+    country_codes = population.country_codes
+
+    # Assembly is column-major: every fields dict starts with gender,
+    # then each decide() column inserts its values for the users that
+    # carry it, walking the columns in the reference field order — so the
+    # per-user key order matches the reference exactly. The synthetic
+    # values repeat with small periods, so whole *FieldValue* instances
+    # are cached per (value, privacy level) and shared between users —
+    # FieldValue is frozen and compares by value, so sharing is
+    # indistinguishable from constructing one per user. Only per-user
+    # values (places, per-user URLs/names) and list-valued fields (whose
+    # inner list stays fresh per user) are built individually.
+    levels_all = (PUBLIC, *hidden_levels)
+    n_levels = len(levels_all)
+    # Privacy-level code per user per column: 0 = public, 1 + j = the
+    # j-th hidden level. Columns index this with their own status row.
+    gcode = np.where(gender_public, 0, gender_level + 1).tolist()
+    gender_vals = list(dict.fromkeys(genders))
+    gender_index = {v: j for j, v in enumerate(gender_vals)}
+    gcache = [
+        FieldValue(v, lev) for v in gender_vals for lev in levels_all
+    ]
+    gi = list(map(gender_index.__getitem__, genders))
+    fields_by_user: list[dict[str, FieldValue]] = [
+        {"gender": gcache[gi[i] * n_levels + gcode[i]]} for i in range(n)
+    ]
+    edu_pool = [f"Studied at University {i}" for i in range(409)]
+    emp_pool = [f"Works at Company {i}" for i in range(997)]
+    contrib_pool = [f"https://blog.example/{i}" for i in range(211)]
+    rec_pool = [f"https://links.example/{i}" for i in range(53)]
+
+    def _pool_cache(values) -> list[FieldValue]:
+        """FieldValue per (pool value, privacy level), level-minor."""
+        return [FieldValue(v, lev) for v in values for lev in levels_all]
+
+    user_ids = np.arange(n, dtype=np.int64)
+    for col, key in enumerate(_DECIDE_FIELDS):
+        scol = status[:, col]
+        idx_arr = np.flatnonzero(scol)
+        idx = idx_arr.tolist()
+        # 0 = public, 1 + j = j-th hidden level (meaningful where scol).
+        code = np.where(scol == 1, 0, level[:, col] + 1)
+        if key == "places_lived":
+            codes = code.tolist()
+            for i in idx:
+                fields_by_user[i][key] = FieldValue(
+                    places[i], levels_all[codes[i]]
+                )
+        elif key == "education":
+            cache = _pool_cache(edu_pool)
+            ci = ((user_ids % 409) * n_levels + code)[idx_arr].tolist()
+            for i, c in zip(idx, ci):
+                fields_by_user[i][key] = cache[c]
+        elif key == "employment":
+            cache = _pool_cache(emp_pool)
+            ci = ((user_ids % 997) * n_levels + code)[idx_arr].tolist()
+            for i, c in zip(idx, ci):
+                fields_by_user[i][key] = cache[c]
+        elif key == "phrase":
+            cache = _pool_cache(["Carpe diem"])
+            ci = code[idx_arr].tolist()
+            for i, c in zip(idx, ci):
+                fields_by_user[i][key] = cache[c]
+        elif key == "other_profiles":
+            codes = code.tolist()
+            for i in idx:
+                fields_by_user[i][key] = FieldValue(
+                    [f"https://social.example/{i}"], levels_all[codes[i]]
+                )
+        elif key == "occupation":
+            occ_vals = list(dict.fromkeys(occupations))
+            occ_index = {v: j for j, v in enumerate(occ_vals)}
+            cache = _pool_cache([OCCUPATION_LABELS[v] for v in occ_vals])
+            oi = np.fromiter(
+                map(occ_index.__getitem__, occupations), np.int64, count=n
+            )
+            ci = (oi * n_levels + code)[idx_arr].tolist()
+            for i, c in zip(idx, ci):
+                fields_by_user[i][key] = cache[c]
+        elif key == "contributor_to":
+            codes = code.tolist()
+            for i in idx:
+                fields_by_user[i][key] = FieldValue(
+                    [contrib_pool[i % 211]], levels_all[codes[i]]
+                )
+        elif key == "introduction":
+            cache = _pool_cache(["Hi, I joined Google+!"])
+            ci = code[idx_arr].tolist()
+            for i, c in zip(idx, ci):
+                fields_by_user[i][key] = cache[c]
+        elif key == "other_names":
+            codes = code.tolist()
+            for i in idx:
+                fields_by_user[i][key] = FieldValue(
+                    f"U{i:06d}", levels_all[codes[i]]
+                )
+        elif key == "relationship":
+            rel_vals = list(dict.fromkeys(relationships))
+            rel_index = {v: j for j, v in enumerate(rel_vals)}
+            cache = _pool_cache(rel_vals)
+            ri = np.fromiter(
+                map(rel_index.__getitem__, relationships), np.int64, count=n
+            )
+            ci = (ri * n_levels + code)[idx_arr].tolist()
+            for i, c in zip(idx, ci):
+                fields_by_user[i][key] = cache[c]
+        elif key == "bragging_rights":
+            cache = _pool_cache(["Survived the invite queue"])
+            ci = code[idx_arr].tolist()
+            for i, c in zip(idx, ci):
+                fields_by_user[i][key] = cache[c]
+        elif key == "recommended_links":
+            codes = code.tolist()
+            for i in idx:
+                fields_by_user[i][key] = FieldValue(
+                    [rec_pool[i % 53]], levels_all[codes[i]]
+                )
+        else:  # looking_for
+            cache = _pool_cache(looking_for_options)
+            ci = (looking_idx * n_levels + code)[idx_arr].tolist()
+            for i, c in zip(idx, ci):
+                fields_by_user[i][key] = cache[c]
+
+    # Contact blocks close each fields dict, exactly as in the reference.
+    prefix_of = {
+        code: (zlib.crc32(code.encode("ascii")) % 90) + 10
+        for code in set(country_codes)
+    }
+    for i in np.flatnonzero(population.tel_users).tolist():
+        prefix = prefix_of[country_codes[i]]
+        contact = ContactInfo(
+            phone=f"+{prefix} 555 {i % 10_000:04d}",
+            email=f"user{i}@example.com",
+        )
+        fields = fields_by_user[i]
+        roll = tel_roll[i]
+        if roll < both_frac:
+            fields["work_contact"] = FieldValue(contact, PUBLIC)
+            fields["home_contact"] = FieldValue(contact, PUBLIC)
+        elif roll < work_frac:
+            fields["work_contact"] = FieldValue(contact, PUBLIC)
+        else:
+            fields["home_contact"] = FieldValue(contact, PUBLIC)
+    for i in np.flatnonzero(sliver & ~population.tel_users).tolist():
+        fields_by_user[i]["work_contact"] = FieldValue(
+            ContactInfo(email=f"user{i}@example.com"),
+            hidden_levels[sliver_level[i]],
+        )
+
+    profiles: dict[int, UserProfile] = {}
+    for user_id in range(n):
+        spec = spec_of.get(user_id)
+        profiles[user_id] = UserProfile(
+            user_id=user_id,
+            name=spec.name if spec else f"User {user_id:06d}",
+            fields=fields_by_user[user_id],
+            lists_public=lists_public[user_id],
+        )
+    return profiles

@@ -111,10 +111,17 @@ def _sample_out_degrees(
     raw = config.out_scale * np.power(u, -1.0 / config.out_alpha)
     degrees = np.maximum(1, np.floor(raw).astype(np.int64))
     capped = np.minimum(degrees, config.out_degree_cap)
-    for user_id in population.celebrity_spec:
+    if population.celebrity_spec:
         # Whitelisted accounts may exceed the cap (Section 3.3.1), though
         # their sampled wish rarely does; keep the uncapped draw.
-        capped[user_id] = min(degrees[user_id], 2 * config.out_degree_cap)
+        whitelisted = np.fromiter(
+            population.celebrity_spec,
+            dtype=np.int64,
+            count=len(population.celebrity_spec),
+        )
+        capped[whitelisted] = np.minimum(
+            degrees[whitelisted], 2 * config.out_degree_cap
+        )
     # Nobody can follow more users than exist.
     return np.minimum(capped, population.n - 1)
 

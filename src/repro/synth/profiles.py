@@ -110,13 +110,20 @@ def generate_population(config: WorldConfig, rng: np.random.Generator) -> Popula
     occupations = OccupationSampler(rng)
 
     country_codes = _assign_countries(n, countries, rng)
-    city_indices = np.empty(n, dtype=np.int64)
-    latitudes = np.empty(n)
-    longitudes = np.empty(n)
-    for i, code in enumerate(country_codes):
-        city = sampler.sample_city_index(code, rng)
-        city_indices[i] = city
-        latitudes[i], longitudes[i] = sampler.coordinates_for(code, city, rng)
+    if config.engine == "fast":
+        # Batched draws: same distributions, different RNG stream order.
+        city_indices = sampler.sample_city_indices(country_codes, rng)
+        latitudes, longitudes = sampler.coordinates_for_many(
+            country_codes, city_indices, rng
+        )
+    else:
+        city_indices = np.empty(n, dtype=np.int64)
+        latitudes = np.empty(n)
+        longitudes = np.empty(n)
+        for i, code in enumerate(country_codes):
+            city = sampler.sample_city_index(code, rng)
+            city_indices[i] = city
+            latitudes[i], longitudes[i] = sampler.coordinates_for(code, city, rng)
 
     population = Population(
         n=n,

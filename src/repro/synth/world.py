@@ -8,16 +8,20 @@ and ablation benches can compare crawled measurements against the truth.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.obs import trace
+from repro.platform.gcpause import gc_paused
 from repro.platform.http import HttpFrontend, SimulatedClock
 from repro.platform.models import UserProfile
 from repro.platform.service import GooglePlusService
 
 from .config import WorldConfig
+from .fastgen import generate_graph_fast
+from .fastprofiles import build_profiles_fast
 from .graphgen import GeneratedGraph, generate_graph
 from .profiles import Population, build_profiles, generate_population
 
@@ -92,26 +96,31 @@ def _populate_service(
     )
     n = population.n
     trial_count = max(1, int(round(world_config.field_trial_fraction * n)))
+    exempt_ids = population.celebrity_spec
     # Bootstrap account, then invitation-only field trial.
     service.register(profiles[0], exempt_from_circle_limit=population.is_celebrity(0))
     service.open_signup = False
     inviter_rolls = rng.integers(0, trial_count, size=n)
-    for user_id in range(1, trial_count):
-        service.register(
-            profiles[user_id],
-            invited_by=int(inviter_rolls[user_id] % user_id),
-            exempt_from_circle_limit=population.is_celebrity(user_id),
-        )
+    inviters = (inviter_rolls[1:trial_count] % np.arange(1, trial_count)).tolist()
+    service.register_bulk(
+        (profiles[user_id] for user_id in range(1, trial_count)),
+        exempt_ids=exempt_ids,
+        invited_by=inviters,
+    )
     # September 20th, 2011: open signup.
     service.enable_open_signup()
-    for user_id in range(trial_count, n):
-        service.register(
-            profiles[user_id],
-            exempt_from_circle_limit=population.is_celebrity(user_id),
-        )
+    service.register_bulk(
+        (profiles[user_id] for user_id in range(trial_count, n)),
+        exempt_ids=exempt_ids,
+    )
     circle_rolls = rng.integers(0, len(_CIRCLE_LABELS), size=graph.n_edges)
-    for offset, (u, v) in enumerate(zip(graph.sources, graph.targets)):
-        service.add_to_circle(int(u), int(v), _CIRCLE_LABELS[circle_rolls[offset]])
+    # Bulk ingest (both engines): state-identical to the per-edge
+    # add_to_circle loop, minus 400k+ per-call validations.
+    service.add_edges_bulk(
+        graph.sources,
+        graph.targets,
+        circle_index=(_CIRCLE_LABELS, circle_rolls),
+    )
     return service
 
 
@@ -119,13 +128,26 @@ def build_world(config: WorldConfig | None = None) -> SyntheticWorld:
     """Generate a complete world from a config (or the calibrated default)."""
     config = config if config is not None else WorldConfig()
     rng = np.random.default_rng(config.seed)
-    with trace.span("synth.build_world", users=config.n_users):
+    fast = config.engine == "fast"
+    # One GC pause across the whole fast build: the stage-local pauses
+    # nest inside it (gc_paused is re-entrant), so the collector sweeps
+    # the finished world once instead of after every stage.
+    pause = gc_paused() if fast else nullcontext()
+    with trace.span(
+        "synth.build_world", users=config.n_users, engine=config.engine
+    ), pause:
         with trace.span("synth.population"):
             population = generate_population(config, rng)
         with trace.span("synth.profiles"):
-            profiles = build_profiles(population, config, rng)
+            if fast:
+                profiles = build_profiles_fast(population, config, rng)
+            else:
+                profiles = build_profiles(population, config, rng)
         with trace.span("synth.graphgen"):
-            graph = generate_graph(population, config.graph, rng)
+            if fast:
+                graph = generate_graph_fast(population, config.graph, rng)
+            else:
+                graph = generate_graph(population, config.graph, rng)
         with trace.span("synth.service"):
             service = _populate_service(config, population, profiles, graph, rng)
     return SyntheticWorld(

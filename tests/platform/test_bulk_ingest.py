@@ -1,0 +1,234 @@
+"""Tests for the bulk ingest paths: ``register_bulk``, ``add_edges_bulk``
+and ``CircleStore.extend``.
+
+The load-bearing property is *state identity*: a bulk call must leave the
+service in exactly the state the equivalent scalar-call sequence would —
+including every insertion order the crawler observes (circle membership,
+flattened contact lists, follower lists, notification feeds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.platform.circles import OUT_CIRCLE_LIMIT, CircleStore
+from repro.platform.errors import CircleLimitError, UnknownUserError
+from repro.platform.models import UserProfile
+from repro.platform.service import DEFAULT_CIRCLE, GooglePlusService
+
+N_USERS = 40
+
+
+def profile(user_id: int) -> UserProfile:
+    return UserProfile(user_id=user_id, name=f"User {user_id}")
+
+
+def fresh_service(n: int = N_USERS, exempt=()) -> GooglePlusService:
+    svc = GooglePlusService(open_signup=True)
+    for uid in range(n):
+        svc.register(profile(uid), exempt_from_circle_limit=uid in set(exempt))
+    return svc
+
+
+def service_state(svc: GooglePlusService, n: int = N_USERS):
+    """Everything the crawl can observe, with insertion orders intact."""
+    state = []
+    for uid in range(n):
+        account = svc._account(uid)
+        state.append(
+            (
+                uid,
+                account.circles.exempt_from_limit,
+                list(account.circles.all_members),
+                {
+                    name: list(members)
+                    for name, members in account.circles.members_by_circle.items()
+                },
+                list(account.followers),
+                [(note.kind, note.actor_id) for note in account.notifications],
+            )
+        )
+    return state
+
+
+@pytest.fixture
+def edges():
+    """A batch exercising every interesting shape: repeated owners,
+    shared targets, the same pair in several circles, and exact
+    duplicate (owner, target, circle) triples."""
+    rng = np.random.default_rng(3)
+    src = rng.integers(0, N_USERS, size=400)
+    dst = rng.integers(0, N_USERS, size=400)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    labels = ("friends", "family", "colleagues")
+    circles = [labels[i % 3] for i in range(len(src))]
+    # Force exact duplicates and same-pair-different-circle cases.
+    src = np.concatenate((src, src[:20], src[:10]))
+    dst = np.concatenate((dst, dst[:20], dst[:10]))
+    circles = circles + circles[:20] + [labels[(i + 1) % 3] for i in range(10)]
+    return src, dst, circles
+
+
+class TestAddEdgesBulkStateIdentity:
+    def test_matches_scalar_ingestion(self, edges):
+        src, dst, circles = edges
+        scalar = fresh_service()
+        new_links = 0
+        for u, v, c in zip(src.tolist(), dst.tolist(), circles):
+            new_links += scalar.add_to_circle(u, v, c)
+        bulk = fresh_service()
+        assert bulk.add_edges_bulk(src, dst, circles) == new_links
+        assert service_state(bulk) == service_state(scalar)
+
+    def test_circle_index_matches_circles_list(self, edges):
+        src, dst, circles = edges
+        labels = tuple(dict.fromkeys(circles))
+        index = np.array([labels.index(c) for c in circles])
+        by_list = fresh_service()
+        by_list.add_edges_bulk(src, dst, circles)
+        by_index = fresh_service()
+        by_index.add_edges_bulk(src, dst, circle_index=(labels, index))
+        assert service_state(by_index) == service_state(by_list)
+
+    def test_default_circle_when_no_circles_given(self, edges):
+        src, dst, _ = edges
+        scalar = fresh_service()
+        for u, v in zip(src.tolist(), dst.tolist()):
+            scalar.add_to_circle(u, v)
+        bulk = fresh_service()
+        bulk.add_edges_bulk(src, dst)
+        assert service_state(bulk) == service_state(scalar)
+        assert bulk._account(int(src[0])).circles.circle_names() == [
+            DEFAULT_CIRCLE
+        ]
+
+    def test_incremental_batches_on_warm_stores(self, edges):
+        """A second bulk batch over already-populated stores must merge,
+        not clobber."""
+        src, dst, circles = edges
+        half = len(src) // 2
+        scalar = fresh_service()
+        for u, v, c in zip(src.tolist(), dst.tolist(), circles):
+            scalar.add_to_circle(u, v, c)
+        bulk = fresh_service()
+        bulk.add_edges_bulk(src[:half], dst[:half], circles[:half])
+        bulk.add_edges_bulk(src[half:], dst[half:], circles[half:])
+        assert service_state(bulk) == service_state(scalar)
+
+    def test_empty_batch(self):
+        svc = fresh_service(5)
+        assert svc.add_edges_bulk(np.empty(0, np.int64), np.empty(0, np.int64)) == 0
+
+
+class TestAddEdgesBulkValidation:
+    def test_unknown_source_rejected(self):
+        svc = fresh_service(5)
+        with pytest.raises(UnknownUserError):
+            svc.add_edges_bulk(np.array([99]), np.array([1]))
+
+    def test_unknown_target_rejected(self):
+        svc = fresh_service(5)
+        with pytest.raises(UnknownUserError):
+            svc.add_edges_bulk(np.array([1]), np.array([-3]))
+
+    def test_self_edge_rejected(self):
+        svc = fresh_service(5)
+        with pytest.raises(ValueError, match="themselves"):
+            svc.add_edges_bulk(np.array([1, 2]), np.array([3, 2]))
+
+    def test_circles_and_circle_index_exclusive(self):
+        svc = fresh_service(5)
+        with pytest.raises(ValueError, match="not both"):
+            svc.add_edges_bulk(
+                np.array([1]),
+                np.array([2]),
+                ["friends"],
+                circle_index=(("friends",), np.array([0])),
+            )
+
+    def test_length_mismatches_rejected(self):
+        svc = fresh_service(5)
+        with pytest.raises(ValueError):
+            svc.add_edges_bulk(np.array([1, 2]), np.array([3]))
+        with pytest.raises(ValueError):
+            svc.add_edges_bulk(np.array([1, 2]), np.array([3, 4]), ["friends"])
+        with pytest.raises(ValueError, match="out of label range"):
+            svc.add_edges_bulk(
+                np.array([1]), np.array([2]), circle_index=(("a",), np.array([4]))
+            )
+
+    def test_circle_cap_enforced(self):
+        limit = OUT_CIRCLE_LIMIT
+        svc = GooglePlusService(open_signup=True)
+        for uid in range(limit + 2):
+            svc.register(profile(uid))
+        targets = np.arange(1, limit + 2)
+        with pytest.raises(CircleLimitError):
+            svc.add_edges_bulk(np.zeros(len(targets), np.int64), targets)
+
+    def test_exempt_owner_escapes_cap(self):
+        limit = OUT_CIRCLE_LIMIT
+        svc = GooglePlusService(open_signup=True)
+        for uid in range(limit + 2):
+            svc.register(profile(uid), exempt_from_circle_limit=uid == 0)
+        targets = np.arange(1, limit + 2)
+        assert svc.add_edges_bulk(np.zeros(len(targets), np.int64), targets) == len(
+            targets
+        )
+
+
+class TestRegisterBulk:
+    def test_matches_scalar_registration(self):
+        exempt = {3, 7}
+        scalar = GooglePlusService(open_signup=True)
+        for uid in range(10):
+            scalar.register(profile(uid), exempt_from_circle_limit=uid in exempt)
+        bulk = GooglePlusService(open_signup=True)
+        assert (
+            bulk.register_bulk(
+                (profile(uid) for uid in range(10)), exempt_ids=exempt
+            )
+            == 10
+        )
+        assert service_state(bulk, 10) == service_state(scalar, 10)
+
+    def test_field_trial_requires_inviters(self):
+        svc = GooglePlusService(open_signup=True)
+        svc.register(profile(0))
+        svc.open_signup = False
+        svc.register_bulk([profile(1), profile(2)], invited_by=[0, 0])
+        assert len(svc) == 3
+        with pytest.raises(UnknownUserError):
+            svc.register_bulk([profile(3)], invited_by=[99])
+
+
+class TestCircleStoreExtend:
+    def test_matches_add_sequence(self):
+        a = CircleStore(0)
+        b = CircleStore(0)
+        targets = [5, 3, 5, 9, 3, 1]
+        new_a = [t for t in targets if a.add(t, "friends")]
+        new_b = b.extend(targets, "friends")
+        assert new_b == list(dict.fromkeys(new_a))
+        assert list(a.all_members) == list(b.all_members)
+        assert {k: list(v) for k, v in a.members_by_circle.items()} == {
+            k: list(v) for k, v in b.members_by_circle.items()
+        }
+
+    def test_failing_batch_mutates_nothing(self):
+        store = CircleStore(0)
+        store.add(1)
+        with pytest.raises(ValueError):
+            store.extend([2, 3, 0])  # self-add fails the whole batch
+        assert list(store.all_members) == [1]
+
+    def test_cap_counts_distinct_new_members(self):
+        store = CircleStore(0)
+        for t in range(1, OUT_CIRCLE_LIMIT + 1):
+            store.add(t)
+        # Re-adding existing members stays legal at the cap...
+        store.extend([1, 2, 3], "inner")
+        # ...but one genuinely new member trips it, atomically.
+        with pytest.raises(CircleLimitError):
+            store.extend([1, OUT_CIRCLE_LIMIT + 1])
+        assert OUT_CIRCLE_LIMIT + 1 not in store.all_members

@@ -1,0 +1,135 @@
+"""Calibration acceptance suite: the fast engine matches the reference.
+
+The two engines are *statistically* equivalent, not bitwise: each asserts
+the paper's calibration targets on its own, and the fast engine must land
+within a documented tolerance of the reference on every target (the
+tolerance table lives in ``docs/synth.md``). Runs at n=20k by default —
+large enough for stable exponents — override with
+``REPRO_CALIBRATION_USERS`` for quicker smoke runs.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph.clustering import average_clustering
+from repro.graph.csr import CSRGraph
+from repro.graph.powerlaw import fit_powerlaw
+from repro.graph.reciprocity import global_reciprocity
+from repro.graph.sampling import sample_nodes
+from repro.synth import build_world, WorldConfig
+
+CALIBRATION_USERS = int(os.environ.get("REPRO_CALIBRATION_USERS", "20000"))
+
+#: Countries with enough users at n=20k for stable domesticity rows.
+ROW_COUNTRIES = ("US", "IN", "GB", "BR", "DE")
+MIN_ROW_EDGES = 200
+
+
+class EngineStats:
+    """Every calibration target, computed once per engine."""
+
+    def __init__(self, engine: str):
+        world = build_world(
+            WorldConfig(n_users=CALIBRATION_USERS, engine=engine)
+        )
+        graph = world.graph
+        n = world.n_users
+        csr = CSRGraph.from_edge_arrays(
+            graph.sources, graph.targets, node_ids=np.arange(n)
+        )
+        in_degrees = csr.in_degrees()
+        self.n_edges = graph.n_edges
+        self.mean_degree = graph.n_edges / n
+        self.alpha = fit_powerlaw(in_degrees, x_min=10).alpha
+        self.reciprocity = global_reciprocity(csr)
+        self.clustering = average_clustering(
+            csr, sample_nodes(csr, 600, np.random.default_rng(0))
+        )
+        codes = np.asarray(world.population.country_codes)
+        src_c, dst_c = codes[graph.sources], codes[graph.targets]
+        self.domesticity = float((src_c == dst_c).mean())
+        self.domesticity_rows = {}
+        for country in ROW_COUNTRIES:
+            outgoing = src_c == country
+            if outgoing.sum() >= MIN_ROW_EDGES:
+                self.domesticity_rows[country] = float(
+                    (dst_c[outgoing] == country).mean()
+                )
+        celebrity = np.zeros(n, dtype=bool)
+        celebrity[list(world.population.celebrity_spec)] = True
+        out_counts = np.bincount(graph.sources, minlength=n)
+        self.max_ordinary_out = int(out_counts[~celebrity].max())
+        self.out_degree_cap = world.config.graph.out_degree_cap
+        top10 = np.argsort(-in_degrees)[:10]
+        self.top10_celebrities = int(celebrity[csr.node_ids[top10]].sum())
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return EngineStats("reference")
+
+
+@pytest.fixture(scope="module")
+def fast():
+    return EngineStats("fast")
+
+
+class TestAbsoluteTargets:
+    """Each engine hits the paper's calibration targets on its own."""
+
+    @pytest.fixture(scope="class", params=["reference", "fast"])
+    def stats(self, request, reference, fast):
+        return reference if request.param == "reference" else fast
+
+    def test_mean_degree(self, stats):
+        assert 8 < stats.mean_degree < 35  # paper: 16.4
+
+    def test_in_degree_powerlaw_alpha(self, stats):
+        assert 1.0 < stats.alpha < 1.6  # paper fits 1.3
+
+    def test_reciprocity(self, stats):
+        assert 0.25 < stats.reciprocity < 0.40  # paper: ~32%
+
+    def test_clustering(self, stats):
+        assert 0.10 < stats.clustering < 0.30  # paper Figure 4b regime
+
+    def test_us_mostly_domestic(self, stats):
+        assert stats.domesticity_rows["US"] > 0.6  # Figure 10: 0.76
+
+    def test_out_degree_cap_knee(self, stats):
+        # Ordinary users never exceed the 5 000-contact cap, while the
+        # Pareto tail still pushes some of them well toward it.
+        assert stats.max_ordinary_out <= stats.out_degree_cap
+        assert stats.max_ordinary_out > 0.4 * stats.out_degree_cap
+
+    def test_celebrities_dominate_top_indegree(self, stats):
+        assert stats.top10_celebrities >= 7
+
+
+class TestEngineEquivalence:
+    """The fast engine stays within tolerance of the reference."""
+
+    def test_edge_volume(self, reference, fast):
+        assert fast.n_edges == pytest.approx(reference.n_edges, rel=0.15)
+
+    def test_alpha(self, reference, fast):
+        assert abs(fast.alpha - reference.alpha) <= 0.15
+
+    def test_reciprocity(self, reference, fast):
+        assert abs(fast.reciprocity - reference.reciprocity) <= 0.03
+
+    def test_clustering(self, reference, fast):
+        assert abs(fast.clustering - reference.clustering) <= 0.05
+
+    def test_domesticity(self, reference, fast):
+        assert abs(fast.domesticity - reference.domesticity) <= 0.03
+
+    def test_domesticity_rows(self, reference, fast):
+        shared = reference.domesticity_rows.keys() & fast.domesticity_rows.keys()
+        assert "US" in shared
+        for country in shared:
+            assert fast.domesticity_rows[country] == pytest.approx(
+                reference.domesticity_rows[country], abs=0.06
+            ), country

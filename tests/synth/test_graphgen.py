@@ -147,3 +147,22 @@ class TestDeterminismAndAblation:
             return float(np.median(miles))
 
         assert median_friend_miles(True) < median_friend_miles(False)
+
+
+class TestSampleOutDegrees:
+    def test_whitelisted_may_exceed_cap_others_never(self, population):
+        from repro.synth.graphgen import _sample_out_degrees
+
+        config = GraphGenConfig(out_degree_cap=3)
+        wishes = _sample_out_degrees(
+            population, config, np.random.default_rng(11)
+        )
+        whitelisted = np.zeros(N, dtype=bool)
+        whitelisted[list(population.celebrity_spec)] = True
+        assert int(wishes[~whitelisted].max()) <= config.out_degree_cap
+        # The whitelist escapes the cap (up to 2x), and with a cap this
+        # low some celebrity draw actually lands above it.
+        assert int(wishes[whitelisted].max()) > config.out_degree_cap
+        assert int(wishes[whitelisted].max()) <= 2 * config.out_degree_cap
+        assert int(wishes.min()) >= 1
+        assert int(wishes.max()) <= N - 1

@@ -69,6 +69,12 @@ class TestExamples:
         assert "product strategy" in out
         assert "Political campaigning viable in" in out
 
+    def test_big_world(self):
+        out = run_example("big_world.py", "15000", "3")
+        assert "fast engine" in out
+        assert "reciprocity" in out
+        assert "seed user for a crawl" in out
+
 
 class TestExperimentsCLI:
     def test_module_cli(self):
