@@ -1,0 +1,108 @@
+"""Live telemetry: watch a campaign's figures converge, survive a crash.
+
+A durable campaign run with ``live=True`` chains a
+:class:`repro.obs.live.LiveTelemetry` hook behind the store: incremental
+sketches ingest every sealed edge segment and crawled profile, each
+checkpoint publishes an *epoch* (degree CCDFs, reciprocity, components,
+country mix, sampled path lengths) pinned to that checkpoint's exact
+cut, and ``run_report.json`` is atomically rewritten as the crawl runs —
+so the figures are observable *while* the campaign is in flight, and a
+crash leaves partial figures behind instead of nothing.
+
+The script shows both halves:
+
+1. a full campaign, printing the per-epoch figure trajectory and the
+   rendered dashboard (what ``python -m repro.obs.live`` shows);
+2. the same campaign crashed mid-crawl — the surviving report's newest
+   epoch is then *proven* bit-equal to the batch pipeline recomputed
+   over exactly the crawled prefix, and the campaign resumes to
+   completion with telemetry still attached.
+
+Run:  python examples/live_dashboard.py [--users N] [--seed S]
+
+Render any live campaign's report yourself:
+
+    python -m repro.store run --dir /tmp/camp --users 2000 --live
+    python -m repro.obs.live /tmp/camp/run_report.json --follow
+"""
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+
+from repro.analysis.streaming import verify_live_report
+from repro.obs.live.dashboard import load_report_document, render_report
+from repro.obs.report import RUN_REPORT_FILENAME
+from repro.store.campaign import CampaignConfig, CrawlCampaign, SimulatedCrash
+
+
+def print_trajectory(report_path: Path) -> None:
+    """One line per epoch: how the figure estimates converged."""
+    live = load_report_document(report_path)["extra"]["live"]
+    epochs = list(live["history"]) + ([live["epoch"]] if live["epoch"] else [])
+    print(f"  {'epoch':>5} {'pages':>6} {'edges':>7} {'recip':>7} {'giant':>6} {'hops':>5}")
+    for epoch in epochs:
+        figures = epoch["figures"]
+        paths = figures.get("path_lengths") or {}
+        mean_hops = paths.get("mean_hops")
+        hops = f"{mean_hops:>5.2f}" if mean_hops is not None else "  n/a"
+        print(
+            f"  {epoch['sequence']:>5} {epoch['n_pages']:>6} {epoch['n_edges']:>7}"
+            f" {figures['reciprocity']:>7.4f}"
+            f" {figures['components']['giant_size']:>6} {hops}"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=2_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--crash-after", type=int, default=900,
+                        help="pages before the injected crash in part 2")
+    args = parser.parse_args()
+
+    config = CampaignConfig(n_users=args.users, seed=args.seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        # -- 1. a full campaign, observed live --------------------------------
+        campaign_dir = Path(tmp) / "full"
+        dataset = CrawlCampaign(campaign_dir, config).run(live=True)
+        report_path = campaign_dir / RUN_REPORT_FILENAME
+        print(f"campaign complete: {dataset.n_profiles:,} pages,"
+              f" {dataset.n_edges:,} edges")
+        print("figure trajectory (one row per epoch):")
+        print_trajectory(report_path)
+        print()
+        print(render_report(load_report_document(report_path)))
+        print()
+
+        # -- 2. crash mid-crawl: partial figures survive, and verify ---------
+        crashed_dir = Path(tmp) / "crashed"
+        try:
+            CrawlCampaign(crashed_dir, config).run(
+                live=True, crash_after_pages=args.crash_after
+            )
+            raise RuntimeError("expected the injected crash")
+        except SimulatedCrash as crash:
+            print(f"crashed on purpose: {crash}")
+        surviving = crashed_dir / RUN_REPORT_FILENAME
+        live = json.loads(surviving.read_text())["extra"]["live"]
+        epoch = live["epoch"]
+        print(f"surviving report: status={live['status']!r}, newest epoch at"
+              f" {epoch['n_pages']} pages / {epoch['n_edges']} edges")
+
+        problems = verify_live_report(surviving, campaign_dir=crashed_dir)
+        if problems:
+            raise SystemExit("\n".join(problems))
+        print("verified: partial live figures are bit-equal to the batch"
+              " pipeline on the crawled prefix")
+
+        # -- 3. resume to completion, telemetry still attached ----------------
+        resumed = CrawlCampaign(crashed_dir, config).run(live=True)
+        assert resumed.n_profiles == dataset.n_profiles
+        print(f"resumed to completion: {resumed.n_profiles:,} pages"
+              f" (matches the uninterrupted run)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,208 @@
+"""Batch recomputation and verification of live streaming figures.
+
+:func:`batch_live_figures` computes, through the *regular* batch
+pipeline (:meth:`CrawlDataset.to_csr`, :mod:`repro.graph.degree`,
+:mod:`repro.graph.reciprocity`, :mod:`repro.graph.components`,
+:func:`repro.analysis.attributes.attribute_availability`), the exact
+figure payload the live telemetry layer publishes per epoch.  The only
+code shared with the streaming side is the pair of small deterministic
+helpers (power-of-two CCDF bucketing and BFS source sampling) — the
+comparison is therefore a genuine cross-implementation proof, not a
+function compared against itself.
+
+:func:`verify_live_report` closes the loop for a killed campaign: it
+matches the surviving report's newest epoch to the checkpoint with the
+same ``(n_pages, n_edges)`` cut, reconstructs the dataset for exactly
+that prefix from the journal and sealed segments, recomputes the figures
+batch-side, and demands bit-equality after a JSON round trip (ints are
+exact; floats round-trip exactly through ``repr``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.attributes import attribute_availability
+from repro.crawler.dataset import CrawlDataset
+from repro.graph.components import weakly_connected_components
+from repro.graph.reciprocity import reciprocated_edge_mask
+from repro.obs.live.sketches import ccdf_bucket_counts
+from repro.obs.live.telemetry import path_length_refresh, validate_live_section
+from repro.obs.report import validate_run_report
+
+__all__ = ["batch_live_figures", "verify_live_report"]
+
+#: Figure keys compared bit-for-bit between a live epoch and the batch
+#: recomputation ("path_lengths" joins when the epoch's refresh is
+#: current — i.e. computed at that epoch's edge cut).
+STRICT_FIGURE_KEYS = (
+    "n_nodes",
+    "n_edges",
+    "degree",
+    "reciprocity",
+    "reciprocal_edges",
+    "components",
+    "attributes",
+    "countries",
+)
+
+
+def batch_live_figures(dataset: CrawlDataset, path_sources: int = 8) -> dict:
+    """One epoch's figure payload, computed by the batch pipeline."""
+    graph = dataset.to_csr()
+    out_deg = graph.out_degrees()
+    in_deg = graph.in_degrees()
+    mask = reciprocated_edge_mask(graph)
+    wcc = weakly_connected_components(graph)
+    countries: dict[str, int] = {}
+    for profile in dataset.profiles.values():
+        country = profile.country()
+        if country is not None:
+            countries[country] = countries.get(country, 0) + 1
+    attributes = {
+        row.key: row.available for row in attribute_availability(dataset)
+    }
+    return {
+        "n_nodes": int(graph.n),
+        "n_edges": int(graph.n_edges),
+        "degree": {
+            "out_ccdf_buckets": ccdf_bucket_counts(out_deg),
+            "in_ccdf_buckets": ccdf_bucket_counts(in_deg),
+            "max_out": int(out_deg.max()) if out_deg.size else 0,
+            "max_in": int(in_deg.max()) if in_deg.size else 0,
+        },
+        "reciprocity": float(mask.mean()) if mask.size else 0.0,
+        "reciprocal_edges": int(mask.sum()),
+        "components": {
+            "n_components": int(wcc.n_components),
+            "giant_size": int(wcc.giant_size),
+        },
+        "attributes": dict(sorted(attributes.items())),
+        "countries": dict(sorted(countries.items())),
+        "path_lengths": (
+            path_length_refresh(graph, path_sources) if path_sources > 0 else None
+        ),
+    }
+
+
+def _jsonify(value) -> object:
+    """Normalise through one JSON round trip (matches the report on disk)."""
+    return json.loads(json.dumps(value))
+
+
+def _compare_figures(live: dict, batch: dict) -> list[str]:
+    problems: list[str] = []
+    batch = _jsonify(batch)
+    for key in STRICT_FIGURE_KEYS:
+        if key not in live:
+            problems.append(f"live figures missing {key!r}")
+        elif live[key] != batch[key]:
+            problems.append(
+                f"figure {key!r} differs: live={live[key]!r} batch={batch[key]!r}"
+            )
+    live_paths = live.get("path_lengths")
+    if (
+        live_paths is not None
+        and batch.get("path_lengths") is not None
+        and live_paths.get("as_of_n_edges") == batch["path_lengths"]["as_of_n_edges"]
+    ):
+        if live_paths != batch["path_lengths"]:
+            problems.append(
+                f"figure 'path_lengths' differs: live={live_paths!r} "
+                f"batch={batch['path_lengths']!r}"
+            )
+    return problems
+
+
+def _dataset_for_checkpoint(campaign_dir: Path, record) -> CrawlDataset:
+    """Reconstruct the crawled prefix pinned by one checkpoint record."""
+    from repro.crawler.dataset import profile_from_json
+    from repro.store.campaign import JOURNAL_NAME, KIND_PAGE, SEGMENTS_DIR
+    from repro.store.journal import iter_records
+    from repro.store.segments import load_edges
+
+    profiles = {}
+    for rec in iter_records(
+        campaign_dir / JOURNAL_NAME, upto=record.journal_offset
+    ):
+        if rec.kind == KIND_PAGE:
+            profile = profile_from_json(json.loads(rec.body.decode("utf-8")))
+            profiles[profile.user_id] = profile
+    sources, targets = load_edges(campaign_dir / SEGMENTS_DIR, names=record.segments)
+    return CrawlDataset(profiles=profiles, sources=sources, targets=targets)
+
+
+def verify_live_report(
+    report_path: str | Path,
+    campaign_dir: str | Path | None = None,
+    dataset: CrawlDataset | None = None,
+) -> list[str]:
+    """Prove a live report's newest epoch against the batch pipeline.
+
+    Returns a list of problems; ``[]`` means the report is schema-valid
+    and its figures are bit-equal to the batch recomputation.  Provide
+    either ``dataset`` (compare against exactly that data — the epoch
+    must describe the same cut) or ``campaign_dir`` (reconstruct the
+    epoch's crawled prefix from the campaign's journal and segments).
+    """
+    report_path = Path(report_path)
+    try:
+        document = json.loads(report_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"cannot read report: {exc}"]
+    problems = validate_run_report(document)
+    if problems:
+        return [f"run report schema: {p}" for p in problems]
+    live = document.get("extra", {}).get("live")
+    if live is None:
+        return ["report has no extra['live'] section"]
+    problems = [f"live schema: {p}" for p in validate_live_section(live)]
+    if problems:
+        return problems
+    epoch = live.get("epoch")
+    if epoch is None:
+        return ["live section has no epoch to verify"]
+
+    path_sources = (epoch["figures"].get("path_lengths") or {}).get("n_sources", 0)
+    if dataset is not None:
+        if (len(dataset.profiles), len(dataset.sources)) != (
+            epoch["n_pages"],
+            epoch["n_edges"],
+        ):
+            return [
+                f"dataset cut ({len(dataset.profiles)} pages, "
+                f"{len(dataset.sources)} edges) does not match epoch "
+                f"({epoch['n_pages']} pages, {epoch['n_edges']} edges)"
+            ]
+        batch = batch_live_figures(dataset, path_sources=path_sources)
+        return _compare_figures(epoch["figures"], batch)
+
+    if campaign_dir is None:
+        return ["need a dataset or a campaign_dir to verify against"]
+    from repro.store import checkpoint as ckpt
+    from repro.store.campaign import CHECKPOINTS_DIR
+
+    campaign_dir = Path(campaign_dir)
+    record = None
+    for path in reversed(
+        ckpt.list_checkpoint_paths(campaign_dir / CHECKPOINTS_DIR)
+    ):
+        try:
+            candidate = ckpt.load_checkpoint(path)
+        except ckpt.CheckpointError:
+            continue
+        if (candidate.n_pages, candidate.n_edges) == (
+            epoch["n_pages"],
+            epoch["n_edges"],
+        ):
+            record = candidate
+            break
+    if record is None:
+        return [
+            f"no checkpoint matches epoch cut "
+            f"({epoch['n_pages']} pages, {epoch['n_edges']} edges)"
+        ]
+    prefix = _dataset_for_checkpoint(campaign_dir, record)
+    batch = batch_live_figures(prefix, path_sources=path_sources)
+    return _compare_figures(epoch["figures"], batch)

@@ -156,8 +156,13 @@ class MeasurementStudy:
                 self._world = build_world(self.config.world_config())
         return self._world
 
-    def crawl(self) -> CrawlDataset:
-        """Run the bidirectional BFS crawl over the world's front end."""
+    def crawl(self, hooks=None) -> CrawlDataset:
+        """Run the bidirectional BFS crawl over the world's front end.
+
+        ``hooks`` (a :class:`~repro.crawler.bfs.CrawlHooks`, e.g. a
+        :class:`~repro.obs.live.LiveTelemetry`) observes the crawl as it
+        runs; ``None`` keeps the plain in-memory behaviour.
+        """
         world = self.world
         max_pages = None
         if self.config.crawl_fraction < 1.0:
@@ -167,17 +172,20 @@ class MeasurementStudy:
             CrawlConfig(n_machines=self.config.n_machines, max_pages=max_pages),
         )
         with trace.span("study.crawl", machines=self.config.n_machines):
-            return crawler.crawl([world.seed_user_id()])
+            return crawler.crawl([world.seed_user_id()], hooks=hooks)
 
-    def run(self, dataset: CrawlDataset | None = None) -> StudyResults:
+    def run(
+        self, dataset: CrawlDataset | None = None, hooks=None
+    ) -> StudyResults:
         """Crawl (unless given a dataset) and compute every artifact.
 
         Each pipeline phase runs under its own span, so a run report can
         show where wall time (and, for the crawl, virtual time) went.
+        ``hooks`` is forwarded to :meth:`crawl` (ignored with a dataset).
         """
         config = self.config
         if dataset is None:
-            dataset = self.crawl()
+            dataset = self.crawl(hooks=hooks)
         world = self._world  # populated by .crawl(); None for foreign datasets
         with trace.span("study.freeze_graph"):
             graph = dataset.to_csr()

@@ -217,8 +217,16 @@ class CrawlHooks:
     * :meth:`on_finish` — the completed dataset, for archival.
     """
 
+    def bind_clock(self, clock) -> None:
+        """Called once, before any other hook, with the crawl's virtual clock."""
+        pass
+
     def resume_state(self) -> ResumeState | None:
         return None
+
+    def on_resume(self, resume: ResumeState) -> None:
+        """Called after control state is restored from :meth:`resume_state`."""
+        pass
 
     def on_page(
         self,
@@ -240,8 +248,75 @@ class CrawlHooks:
     def on_redrive(self, user_id: int, virtual_now: float) -> None:
         pass
 
-    def on_finish(self, dataset: CrawlDataset) -> None:
+    def on_abort(self, error: BaseException) -> None:
+        """Called when the crawl dies mid-run, before the abort ``on_finish``."""
         pass
+
+    def on_finish(self, dataset: CrawlDataset) -> None:
+        """Called exactly once per crawl — with the partial dataset on abort."""
+        pass
+
+
+class HookChain(CrawlHooks):
+    """Fan one crawl's hook events out to several hook objects, in order.
+
+    Order matters and is the contract observers rely on: the durable
+    store must come *first* so that by the time a telemetry consumer
+    sees an event, the store has already journaled it (an exception from
+    an earlier hook skips the later ones — data is never observed ahead
+    of durability).  ``resume_state`` returns the first non-None answer;
+    ``should_checkpoint`` asks *every* member (no short-circuit, so each
+    can maintain its own cadence state) and triggers if any says yes.
+    """
+
+    def __init__(self, *hooks: CrawlHooks | None):
+        self.hooks: list[CrawlHooks] = [h for h in hooks if h is not None]
+
+    def bind_clock(self, clock) -> None:
+        for hook in self.hooks:
+            hook.bind_clock(clock)
+
+    def resume_state(self) -> ResumeState | None:
+        for hook in self.hooks:
+            state = hook.resume_state()
+            if state is not None:
+                return state
+        return None
+
+    def on_resume(self, resume: ResumeState) -> None:
+        for hook in self.hooks:
+            hook.on_resume(resume)
+
+    def on_page(self, user_id, profile, new_edges) -> None:
+        for hook in self.hooks:
+            hook.on_page(user_id, profile, new_edges)
+
+    def should_checkpoint(self, n_pages: int, virtual_now: float) -> bool:
+        fired = False
+        for hook in self.hooks:  # every member keeps its cadence state
+            if hook.should_checkpoint(n_pages, virtual_now):
+                fired = True
+        return fired
+
+    def on_checkpoint(self, snapshot: CrawlSnapshot) -> None:
+        for hook in self.hooks:
+            hook.on_checkpoint(snapshot)
+
+    def on_dead_letter(self, user_id, reason, virtual_now) -> None:
+        for hook in self.hooks:
+            hook.on_dead_letter(user_id, reason, virtual_now)
+
+    def on_redrive(self, user_id, virtual_now) -> None:
+        for hook in self.hooks:
+            hook.on_redrive(user_id, virtual_now)
+
+    def on_abort(self, error: BaseException) -> None:
+        for hook in self.hooks:
+            hook.on_abort(error)
+
+    def on_finish(self, dataset: CrawlDataset) -> None:
+        for hook in self.hooks:
+            hook.on_finish(dataset)
 
 
 class BidirectionalBFSCrawler:
@@ -288,6 +363,8 @@ class BidirectionalBFSCrawler:
         with tracer.span(
             "crawl.bfs", machines=self.config.n_machines, seeds=len(seeds)
         ):
+            if hooks is not None:
+                hooks.bind_clock(self.frontend.clock)
             resume = hooks.resume_state() if hooks is not None else None
             frontier = BFSFrontier()
             dead_letters = DeadLetterQueue()
@@ -304,6 +381,7 @@ class BidirectionalBFSCrawler:
                 edge_keys = {
                     u * _PACK + v for u, v in zip(sources, targets)
                 }
+                hooks.on_resume(resume)
             else:
                 started = self.frontend.clock.now()
                 frontier.add_all(seeds)
@@ -322,13 +400,19 @@ class BidirectionalBFSCrawler:
                 if key in edge_keys:
                     return
                 edge_keys.add(key)
-                sources.append(u)
-                targets.append(v)
                 page_edges.append((u, v))
 
             def ingest(user_id: int, profile: ParsedProfile) -> None:
-                """Record one successfully parsed page and fan out its edges."""
-                profiles[user_id] = profile
+                """Record one successfully parsed page and fan out its edges.
+
+                Ordering guarantee: ``on_page`` fires *before* the page's
+                profile and edges are committed to the in-memory dataset,
+                so a durability hook decides the page's fate ahead of any
+                observer reading the arrays.  The commit itself runs even
+                if the hook raises (a store's injected crash fires *after*
+                journaling, so the in-memory cut must keep matching the
+                journal for the abort checkpoint to be consistent).
+                """
                 pages_counter.inc()
                 page_edges.clear()
                 if self.config.follow_out_lists and profile.out_list is not None:
@@ -339,11 +423,22 @@ class BidirectionalBFSCrawler:
                     for source in profile.in_list:
                         record_edge(source, user_id)
                     frontier.add_all(profile.in_list)
+                try:
+                    if hooks is not None:
+                        hooks.on_page(user_id, profile, list(page_edges))
+                finally:
+                    profiles[user_id] = profile
+                    for u, v in page_edges:
+                        sources.append(u)
+                        targets.append(v)
                 if hooks is not None:
-                    hooks.on_page(user_id, profile, list(page_edges))
-                    if hooks.should_checkpoint(
-                        len(profiles), self.frontend.clock.now()
-                    ):
+                    if hooks.should_checkpoint(len(profiles), self.frontend.clock.now()):
+                        # Refresh fleet-health gauges so a checkpoint
+                        # observer (the live telemetry layer) reads
+                        # breaker/budget state as of this cut, not as of
+                        # the end of the previous crawl.
+                        publish_fetch_stats(self.pool.combined_stats(), registry)
+                        publish_pool_health(self.pool, registry)
                         hooks.on_checkpoint(
                             self._snapshot(
                                 frontier, dead_letters, started,
@@ -392,6 +487,7 @@ class BidirectionalBFSCrawler:
             def page_cap_reached() -> bool:
                 return max_pages is not None and len(profiles) >= max_pages
 
+            finished = False
             try:
                 capped = False
                 while not capped:
@@ -455,11 +551,36 @@ class BidirectionalBFSCrawler:
                     dead_letters.failed.extend(dead_letters.requeued)
                     dead_letters.pending = []
                     dead_letters.requeued = []
-            except Exception:
+
+                fetch_stats = self.pool.combined_stats()
+                virtual_duration = self.frontend.clock.now() - started
+                if virtual_duration > 0:
+                    throughput_gauge.set(fetch_stats.pages_fetched / virtual_duration)
+                publish_fetch_stats(fetch_stats, registry)
+                publish_pool_health(self.pool, registry)
+                dataset = self._build_dataset(
+                    frontier, dead_letters, started, profiles, sources, targets
+                )
+                if hooks is not None:
+                    hooks.on_checkpoint(
+                        self._snapshot(
+                            frontier, dead_letters, started, len(profiles), len(sources)
+                        )
+                    )
+                    finished = True
+                    hooks.on_finish(dataset)
+            except Exception as error:
                 # Lost-work-on-abort guard: persist a best-effort final
                 # checkpoint so the campaign resumes from the abort point
-                # rather than the last periodic checkpoint.
-                if hooks is not None:
+                # rather than the last periodic checkpoint, then give
+                # observers their abort callbacks.  ``on_finish`` still
+                # fires exactly once — here, with the partial dataset.
+                if hooks is not None and not finished:
+                    try:
+                        publish_fetch_stats(self.pool.combined_stats(), registry)
+                        publish_pool_health(self.pool, registry)
+                    except Exception:
+                        pass
                     try:
                         hooks.on_checkpoint(
                             self._snapshot(
@@ -469,43 +590,55 @@ class BidirectionalBFSCrawler:
                         )
                     except Exception:
                         pass
+                    try:
+                        hooks.on_abort(error)
+                    except Exception:
+                        pass
+                    finished = True
+                    try:
+                        hooks.on_finish(
+                            self._build_dataset(
+                                frontier, dead_letters, started,
+                                profiles, sources, targets,
+                            )
+                        )
+                    except Exception:
+                        pass
                 raise
-
-            fetch_stats = self.pool.combined_stats()
-            virtual_duration = self.frontend.clock.now() - started
-            if virtual_duration > 0:
-                throughput_gauge.set(fetch_stats.pages_fetched / virtual_duration)
-            publish_fetch_stats(fetch_stats, registry)
-            publish_pool_health(self.pool, registry)
-            stats = CrawlStats(
-                pages_fetched=fetch_stats.pages_fetched,
-                not_found=fetch_stats.not_found,
-                throttled=fetch_stats.throttled,
-                server_errors=fetch_stats.server_errors,
-                virtual_duration=virtual_duration,
-                n_machines=self.config.n_machines,
-                discovered=frontier.n_discovered,
-                banned=fetch_stats.banned,
-                timeouts=fetch_stats.timeouts,
-                slow_responses=fetch_stats.slow_responses,
-                parse_errors=dead_letters.parse_errors,
-                dead_lettered=len(dead_letters.failed) + len(dead_letters),
-                redriven=dead_letters.redriven,
-            )
-            dataset = CrawlDataset(
-                profiles=profiles,
-                sources=np.array(sources, dtype=np.int64),
-                targets=np.array(targets, dtype=np.int64),
-                stats=stats,
-            )
-            if hooks is not None:
-                hooks.on_checkpoint(
-                    self._snapshot(
-                        frontier, dead_letters, started, len(profiles), len(sources)
-                    )
-                )
-                hooks.on_finish(dataset)
         return dataset
+
+    def _build_dataset(
+        self,
+        frontier: BFSFrontier,
+        dead_letters: DeadLetterQueue,
+        started: float,
+        profiles: dict[int, ParsedProfile],
+        sources: list[int],
+        targets: list[int],
+    ) -> CrawlDataset:
+        """Materialise the dataset for the pages crawled so far."""
+        fetch_stats = self.pool.combined_stats()
+        stats = CrawlStats(
+            pages_fetched=fetch_stats.pages_fetched,
+            not_found=fetch_stats.not_found,
+            throttled=fetch_stats.throttled,
+            server_errors=fetch_stats.server_errors,
+            virtual_duration=self.frontend.clock.now() - started,
+            n_machines=self.config.n_machines,
+            discovered=frontier.n_discovered,
+            banned=fetch_stats.banned,
+            timeouts=fetch_stats.timeouts,
+            slow_responses=fetch_stats.slow_responses,
+            parse_errors=dead_letters.parse_errors,
+            dead_lettered=len(dead_letters.failed) + len(dead_letters),
+            redriven=dead_letters.redriven,
+        )
+        return CrawlDataset(
+            profiles=profiles,
+            sources=np.array(sources, dtype=np.int64),
+            targets=np.array(targets, dtype=np.int64),
+            stats=stats,
+        )
 
     def _snapshot(
         self,

@@ -51,12 +51,15 @@ def save_artifacts(
     return written
 
 
-def build_study_report(results: StudyResults) -> RunReport:
+def build_study_report(results: StudyResults, live=None) -> RunReport:
     """Assemble the machine-readable record of one study run.
 
     Phases come from the global tracer, metrics from the global registry
     (both populated by the instrumented pipeline); coverage combines the
-    crawl's accounting with the Section 2.2 lost-edge estimate.
+    crawl's accounting with the Section 2.2 lost-edge estimate.  When a
+    :class:`~repro.obs.live.LiveTelemetry` rode along on the crawl, its
+    final ``live`` section is embedded so the study report supersedes
+    the streaming one.
     """
     lost = results.lost_edges
     coverage = {
@@ -90,17 +93,21 @@ def build_study_report(results: StudyResults) -> RunReport:
         },
         "path_workers": results.config.path_workers,
     }
+    if live is not None:
+        extra["live"] = live.live_section()
     return build_report(
         kind="study", config=asdict(results.config), coverage=coverage, extra=extra
     )
 
 
 def save_run_report(
-    results: StudyResults, directory: str | Path | None = None
+    results: StudyResults, directory: str | Path | None = None, live=None
 ) -> Path:
     """Write ``run_report.json`` into ``directory`` (default: cwd)."""
     directory = Path(directory) if directory is not None else Path(".")
-    return build_study_report(results).write(directory / RUN_REPORT_FILENAME)
+    return build_study_report(results, live=live).write(
+        directory / RUN_REPORT_FILENAME
+    )
 
 
 def render_comparison_table(results: StudyResults) -> str:
@@ -156,8 +163,14 @@ def main(argv: list[str] | None = None) -> int:
         help="write run_report.json (config, per-phase wall+virtual timings, "
         "metric snapshot, crawl coverage) next to the artifacts",
     )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="stream live telemetry into run_report.json during the crawl "
+        "(render with `python -m repro.obs.live`; implies continuous "
+        "rewrites of the report while crawling)",
+    )
     args = parser.parse_args(argv)
-    if args.report:
+    if args.report or args.live:
         # The report should describe this run only, not whatever the
         # process accumulated before it.
         get_registry().reset()
@@ -170,7 +183,17 @@ def main(argv: list[str] | None = None) -> int:
             engine=args.engine,
         )
     )
-    results = study.run()
+    telemetry = None
+    if args.live:
+        from repro.obs.live import LiveTelemetry
+
+        live_dir = Path(args.save) if args.save else Path(".")
+        live_dir.mkdir(parents=True, exist_ok=True)
+        telemetry = LiveTelemetry(
+            live_dir / RUN_REPORT_FILENAME,
+            config={"users": args.users, "seed": args.seed, "engine": args.engine},
+        )
+    results = study.run(hooks=telemetry)
     for artifact_id, text in run_experiments(results, args.artifacts or None).items():
         print(f"\n=== {artifact_id}: {EXPERIMENTS[artifact_id].title} ===")
         print(text)
@@ -180,8 +203,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.save:
         written = save_artifacts(results, args.save, args.artifacts or None)
         print(f"\nwrote {len(written)} artifacts to {args.save}")
-    if args.report:
-        report_path = save_run_report(results, args.save)
+    if args.report or args.live:
+        report_path = save_run_report(results, args.save, live=telemetry)
         print(f"\nwrote run report to {report_path}")
     return 0
 

@@ -108,6 +108,15 @@ def _bfs_levels(graph, sources: np.ndarray, mode: str):
     """
     _check_mode(mode)
     n_words = max(1, -(-len(sources) // WORD_BITS))
+    # When the batch fits one word AND (target, word) packs into 63 bits,
+    # duplicate-target aggregation can sort a single packed key array —
+    # the stable argsort it replaces dominated the whole sweep's cost.
+    # The OR-reduce is order-insensitive, so both paths are bit-identical.
+    pack_bits = len(sources)
+    can_pack = (
+        n_words == 1
+        and pack_bits + max(1, graph.n - 1).bit_length() < 63
+    )
     visited = np.zeros((graph.n, n_words), dtype=np.uint64)
     np.bitwise_or.at(visited, sources, _source_bit_rows(sources, n_words))
     nodes = np.flatnonzero(visited.any(axis=1))
@@ -122,14 +131,26 @@ def _bfs_levels(graph, sources: np.ndarray, mode: str):
             words = np.concatenate([words, rwords])
         if targets.size == 0:
             break
-        # OR together duplicate targets: radix-sort by target, then one
+        # OR together duplicate targets: sort by target, then one
         # reduceat per contiguous run.
-        order = np.argsort(targets, kind="stable")
-        targets = targets[order]
-        words = words[order]
-        seg = np.flatnonzero(np.r_[True, targets[1:] != targets[:-1]])
-        candidates = targets[seg]
-        combined = np.bitwise_or.reduceat(words, seg, axis=0)
+        if can_pack:
+            shift = np.uint64(pack_bits)
+            key = np.sort(
+                (targets.astype(np.uint64) << shift) | words[:, 0]
+            )
+            targets = (key >> shift).astype(np.int64)
+            seg = np.flatnonzero(np.r_[True, targets[1:] != targets[:-1]])
+            candidates = targets[seg]
+            combined = np.bitwise_or.reduceat(
+                key & np.uint64((1 << pack_bits) - 1), seg
+            )[:, None]
+        else:
+            order = np.argsort(targets)
+            targets = targets[order]
+            words = words[order]
+            seg = np.flatnonzero(np.r_[True, targets[1:] != targets[:-1]])
+            candidates = targets[seg]
+            combined = np.bitwise_or.reduceat(words, seg, axis=0)
         fresh = combined & ~visited[candidates]
         keep = fresh.any(axis=1)
         if not keep.any():

@@ -1,0 +1,122 @@
+"""``python -m repro.obs.live`` — render a live crawl report.
+
+    python -m repro.obs.live /tmp/camp/run_report.json          # one-shot
+    python -m repro.obs.live /tmp/camp/run_report.json --follow # dashboard
+    python -m repro.obs.live /tmp/camp/run_report.json --json   # live section
+    python -m repro.obs.live /tmp/camp/run_report.json --verify --campaign /tmp/camp
+
+``--follow`` tails the (atomically replaced) report by modification
+time until the crawl reports a terminal status; ``--verify`` proves the
+newest epoch's figures against a batch recomputation over the same
+crawled prefix (exit 1 on any difference).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.obs.report import validate_run_report
+
+from .dashboard import load_report_document, render_report
+from .telemetry import validate_live_section
+
+_TERMINAL = ("aborted", "complete")
+
+
+def _load(path: Path) -> tuple[dict | None, list[str]]:
+    try:
+        document = load_report_document(path)
+    except (OSError, ValueError) as exc:
+        return None, [f"cannot read {path}: {exc}"]
+    problems = validate_run_report(document)
+    live = document.get("extra", {}).get("live")
+    if live is not None:
+        problems.extend(validate_live_section(live))
+    return document, problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.live",
+        description="Render (or verify) a crawl's live run_report.json.",
+    )
+    parser.add_argument(
+        "report", nargs="?", default="run_report.json",
+        help="path to the report (default: ./run_report.json)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="dump the live section as JSON"
+    )
+    parser.add_argument(
+        "--follow", action="store_true",
+        help="re-render whenever the report is rewritten, until terminal",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0,
+        help="--follow poll interval in (wall) seconds",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="prove the newest epoch against the batch pipeline",
+    )
+    parser.add_argument(
+        "--campaign", default=None,
+        help="campaign directory for --verify (default: the report's parent)",
+    )
+    args = parser.parse_args(argv)
+    path = Path(args.report)
+
+    if args.verify:
+        from repro.analysis.streaming import verify_live_report
+
+        campaign = Path(args.campaign) if args.campaign else path.parent
+        problems = verify_live_report(path, campaign_dir=campaign)
+        for problem in problems:
+            print(problem)
+        print(
+            "live figures verified against batch pipeline"
+            if not problems
+            else "live report FAILED verification"
+        )
+        return 1 if problems else 0
+
+    document, problems = _load(path)
+    if document is None:
+        print(problems[0])
+        return 2
+    for problem in problems:
+        print(f"warning: {problem}")
+
+    if args.json:
+        print(json.dumps(document.get("extra", {}).get("live"), indent=2))
+        return 0
+
+    print(render_report(document))
+    if not args.follow:
+        return 0
+
+    last_mtime = path.stat().st_mtime if path.exists() else 0.0
+    while True:
+        live = document.get("extra", {}).get("live") or {}
+        if live.get("status") in _TERMINAL:
+            return 0
+        time.sleep(args.interval)
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            continue
+        if mtime == last_mtime:
+            continue
+        last_mtime = mtime
+        document, _ = _load(path)
+        if document is None:
+            continue
+        print()
+        print(render_report(document))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,144 @@
+"""Terminal rendering of a live ``run_report.json``.
+
+Pure functions from a decoded report document to text, so tests can
+assert on the output and the CLI (:mod:`repro.obs.live.__main__`) stays
+a thin shell.  The renderer only reads the report — it never touches
+the campaign directory — and tolerates a report written mid-crawl: every
+section degrades to a placeholder when its data has not arrived yet.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["load_report_document", "render_report"]
+
+_BAR_WIDTH = 40
+
+
+def load_report_document(path: str | Path) -> dict:
+    """Read and decode a report; raises ``OSError`` / ``ValueError``."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def _fmt(value, spec: str = "", missing: str = "-") -> str:
+    if value is None:
+        return missing
+    return format(value, spec)
+
+
+def _progress_bar(done: float, total: float) -> str:
+    if not total or total <= 0:
+        return "[" + "?" * _BAR_WIDTH + "]"
+    fraction = min(1.0, max(0.0, done / total))
+    filled = int(round(fraction * _BAR_WIDTH))
+    return "[" + "#" * filled + "." * (_BAR_WIDTH - filled) + f"] {100 * fraction:5.1f}%"
+
+
+def _bucket_bars(buckets: list, width: int = 24) -> list[str]:
+    """One row per power-of-two degree bucket, bar-scaled to the largest."""
+    if not buckets:
+        return ["  (no degrees yet)"]
+    top = max(buckets)
+    rows = []
+    for k, count in enumerate(buckets):
+        bar = "#" * max(1 if count else 0, int(round(width * count / top)))
+        rows.append(f"  deg >= {1 << k:<8d} {count:>9d} {bar}")
+    return rows
+
+
+def render_report(document: dict) -> str:
+    """The one-shot health report / dashboard frame for a report dict."""
+    lines: list[str] = []
+    live = document.get("extra", {}).get("live")
+    if live is None:
+        return "report has no live telemetry section (was the crawl run with --live?)"
+
+    status = live.get("status", "unknown")
+    progress = live.get("progress", {})
+    pages = progress.get("pages", 0)
+    frontier = progress.get("frontier")
+    lines.append(f"crawl status: {status.upper()}")
+    if live.get("error"):
+        lines.append(f"  aborted by: {live['error']}")
+    total = pages + frontier if frontier is not None else None
+    lines.append(f"  {_progress_bar(pages, total)}  {pages} pages crawled")
+    lines.append(
+        f"  edges {_fmt(progress.get('edges'), ',')}   nodes "
+        f"{_fmt(progress.get('nodes'), ',')}   frontier {_fmt(frontier, ',.0f')}"
+    )
+    lines.append(
+        f"  virtual time {_fmt(progress.get('virtual_elapsed'), ',.1f')}s   "
+        f"throughput {_fmt(progress.get('pages_per_virtual_second'), ',.1f')} "
+        f"pages/vs   eta {_fmt(progress.get('eta_virtual_seconds'), ',.1f')}s"
+    )
+
+    fleet = live.get("fleet", {})
+    breakers = fleet.get("breakers", {})
+    latency = fleet.get("fetch_latency", {})
+    p50 = latency.get("p50")
+    p99 = latency.get("p99")
+    lines.append("fleet health")
+    lines.append(
+        f"  breakers: {breakers.get('closed', 0)} closed / "
+        f"{breakers.get('half_open', 0)} half-open / {breakers.get('open', 0)} open"
+    )
+    lines.append(
+        "  fetch latency: p50 "
+        + (_fmt(p50 * 1000, ",.1f") + " ms" if p50 is not None else "-")
+        + "   p99 "
+        + (_fmt(p99 * 1000, ",.1f") + " ms" if p99 is not None else "-")
+    )
+    lines.append(
+        f"  dead letters {fleet.get('dead_letters', 0)}   "
+        f"redriven {fleet.get('redriven', 0)}   "
+        f"retry budget {_fmt(fleet.get('retry_budget_remaining'), ',.0f')}"
+    )
+
+    epoch = live.get("epoch")
+    if epoch is None:
+        lines.append("figures: no epoch published yet")
+        return "\n".join(lines)
+
+    figures = epoch.get("figures", {})
+    lines.append(
+        f"figures (epoch {epoch.get('sequence')} @ {epoch.get('n_pages')} pages, "
+        f"{epoch.get('n_edges')} edges)"
+    )
+    lines.append(f"  reciprocity     {_fmt(figures.get('reciprocity'), '.4f')}")
+    components = figures.get("components", {})
+    n_nodes = figures.get("n_nodes") or 0
+    giant = components.get("giant_size", 0)
+    share = f" ({100 * giant / n_nodes:.1f}% of nodes)" if n_nodes else ""
+    lines.append(
+        f"  components      {_fmt(components.get('n_components'), ',')}"
+        f"   giant {giant:,}{share}"
+    )
+    paths = figures.get("path_lengths")
+    if paths and paths.get("mean_hops") is not None:
+        lines.append(
+            f"  mean path       {paths['mean_hops']:.2f} hops "
+            f"({paths['n_sources']} sampled sources)"
+        )
+    countries = figures.get("countries", {})
+    if countries:
+        top = sorted(countries.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        lines.append(
+            "  top countries   "
+            + "  ".join(f"{code}:{count}" for code, count in top)
+        )
+    lines.append("  in-degree ccdf buckets")
+    lines.extend(_bucket_bars(figures.get("degree", {}).get("in_ccdf_buckets", [])))
+
+    history = live.get("history", [])
+    if history:
+        lines.append("history")
+        for entry in history[-6:]:
+            fig = entry.get("figures", {})
+            lines.append(
+                f"  epoch {entry.get('sequence'):>3}  pages {entry.get('n_pages'):>8,}"
+                f"  edges {entry.get('n_edges'):>9,}"
+                f"  reciprocity {_fmt(fig.get('reciprocity'), '.4f')}"
+            )
+    return "\n".join(lines)

@@ -36,6 +36,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "get_registry",
     "log_buckets",
+    "quantile_from_sample",
     "set_registry",
 ]
 
@@ -243,6 +244,55 @@ class Histogram(_Metric):
         """Snapshot of one series (None when never observed)."""
         raw = self._series.get(self._key(labels))
         return None if raw is None else self._sample_value(raw)  # type: ignore[return-value]
+
+    def quantile(self, q: float, **labels: object) -> float | None:
+        """Quantile estimate of one series by log-bucket interpolation.
+
+        Returns ``None`` when the series has never been observed.  The
+        estimate interpolates linearly inside the bucket holding the
+        ``q``-th observation and is clamped to the observed ``[min, max]``
+        range, so ``quantile(0.0)`` is the exact minimum, ``quantile(1.0)``
+        the exact maximum, and a single-valued series returns that value
+        for every ``q``.  Observations in the ``+inf`` overflow bucket
+        report the observed maximum.
+        """
+        stats = self.series_stats(**labels)
+        return None if stats is None else quantile_from_sample(stats, q)
+
+
+def quantile_from_sample(sample: Mapping[str, object], q: float) -> float:
+    """Quantile from a histogram sample dict (the ``samples()`` value shape).
+
+    Works on live :meth:`Histogram.series_stats` output and on snapshots
+    read back from a run report, so dashboards can compute p50/p99 rows
+    without the original :class:`Histogram` object.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    count = int(sample["count"])  # type: ignore[arg-type]
+    if count <= 0:
+        raise ValueError("cannot take a quantile of an empty histogram series")
+    minimum = float(sample["min"])  # type: ignore[arg-type]
+    maximum = float(sample["max"])  # type: ignore[arg-type]
+    cumulative: Sequence[int] = sample["cumulative_counts"]  # type: ignore[assignment]
+    edges: Sequence[object] = sample["bucket_edges"]  # type: ignore[assignment]
+    rank = q * count
+    # First bucket whose cumulative count covers the rank.
+    bucket = 0
+    while bucket < len(cumulative) and cumulative[bucket] < rank:
+        bucket += 1
+    bucket = min(bucket, len(cumulative) - 1)
+    if edges[bucket] == "+inf":  # the overflow bucket: clamp to the max
+        return maximum
+    upper = float(edges[bucket])  # type: ignore[arg-type]
+    lower = float(edges[bucket - 1]) if bucket > 0 else 0.0  # type: ignore[arg-type]
+    below = cumulative[bucket - 1] if bucket > 0 else 0
+    in_bucket = cumulative[bucket] - below
+    if in_bucket <= 0:
+        estimate = upper
+    else:
+        estimate = lower + (upper - lower) * (rank - below) / in_bucket
+    return min(max(estimate, minimum), maximum)
 
 
 _METRIC_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}

@@ -18,6 +18,7 @@ and metrics from the (default) tracer and registry.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -88,11 +89,23 @@ class RunReport:
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_json_dict(), indent=indent, default=_jsonify)
 
-    def write(self, path: str | Path) -> Path:
-        """Write the report as JSON; returns the path written."""
+    def write(self, path: str | Path, indent: int | None = 2) -> Path:
+        """Write the report as JSON atomically; returns the path written.
+
+        Always write-temp-then-``os.replace``: the live telemetry layer
+        rewrites ``run_report.json`` continuously while dashboards read
+        it, so a reader must never observe a torn document — and the
+        same guarantee costs nothing on the one-shot paths.
+
+        ``indent=None`` writes the compact form — the live layer's
+        choice, since it rewrites the document on a cadence and compact
+        encoding is several times cheaper than pretty-printing.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(self.to_json(indent=indent) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
         return path
 
     @classmethod

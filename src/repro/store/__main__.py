@@ -53,6 +53,14 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help=f"write {RUN_REPORT_FILENAME} into the campaign directory",
     )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            f"stream live telemetry into {RUN_REPORT_FILENAME} while crawling "
+            "(render with `python -m repro.obs.live`)"
+        ),
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
@@ -76,9 +84,11 @@ def _run(directory: Path, config: CampaignConfig | None, args: argparse.Namespac
     get_tracer().reset()
     campaign = CrawlCampaign(directory, config)
     dataset = campaign.run(
-        registry=registry, kill_after_pages=args.kill_after_pages
+        registry=registry, kill_after_pages=args.kill_after_pages, live=args.live
     )
-    if args.report:
+    # --live already left a final (terminal-status) run_report.json behind;
+    # don't clobber it with the plain campaign report.
+    if args.report and not args.live:
         report = build_report(
             kind="campaign",
             config=campaign.config.to_json_dict(),
@@ -126,6 +136,7 @@ def main(argv: list[str] | None = None) -> int:
     p_resume = sub.add_parser("resume", help="resume an existing campaign")
     p_resume.add_argument("--dir", required=True)
     p_resume.add_argument("--report", action="store_true")
+    p_resume.add_argument("--live", action="store_true")
 
     p_inspect = sub.add_parser("inspect", help="report a campaign directory's state")
     p_inspect.add_argument("--dir", required=True)

@@ -46,6 +46,7 @@ from repro.crawler.bfs import (
     CrawlConfig,
     CrawlHooks,
     CrawlSnapshot,
+    HookChain,
     ResumeState,
 )
 from repro.crawler.dataset import CrawlDataset, profile_from_json
@@ -445,8 +446,18 @@ class CrawlCampaign:
         kill_after_pages: int | None = None,
         crash_after_pages: int | None = None,
         crash_after_checkpoints: int | None = None,
+        live: object = None,
     ) -> CrawlDataset:
-        """Run (or resume) the campaign to completion and archive it."""
+        """Run (or resume) the campaign to completion and archive it.
+
+        ``live`` enables streaming telemetry: pass ``True`` for a
+        default :class:`~repro.obs.live.LiveTelemetry` writing
+        ``run_report.json`` into the campaign directory, or a
+        pre-configured instance.  The telemetry rides behind the store
+        on a :class:`~repro.crawler.bfs.HookChain` and consumes edge
+        batches from sealed segments, so every figure it publishes
+        describes durable data.
+        """
         # Lazy import: inspect/compact must work without pulling in the
         # synthetic-world generator stack.
         from repro.faults import FaultSchedule
@@ -476,9 +487,33 @@ class CrawlCampaign:
             crash_after_pages=crash_after_pages,
             crash_after_checkpoints=crash_after_checkpoints,
         )
+        hooks: CrawlHooks = store
+        if live:
+            from repro.obs.live import LiveTelemetry
+            from repro.obs.report import RUN_REPORT_FILENAME
+
+            if live is True:
+                live = LiveTelemetry(
+                    self.directory / RUN_REPORT_FILENAME,
+                    registry=registry,
+                    # The store's checkpoint cadence pins every epoch to a
+                    # durable (n_pages, n_edges) cut; no telemetry-driven
+                    # checkpoints on top of it.
+                    epoch_every_pages=0,
+                    config={
+                        "campaign_dir": str(self.directory),
+                        **self.config.to_json_dict(),
+                    },
+                )
+            if live.enabled:
+                live.consume_seals(store.segments)
+                hooks = HookChain(store, live)
+            # A disabled registry (REPRO_OBS=0) removes the observer
+            # from the hot path entirely — not even a no-op in the
+            # chain — so the kill switch really is free.
         self.status = "running"
         self._write_manifest()
-        dataset = crawler.crawl([world.seed_user_id()], hooks=store)
+        dataset = crawler.crawl([world.seed_user_id()], hooks=hooks)
         self.status = "complete"
         self._write_manifest()
         self.compact()

@@ -29,13 +29,14 @@ import re
 import struct
 import zlib
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.obs.metrics import Registry, get_registry
 
 __all__ = [
+    "SealCallback",
     "SegmentError",
     "SegmentWriter",
     "compact",
@@ -164,6 +165,12 @@ def compact(
     return out_path
 
 
+#: Signature of :attr:`SegmentWriter.on_seal` observers: the sealed
+#: path plus the exact in-memory columns that were written, so stream
+#: consumers (live sketches) never re-read what was just flushed.
+SealCallback = Callable[[Path, np.ndarray, np.ndarray], None]
+
+
 class SegmentWriter:
     """Accumulates edges and seals them into numbered shard files."""
 
@@ -172,12 +179,14 @@ class SegmentWriter:
         directory: str | Path,
         shard_edges: int = 65_536,
         registry: Registry | None = None,
+        on_seal: SealCallback | None = None,
     ):
         if shard_edges < 1:
             raise ValueError("shard_edges must be positive")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.shard_edges = shard_edges
+        self.on_seal = on_seal
         self._buf_sources: list[int] = []
         self._buf_targets: list[int] = []
         registry = registry if registry is not None else get_registry()
@@ -187,10 +196,14 @@ class SegmentWriter:
         self._m_edges = registry.counter(
             "store.segment_edges", "Edges sealed into segment shards"
         )
+        self._g_sealed_edges = registry.gauge(
+            "store.sealed_edges", "Edges currently durable in sealed segment shards"
+        )
         self._sealed: list[tuple[str, int]] = [
             (path.name, segment_edge_count(path))
             for path in iter_segment_paths(self.directory)
         ]
+        self._g_sealed_edges.set(self.n_sealed_edges)
 
     @property
     def n_sealed_edges(self) -> int:
@@ -218,16 +231,17 @@ class SegmentWriter:
         if not self._buf_sources:
             return None
         index = self._next_index()
-        path = write_segment(
-            self.directory / _segment_name(index),
-            np.asarray(self._buf_sources, dtype=EDGE_DTYPE),
-            np.asarray(self._buf_targets, dtype=EDGE_DTYPE),
-        )
+        sources = np.asarray(self._buf_sources, dtype=EDGE_DTYPE)
+        targets = np.asarray(self._buf_targets, dtype=EDGE_DTYPE)
+        path = write_segment(self.directory / _segment_name(index), sources, targets)
         self._sealed.append((path.name, len(self._buf_sources)))
         self._m_sealed.inc()
         self._m_edges.inc(len(self._buf_sources))
+        self._g_sealed_edges.set(self.n_sealed_edges)
         self._buf_sources = []
         self._buf_targets = []
+        if self.on_seal is not None:
+            self.on_seal(path, sources, targets)
         return path
 
     def _next_index(self) -> int:
@@ -253,5 +267,6 @@ class SegmentWriter:
         for name in names[len(keep):]:
             (self.directory / name).unlink()
         self._sealed = self._sealed[: len(keep)]
+        self._g_sealed_edges.set(self.n_sealed_edges)
         self._buf_sources = []
         self._buf_targets = []

@@ -1,0 +1,223 @@
+"""Tests for the CrawlHooks ordering guarantees and HookChain fan-out.
+
+The contracts observers (durable store, live telemetry) build on:
+
+* ``on_page`` fires before the page is committed to the in-memory
+  dataset, and delivers exactly the edges the dataset will gain;
+* ``on_checkpoint`` snapshots are consistent with the pages delivered
+  so far — ``(n_pages, n_edges)`` always equals the on_page totals;
+* ``on_finish`` fires exactly once per crawl, including on abort (with
+  the partial dataset);
+* ``HookChain`` fans events out in construction order, so a store
+  placed first journals before a telemetry consumer observes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crawler.bfs import (
+    BidirectionalBFSCrawler,
+    CrawlConfig,
+    CrawlHooks,
+    HookChain,
+    ResumeState,
+)
+from repro.synth import build_world, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(n_users=600, seed=21))
+
+
+def make_crawler(world):
+    return BidirectionalBFSCrawler(world.frontend(), CrawlConfig(n_machines=4))
+
+
+class RecordingHooks(CrawlHooks):
+    """Counts events and checks per-event invariants inline."""
+
+    def __init__(self, checkpoint_every=50, fail_on_page=None):
+        self.pages = 0
+        self.edges = 0
+        self.page_log = []
+        self.checkpoints = []
+        self.finishes = 0
+        self.aborts = []
+        self.clock = None
+        self.finish_dataset = None
+        self._checkpoint_every = checkpoint_every
+        self._fail_on_page = fail_on_page
+
+    def bind_clock(self, clock):
+        self.clock = clock
+
+    def on_page(self, user_id, profile, new_edges):
+        self.pages += 1
+        self.edges += len(new_edges)
+        self.page_log.extend(new_edges)
+        if self._fail_on_page is not None and self.pages >= self._fail_on_page:
+            raise RuntimeError(f"injected failure at page {self.pages}")
+
+    def should_checkpoint(self, n_pages, virtual_now):
+        return self._checkpoint_every and n_pages % self._checkpoint_every == 0
+
+    def on_checkpoint(self, snapshot):
+        self.checkpoints.append((snapshot.n_pages, snapshot.n_edges))
+
+    def on_abort(self, error):
+        self.aborts.append(error)
+
+    def on_finish(self, dataset):
+        self.finishes += 1
+        self.finish_dataset = dataset
+
+
+class TestEventConsistency:
+    @pytest.fixture(scope="class")
+    def crawled(self, world):
+        hooks = RecordingHooks(checkpoint_every=50)
+        dataset = make_crawler(world).crawl([world.seed_user_id()], hooks=hooks)
+        return hooks, dataset
+
+    def test_clock_bound_before_any_event(self, crawled):
+        hooks, _ = crawled
+        assert hooks.clock is not None
+
+    def test_every_dataset_edge_was_delivered_via_on_page(self, crawled):
+        # The dataset's arrays are exactly the concatenation of the
+        # on_page edge batches, in delivery order: no edge reaches the
+        # dataset without its hook event having fired first.
+        hooks, dataset = crawled
+        delivered = np.asarray(hooks.page_log, dtype=np.int64).reshape(-1, 2)
+        assert np.array_equal(delivered[:, 0], dataset.sources)
+        assert np.array_equal(delivered[:, 1], dataset.targets)
+        assert hooks.pages == len(dataset.profiles)
+
+    def test_checkpoints_match_delivered_totals(self, crawled):
+        # Every snapshot's (n_pages, n_edges) must be explainable purely
+        # from on_page deliveries — the telemetry layer's epoch guard
+        # builds on exactly this.
+        hooks, dataset = crawled
+        assert len(hooks.checkpoints) > 2
+        for n_pages, n_edges in hooks.checkpoints[:-1]:
+            assert n_pages % 50 == 0
+        # Page counts are non-decreasing and the final (always-taken)
+        # checkpoint covers the whole dataset.
+        pages = [c[0] for c in hooks.checkpoints]
+        assert pages == sorted(pages)
+        assert hooks.checkpoints[-1] == (
+            len(dataset.profiles), len(dataset.sources)
+        )
+
+    def test_checkpoint_edges_prefix_of_dataset(self, crawled):
+        # At each checkpoint, the first n_edges delivered edges are the
+        # first n_edges dataset edges — snapshots cut the same stream.
+        hooks, dataset = crawled
+        for n_pages, n_edges in hooks.checkpoints:
+            assert n_edges <= len(dataset.sources)
+
+    def test_on_finish_exactly_once_with_full_dataset(self, crawled):
+        hooks, dataset = crawled
+        assert hooks.finishes == 1
+        assert hooks.aborts == []
+        assert hooks.finish_dataset is dataset
+
+
+class TestAbortPath:
+    def test_on_finish_fires_exactly_once_on_abort(self, world):
+        hooks = RecordingHooks(checkpoint_every=0, fail_on_page=40)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            make_crawler(world).crawl([world.seed_user_id()], hooks=hooks)
+        assert hooks.finishes == 1
+        assert len(hooks.aborts) == 1
+        assert "page 40" in str(hooks.aborts[0])
+
+    def test_abort_dataset_is_the_partial_prefix(self, world):
+        hooks = RecordingHooks(checkpoint_every=0, fail_on_page=40)
+        with pytest.raises(RuntimeError):
+            make_crawler(world).crawl([world.seed_user_id()], hooks=hooks)
+        dataset = hooks.finish_dataset
+        assert len(dataset.profiles) == 40
+        delivered = np.asarray(hooks.page_log, dtype=np.int64).reshape(-1, 2)
+        assert np.array_equal(delivered[:, 0], dataset.sources)
+
+    def test_abort_takes_best_effort_checkpoint(self, world):
+        hooks = RecordingHooks(checkpoint_every=0, fail_on_page=40)
+        with pytest.raises(RuntimeError):
+            make_crawler(world).crawl([world.seed_user_id()], hooks=hooks)
+        # One best-effort checkpoint at the abort cut (no periodic ones).
+        assert hooks.checkpoints == [(40, hooks.edges)]
+
+    def test_exception_from_on_finish_does_not_refire_it(self, world):
+        class ExplodingFinish(RecordingHooks):
+            def on_finish(self, dataset):
+                super().on_finish(dataset)
+                raise RuntimeError("finish failed")
+
+        hooks = ExplodingFinish(checkpoint_every=0)
+        with pytest.raises(RuntimeError, match="finish failed"):
+            make_crawler(world).crawl([world.seed_user_id()], hooks=hooks)
+        assert hooks.finishes == 1  # the abort path must not call it again
+
+
+class TestHookChain:
+    def test_events_fan_out_in_order(self, world):
+        order = []
+
+        class Tagged(RecordingHooks):
+            def __init__(self, tag):
+                super().__init__(checkpoint_every=25)
+                self.tag = tag
+
+            def on_page(self, user_id, profile, new_edges):
+                order.append(self.tag)
+                super().on_page(user_id, profile, new_edges)
+
+        first, second = Tagged("store"), Tagged("telemetry")
+        chain = HookChain(first, second, None)  # None members are dropped
+        dataset = make_crawler(world).crawl([world.seed_user_id()], hooks=chain)
+        assert first.pages == second.pages == len(dataset.profiles)
+        # Strict alternation: the store sees every page before telemetry.
+        assert order == ["store", "telemetry"] * first.pages
+        assert first.finishes == second.finishes == 1
+
+    def test_exception_skips_later_hooks(self):
+        a = RecordingHooks(fail_on_page=1)
+        b = RecordingHooks()
+        chain = HookChain(a, b)
+        with pytest.raises(RuntimeError):
+            chain.on_page(1, object(), [(1, 2)])
+        assert b.pages == 0  # never observed data the store failed on
+
+    def test_resume_state_first_non_none(self):
+        state = ResumeState(snapshot=None, profiles={}, sources=[], targets=[])
+
+        class Resumable(CrawlHooks):
+            def __init__(self, state):
+                self._state = state
+
+            def resume_state(self):
+                return self._state
+
+        assert HookChain(CrawlHooks(), Resumable(state)).resume_state() is state
+        assert HookChain(CrawlHooks()).resume_state() is None
+
+    def test_should_checkpoint_asks_every_member(self):
+        class Counting(CrawlHooks):
+            def __init__(self, answer):
+                self.answer = answer
+                self.asked = 0
+
+            def should_checkpoint(self, n_pages, virtual_now):
+                self.asked += 1
+                return self.answer
+
+        a, b = Counting(True), Counting(False)
+        chain = HookChain(a, b)
+        assert chain.should_checkpoint(1, 0.0) is True
+        # No short-circuit: b keeps its cadence state even when a fired.
+        assert a.asked == b.asked == 1
+        assert HookChain(Counting(False), Counting(False)).should_checkpoint(
+            1, 0.0
+        ) is False

@@ -1,0 +1,285 @@
+"""Tests for the LiveTelemetry hook: epochs, report writing, guards."""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import MeasurementStudy, StudyConfig
+from repro.crawler.bfs import CrawlSnapshot
+from repro.obs.metrics import Registry
+from repro.obs.live import (
+    LIVE_SCHEMA_VERSION,
+    LiveTelemetry,
+    merge_histogram_samples,
+    validate_live_section,
+)
+from repro.obs.report import validate_run_report
+
+
+class _FakeProfile:
+    def __init__(self, fields=None, country=None):
+        self.fields = dict(fields or {"name": "x"})
+        self._country = country
+
+    def country(self):
+        return self._country
+
+
+def snapshot(n_pages, n_edges, virtual_now=1.0):
+    return CrawlSnapshot(
+        started=0.0,
+        virtual_now=virtual_now,
+        n_pages=n_pages,
+        n_edges=n_edges,
+        frontier={},
+        pool={},
+        frontend={},
+    )
+
+
+def feed_pages(telemetry, pages):
+    """Drive on_page for [(user_id, edges), ...] with fake profiles."""
+    for user_id, edges in pages:
+        telemetry.on_page(user_id, _FakeProfile(country="US"), edges)
+
+
+class TestEpochEmission:
+    def test_consistent_checkpoint_emits_epoch(self, tmp_path):
+        tel = LiveTelemetry(
+            tmp_path / "r.json", registry=Registry(enabled=True),
+            epoch_every_pages=2, path_sources=0,
+        )
+        feed_pages(tel, [(0, [(0, 1)]), (1, [(1, 0)])])
+        tel.on_checkpoint(snapshot(n_pages=2, n_edges=2))
+        live = tel.live_section()
+        assert live["epoch"]["sequence"] == 1
+        assert live["epoch"]["n_pages"] == 2
+        assert live["epoch"]["figures"]["reciprocity"] == 1.0
+        assert validate_live_section(live) == []
+
+    def test_inconsistent_checkpoint_skips_epoch(self, tmp_path):
+        # The store journaled a page the telemetry never saw (crash
+        # injected between the two hooks): the cut must not be published.
+        tel = LiveTelemetry(
+            tmp_path / "r.json", registry=Registry(enabled=True),
+            epoch_every_pages=1, path_sources=0,
+        )
+        feed_pages(tel, [(0, [(0, 1)])])
+        tel.on_checkpoint(snapshot(n_pages=2, n_edges=1))  # one page ahead
+        assert tel.live_section()["epoch"] is None
+        # The next consistent checkpoint publishes normally.
+        feed_pages(tel, [(1, [])])
+        tel.on_checkpoint(snapshot(n_pages=2, n_edges=1))
+        assert tel.live_section()["epoch"]["n_pages"] == 2
+
+    def test_history_ring_is_bounded(self, tmp_path):
+        tel = LiveTelemetry(
+            tmp_path / "r.json", registry=Registry(enabled=True),
+            epoch_every_pages=1, path_sources=0, history=3,
+        )
+        for i in range(6):
+            feed_pages(tel, [(i, [])])
+            tel.on_checkpoint(snapshot(n_pages=i + 1, n_edges=0))
+        live = tel.live_section()
+        assert live["epoch"]["sequence"] == 6
+        assert [e["sequence"] for e in live["history"]] == [4, 5]
+
+    def test_should_checkpoint_follows_page_cadence(self):
+        tel = LiveTelemetry(registry=Registry(enabled=True), epoch_every_pages=3)
+        feed_pages(tel, [(0, []), (1, [])])
+        assert not tel.should_checkpoint(2, 0.0)
+        feed_pages(tel, [(2, [])])
+        assert tel.should_checkpoint(3, 0.0)
+        tel.on_checkpoint(snapshot(n_pages=3, n_edges=0))
+        assert not tel.should_checkpoint(3, 0.0)
+
+    def test_zero_cadence_never_requests_checkpoints(self):
+        tel = LiveTelemetry(registry=Registry(enabled=True), epoch_every_pages=0)
+        feed_pages(tel, [(i, []) for i in range(10)])
+        assert not tel.should_checkpoint(10, 0.0)
+
+
+class TestReportWriting:
+    def test_report_is_schema_valid_and_terminal(self, tmp_path):
+        path = tmp_path / "r.json"
+        tel = LiveTelemetry(
+            path, registry=Registry(enabled=True),
+            epoch_every_pages=1, path_sources=0, config={"seed": 3},
+        )
+        feed_pages(tel, [(0, [(0, 1)])])
+        tel.on_checkpoint(snapshot(n_pages=1, n_edges=1))
+        running = json.loads(path.read_text())
+        assert validate_run_report(running) == []
+        assert running["kind"] == "live_crawl"
+        assert running["extra"]["live"]["status"] == "running"
+        assert running["config"] == {"seed": 3}
+
+        from types import SimpleNamespace
+
+        tel.on_finish(SimpleNamespace(stats=SimpleNamespace(pages_fetched=1)))
+        final = json.loads(path.read_text())
+        assert final["extra"]["live"]["status"] == "complete"
+        assert final["coverage"]["pages_fetched"] == 1
+
+    def test_abort_marks_status_and_error(self, tmp_path):
+        path = tmp_path / "r.json"
+        tel = LiveTelemetry(
+            path, registry=Registry(enabled=True), path_sources=0
+        )
+        feed_pages(tel, [(0, [])])
+        tel.on_abort(RuntimeError("machine fire"))
+        live = json.loads(path.read_text())["extra"]["live"]
+        assert live["status"] == "aborted"
+        assert "machine fire" in live["error"]
+        # on_finish after an abort must not overwrite the abort status.
+        from types import SimpleNamespace
+
+        tel.on_finish(SimpleNamespace(stats=SimpleNamespace(pages_fetched=1)))
+        assert json.loads(path.read_text())["extra"]["live"]["status"] == "aborted"
+
+    def test_progress_report_every_n_pages(self, tmp_path):
+        path = tmp_path / "r.json"
+        tel = LiveTelemetry(
+            path, registry=Registry(enabled=True),
+            progress_every_pages=2, epoch_every_pages=0, path_sources=0,
+        )
+        feed_pages(tel, [(0, [])])
+        assert not path.exists()
+        feed_pages(tel, [(1, [])])
+        live = json.loads(path.read_text())["extra"]["live"]
+        assert live["progress"]["pages"] == 2
+        assert live["epoch"] is None
+
+    def test_disabled_registry_disables_everything(self, tmp_path):
+        path = tmp_path / "r.json"
+        tel = LiveTelemetry(path, registry=Registry(enabled=False))
+        feed_pages(tel, [(0, [(0, 1)])] * 5)
+        tel.on_checkpoint(snapshot(n_pages=5, n_edges=5))
+        assert not tel.should_checkpoint(5, 0.0)
+        assert not path.exists()
+        assert tel.degrees.n_edges == 0
+
+
+class TestValidateLiveSection:
+    def _valid(self):
+        return {
+            "live_schema_version": LIVE_SCHEMA_VERSION,
+            "status": "running",
+            "progress": {},
+            "fleet": {},
+            "epoch": None,
+            "history": [],
+        }
+
+    def test_accepts_valid(self):
+        assert validate_live_section(self._valid()) == []
+
+    def test_flags_missing_keys_and_bad_status(self):
+        live = self._valid()
+        del live["progress"]
+        live["status"] = "meltdown"
+        problems = validate_live_section(live)
+        assert any("progress" in p for p in problems)
+        assert any("meltdown" in p for p in problems)
+
+    def test_flags_newer_schema_version(self):
+        live = self._valid()
+        live["live_schema_version"] = LIVE_SCHEMA_VERSION + 1
+        assert any("newer" in p for p in validate_live_section(live))
+
+    def test_flags_malformed_epoch(self):
+        live = self._valid()
+        live["epoch"] = {"sequence": 1}
+        problems = validate_live_section(live)
+        assert any("n_pages" in p for p in problems)
+
+    def test_rejects_non_mapping(self):
+        assert validate_live_section([1]) != []
+
+
+class TestMergeHistogramSamples:
+    def test_pools_series(self):
+        a = {
+            "count": 2, "sum": 3.0, "min": 1.0, "max": 2.0,
+            "bucket_edges": [1.0, 2.0, "+inf"], "cumulative_counts": [1, 2, 2],
+        }
+        b = {
+            "count": 1, "sum": 9.0, "min": 9.0, "max": 9.0,
+            "bucket_edges": [1.0, 2.0, "+inf"], "cumulative_counts": [0, 0, 1],
+        }
+        merged = merge_histogram_samples([a, b])
+        assert merged["count"] == 3
+        assert merged["sum"] == 12.0
+        assert merged["min"] == 1.0
+        assert merged["max"] == 9.0
+        assert merged["cumulative_counts"] == [1, 2, 3]
+
+    def test_skips_empty_series_and_returns_none_without_data(self):
+        empty = {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+            "bucket_edges": [1.0, "+inf"], "cumulative_counts": [0, 0],
+        }
+        assert merge_histogram_samples([]) is None
+        assert merge_histogram_samples([empty]) is None
+
+    def test_mismatched_buckets_rejected(self):
+        a = {
+            "count": 1, "sum": 1.0, "min": 1.0, "max": 1.0,
+            "bucket_edges": [1.0, "+inf"], "cumulative_counts": [1, 1],
+        }
+        b = dict(a, bucket_edges=[2.0, "+inf"])
+        with pytest.raises(ValueError):
+            merge_histogram_samples([a, b])
+
+
+class TestEndToEndCrawl:
+    @pytest.fixture(scope="class")
+    def crawl(self, tmp_path_factory):
+        from repro.obs import metrics as metrics_mod
+
+        tmp = tmp_path_factory.mktemp("live")
+        # The crawler publishes its fleet gauges to the global registry;
+        # swap in a fresh one so the telemetry and the crawler agree.
+        old_registry = metrics_mod.get_registry()
+        metrics_mod.set_registry(Registry(enabled=True))
+        try:
+            tel = LiveTelemetry(
+                tmp / "run_report.json",
+                epoch_every_pages=200, progress_every_pages=100,
+            )
+            study = MeasurementStudy(StudyConfig(n_users=1200, seed=3))
+            dataset = study.crawl(hooks=tel)
+        finally:
+            metrics_mod.set_registry(old_registry)
+        return tel, dataset, tmp / "run_report.json"
+
+    def test_final_report_is_terminal_and_valid(self, crawl):
+        tel, dataset, path = crawl
+        document = json.loads(path.read_text())
+        assert validate_run_report(document) == []
+        live = document["extra"]["live"]
+        assert validate_live_section(live) == []
+        assert live["status"] == "complete"
+        assert live["progress"]["pages"] == len(dataset.profiles)
+        assert live["epoch"]["n_edges"] == len(dataset.sources)
+
+    def test_final_epoch_bit_equal_to_batch(self, crawl):
+        from repro.analysis.streaming import verify_live_report
+
+        _, dataset, path = crawl
+        assert verify_live_report(path, dataset=dataset) == []
+
+    def test_fleet_health_populated(self, crawl):
+        _, _, path = crawl
+        fleet = json.loads(path.read_text())["extra"]["live"]["fleet"]
+        assert fleet["breakers"]["closed"] == 11
+        assert fleet["fetch_latency"]["p50"] is not None
+        assert fleet["fetch_latency"]["p99"] >= fleet["fetch_latency"]["p50"]
+
+    def test_mean_path_refresh_present(self, crawl):
+        _, _, path = crawl
+        figures = json.loads(path.read_text())["extra"]["live"]["epoch"]["figures"]
+        paths = figures["path_lengths"]
+        assert paths is not None
+        assert paths["n_sources"] == 8
+        assert paths["mean_hops"] > 0

@@ -10,6 +10,7 @@ from repro.obs.metrics import (
     Registry,
     get_registry,
     log_buckets,
+    quantile_from_sample,
 )
 
 
@@ -115,6 +116,77 @@ class TestHistogram:
         h.observe(3.0, machine="10.0.0.2")
         assert h.series_stats(machine="10.0.0.1")["count"] == 1
         assert h.series_stats(machine="10.0.0.2")["cumulative_counts"] == [0, 1]
+
+
+class TestHistogramQuantile:
+    def test_uniform_distribution_interpolates(self, registry):
+        # 1000 evenly spaced values in (0, 10]: the q-quantile of the
+        # data is ~10q, and with fine buckets the estimate must land
+        # within one bucket width of it.
+        h = registry.histogram("lat", buckets=tuple(float(e) for e in range(1, 11)))
+        for i in range(1, 1001):
+            h.observe(i / 100.0)
+        assert h.quantile(0.5) == pytest.approx(5.0, abs=1.0)
+        assert h.quantile(0.99) == pytest.approx(9.9, abs=1.0)
+        assert h.quantile(0.1) == pytest.approx(1.0, abs=1.0)
+
+    def test_extremes_are_exact_min_max(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.25, 3.0, 7.5):
+            h.observe(v)
+        assert h.quantile(0.0) == 0.25
+        assert h.quantile(1.0) == 7.5
+
+    def test_single_value_series_is_constant(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.5)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 1.5
+
+    def test_overflow_bucket_reports_maximum(self, registry):
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(500.0)  # lands past the last edge
+        assert h.quantile(0.99) == 500.0
+
+    def test_unobserved_series_returns_none(self, registry):
+        assert registry.histogram("lat").quantile(0.5) is None
+
+    def test_skewed_distribution(self, registry):
+        # 99 fast responses and one slow one: p50 stays in the fast
+        # bucket, p99 jumps to the slow tail.
+        h = registry.histogram("lat", buckets=(0.01, 0.1, 1.0, 10.0))
+        for _ in range(99):
+            h.observe(0.005)
+        h.observe(8.0)
+        assert h.quantile(0.5) <= 0.01
+        assert h.quantile(0.995) > 1.0
+
+    def test_quantile_from_snapshot_sample(self, registry):
+        # The module-level helper works on a sample dict read back from
+        # a report, without the Histogram object.
+        h = registry.histogram("lat", labels=("machine",), buckets=(1.0, 2.0))
+        h.observe(0.5, machine="a")
+        h.observe(1.5, machine="a")
+        sample = json.loads(json.dumps(h.series_stats(machine="a")))
+        assert quantile_from_sample(sample, 0.0) == 0.5
+        assert quantile_from_sample(sample, 1.0) == 1.5
+
+    def test_rejects_bad_q(self, registry):
+        h = registry.histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+    def test_empty_sample_rejected(self):
+        sample = {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+            "bucket_edges": [1.0, "+inf"], "cumulative_counts": [0, 0],
+        }
+        with pytest.raises(ValueError):
+            quantile_from_sample(sample, 0.5)
 
 
 class TestSnapshotAndReset:

@@ -81,6 +81,55 @@ class TestRunReport:
         assert validate_run_report(report.to_json_dict()) == []
 
 
+class TestAtomicWrite:
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = RunReport().write(tmp_path / "r.json")
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_rewrite_replaces_content(self, tmp_path):
+        target = tmp_path / "r.json"
+        RunReport(kind="a").write(target)
+        RunReport(kind="b").write(target)
+        assert json.loads(target.read_text())["kind"] == "b"
+
+    def test_concurrent_reader_never_sees_partial_report(self, tmp_path):
+        # A dashboard polling the report while the telemetry rewrites it
+        # must always read either the old or the new document, never a
+        # truncated or interleaved one — that is the os.replace contract.
+        import threading
+
+        target = tmp_path / "r.json"
+        RunReport(kind="seed", config={"i": -1}).write(target)
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    data = json.loads(target.read_text(encoding="utf-8"))
+                except (OSError, ValueError) as exc:  # pragma: no cover
+                    failures.append(f"partial read: {exc}")
+                    return
+                if validate_run_report(data):  # pragma: no cover
+                    failures.append(f"invalid document: {data}")
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(200):
+                RunReport(
+                    kind="live_crawl", config={"i": i}, extra={"pad": "x" * 2000}
+                ).write(target)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert failures == []
+        assert json.loads(target.read_text())["config"]["i"] == 199
+
+
 @pytest.fixture(scope="module")
 def study_report_path(tmp_path_factory):
     """Run a small full study through the CLI runner with --report."""

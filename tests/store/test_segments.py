@@ -137,6 +137,68 @@ class TestSegmentWriter:
         assert registry.counter("store.segment_edges", "").value() == 4
 
 
+class TestSealObservability:
+    def test_sealed_edges_gauge_tracks_durable_edges(self, tmp_path, registry):
+        gauge = registry.gauge("store.sealed_edges", "")
+        writer = SegmentWriter(tmp_path, shard_edges=2, registry=registry)
+        assert gauge.value() == 0.0
+        writer.extend([(1, 1), (2, 2), (3, 3)])  # two sealed, one buffered
+        assert gauge.value() == 2.0
+        writer.seal()
+        assert gauge.value() == 3.0
+        writer.rollback(["seg-000001.edges"])
+        assert gauge.value() == 2.0
+
+    def test_gauge_initialised_from_existing_shards(self, tmp_path, registry):
+        writer = SegmentWriter(tmp_path, shard_edges=2, registry=registry)
+        writer.extend([(1, 1), (2, 2), (3, 3), (4, 4)])
+        # A fresh writer (resume) over the same directory reports the
+        # edges already durable on disk, before any new appends.
+        reopened = Registry()
+        SegmentWriter(tmp_path, shard_edges=2, registry=reopened)
+        assert reopened.gauge("store.sealed_edges", "").value() == 4.0
+
+    def test_on_seal_receives_exact_sealed_columns(self, tmp_path, registry):
+        seals = []
+        writer = SegmentWriter(
+            tmp_path, shard_edges=2, registry=registry,
+            on_seal=lambda path, s, t: seals.append((path.name, s.tolist(), t.tolist())),
+        )
+        writer.extend([(1, 10), (2, 20), (3, 30)])
+        writer.seal()
+        assert seals == [
+            ("seg-000001.edges", [1, 2], [10, 20]),
+            ("seg-000002.edges", [3], [30]),
+        ]
+        # Each callback's columns match what the shard holds on disk.
+        for name, sources, targets in seals:
+            disk_sources, disk_targets = read_segment(tmp_path / name)
+            assert disk_sources.tolist() == sources
+            assert disk_targets.tolist() == targets
+
+    def test_on_seal_fires_after_shard_is_durable(self, tmp_path, registry):
+        observed = []
+
+        def callback(path, sources, targets):
+            # The shard must already be complete and CRC-clean when the
+            # observer runs — consumers may re-read it immediately.
+            observed.append(read_segment(path)[0].tolist())
+
+        writer = SegmentWriter(tmp_path, shard_edges=4, registry=registry)
+        writer.on_seal = callback  # attachable after construction too
+        writer.extend([(7, 8), (9, 10)])
+        writer.seal()
+        assert observed == [[7, 9]]
+
+    def test_empty_seal_does_not_fire_callback(self, tmp_path, registry):
+        seals = []
+        writer = SegmentWriter(
+            tmp_path, registry=registry, on_seal=lambda *a: seals.append(a)
+        )
+        writer.seal()
+        assert seals == []
+
+
 class TestCompact:
     def test_compact_produces_loadable_archive(self, tmp_path, registry):
         seg_dir = tmp_path / "segments"

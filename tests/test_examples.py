@@ -69,6 +69,17 @@ class TestExamples:
         assert "product strategy" in out
         assert "Political campaigning viable in" in out
 
+    def test_live_dashboard(self):
+        out = run_example(
+            "live_dashboard.py", "--users", "1500", "--seed", "3",
+            "--crash-after", "600",
+        )
+        assert "figure trajectory" in out
+        assert "crawl status: COMPLETE" in out
+        assert "crashed on purpose" in out
+        assert "bit-equal to the batch pipeline" in out
+        assert "resumed to completion" in out
+
     def test_big_world(self):
         out = run_example("big_world.py", "15000", "3")
         assert "fast engine" in out
