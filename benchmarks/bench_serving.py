@@ -1,0 +1,232 @@
+"""Serving-layer bench: cached vs uncached page serving under the
+read-heavy mix, SLO quantiles, and crawl isolation.
+
+Each speedup arm runs in a fresh subprocess — heap history (the world,
+the loadgen trace, page garbage from the other arm) otherwise swings
+the timings several-fold.  Both children rebuild the same seeded world
+and load-generator run, so determinism guarantees they replay the
+*identical* zipf-skewed ``(owner, viewer)`` browse sequence straight
+through the page-serving path — ``PageCache.lookup`` vs
+``service.profile_page`` — after a warm-up segment; the timed segment
+therefore measures steady-state serving throughput rather than
+cold-cache fills.  The acceptance gate (≥5× cached speedup at a ≥60%
+hit rate) is asserted at full scale; smoke sizes keep a lower floor.
+A separate cell proves the crawler's edge arrays are bit-identical
+with and without read-only traffic sharing the world.
+
+Override sizes with ``REPRO_BENCH_SERVE_USERS``,
+``REPRO_BENCH_SERVE_CLIENTS``, ``REPRO_BENCH_SERVE_REQUESTS``,
+``REPRO_BENCH_SERVE_CRAWL_USERS`` and ``REPRO_BENCH_SERVE_TRIALS``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.obs.metrics import Registry
+from repro.serve import EventClock, build_traffic, validate_serving_section
+from repro.store.campaign import CampaignConfig, CrawlCampaign, dataset_diff
+from repro.synth import WorldConfig, build_world
+
+USERS = int(os.environ.get("REPRO_BENCH_SERVE_USERS", "25000"))
+CLIENTS = int(os.environ.get("REPRO_BENCH_SERVE_CLIENTS", "1500"))
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "50000"))
+CRAWL_USERS = int(os.environ.get("REPRO_BENCH_SERVE_CRAWL_USERS", "2500"))
+TRIALS = int(os.environ.get("REPRO_BENCH_SERVE_TRIALS", "2"))
+SEED = 7
+
+#: The ≥5x/≥60% acceptance gate only means something once celebrity
+#: pages are heavy and the workload saturates the class memo.
+FULL_SCALE = USERS >= 20_000 and REQUESTS >= 40_000
+
+_CHILD = """\
+import json
+import sys
+import time
+
+from repro.obs.metrics import Registry
+from repro.serve import EventClock, PageCache, build_traffic
+from repro.synth import WorldConfig, build_world
+
+arm, users, clients, requests, seed = (
+    sys.argv[1], int(sys.argv[2]), int(sys.argv[3]), int(sys.argv[4]),
+    int(sys.argv[5]),
+)
+world = build_world(WorldConfig(n_users=users, seed=seed))
+clock = EventClock(world.clock.now())
+world.clock = clock
+traffic = build_traffic(
+    world.service, clock,
+    {"n_clients": clients, "seed": seed, "mix": "read_heavy",
+     "think_mean": 0.05, "cache": False, "keep_trace": True},
+    registry=Registry(enabled=False),
+)
+wall0 = time.perf_counter()
+traffic.run_requests(requests)
+loadgen_wall = time.perf_counter() - wall0
+viewers = traffic.client_user_ids
+pairs = [
+    (int(record[3][3:]), viewers[record[1]])
+    for record in traffic.trace
+    if record[2] == "browse"
+]
+warm, timed = pairs[: len(pairs) // 2], pairs[len(pairs) // 2 :]
+service = world.service
+result = {
+    "arm": arm,
+    "n_timed": len(timed),
+    "trace_digest": traffic.trace_digest,
+    "loadgen_requests_per_second": requests / loadgen_wall,
+}
+if arm == "uncached":
+    wall0 = time.perf_counter()
+    for owner_id, viewer_id in timed:
+        service.profile_page(owner_id, viewer_id)
+    result["wall_seconds"] = time.perf_counter() - wall0
+else:
+    cache = PageCache(
+        service, EventClock(), capacity=32768, registry=Registry(enabled=False)
+    )
+    for owner_id, viewer_id in warm:
+        cache.lookup(owner_id, viewer_id)
+    hits0, misses0 = cache.hits, cache.misses
+    wall0 = time.perf_counter()
+    for owner_id, viewer_id in timed:
+        cache.lookup(owner_id, viewer_id)
+    result["wall_seconds"] = time.perf_counter() - wall0
+    hits = cache.hits - hits0
+    misses = cache.misses - misses0
+    result["hit_rate"] = hits / (hits + misses)
+print(json.dumps(result))
+"""
+
+
+def _run_arm(arm: str) -> dict:
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p
+    )
+    out = subprocess.run(
+        [
+            sys.executable, "-c", _CHILD,
+            arm, str(USERS), str(CLIENTS), str(REQUESTS), str(SEED),
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    return json.loads(out.stdout)
+
+
+def _best_of(arm: str, trials: int) -> dict:
+    runs = [_run_arm(arm) for _ in range(trials)]
+    digests = {run["trace_digest"] for run in runs}
+    assert len(digests) == 1, f"{arm} workload not deterministic: {digests}"
+    best = min(runs, key=lambda run: run["wall_seconds"])
+    return {**best, "all_wall_seconds": sorted(r["wall_seconds"] for r in runs)}
+
+
+def test_cached_serving_speedup(bench_extra):
+    uncached = _best_of("uncached", TRIALS)
+    cached = _best_of("cached", TRIALS)
+    # Both children replayed the same deterministic request sequence.
+    assert uncached["trace_digest"] == cached["trace_digest"]
+    assert uncached["n_timed"] == cached["n_timed"] > REQUESTS // 4
+
+    n = cached["n_timed"]
+    speedup = uncached["wall_seconds"] / cached["wall_seconds"]
+    hit_rate = cached["hit_rate"]
+    print(
+        f"\nbrowse replay n={n}: uncached {n / uncached['wall_seconds']:,.0f}"
+        f" pages/s, cached {n / cached['wall_seconds']:,.0f} pages/s"
+        f" ({speedup:.2f}x, hit rate {100 * hit_rate:.1f}%)"
+    )
+    bench_extra(
+        users=USERS,
+        clients=CLIENTS,
+        requests=REQUESTS,
+        trials=TRIALS,
+        browse_replayed=n,
+        uncached=uncached,
+        cached=cached,
+        uncached_pages_per_second=round(n / uncached["wall_seconds"], 1),
+        cached_pages_per_second=round(n / cached["wall_seconds"], 1),
+        speedup=round(speedup, 3),
+        hit_rate=round(hit_rate, 4),
+    )
+    if n >= 2_000:
+        assert hit_rate >= 0.6, f"hit rate only {hit_rate:.2%}"
+    if FULL_SCALE:
+        assert speedup >= 5.0, f"cache only {speedup:.2f}x faster at full scale"
+    else:
+        assert speedup >= 2.0  # smoke-scale floor
+
+
+def test_slo_section_reports_quantiles(bench_extra):
+    world = build_world(WorldConfig(n_users=min(USERS, 8_000), seed=SEED))
+    clock = EventClock(world.clock.now())
+    world.clock = clock
+    traffic = build_traffic(
+        world.service,
+        clock,
+        {
+            "n_clients": min(CLIENTS, 500),
+            "seed": SEED,
+            "mix": "read_heavy",
+            "think_mean": 0.05,
+        },
+        registry=Registry(enabled=True),
+    )
+    wall0 = time.perf_counter()
+    traffic.run_requests(min(REQUESTS, 20_000))
+    wall = time.perf_counter() - wall0
+
+    section = traffic.slo.section()
+    assert validate_serving_section(section) == []
+    latency = section["latency"]
+    assert latency["p50"] is not None and latency["p99"] is not None
+    assert latency["p99"] >= latency["p50"]
+    assert section["availability"]["observed"] is not None
+    bench_extra(
+        loadgen_requests_per_second=round(traffic.n_requests / wall, 1),
+        p50_virtual_seconds=latency["p50"],
+        p99_virtual_seconds=latency["p99"],
+        availability=section["availability"]["observed"],
+        burn_rate=section["availability"]["burn_rate"],
+        hit_rate=traffic.cache.stats()["hit_rate"],
+        trace_digest=traffic.trace_digest,
+    )
+
+
+def test_traffic_leaves_crawler_edges_bit_identical(bench_extra, tmp_path):
+    def run(name, traffic):
+        config = CampaignConfig(
+            n_users=CRAWL_USERS,
+            seed=SEED,
+            checkpoint_every_pages=500,
+            traffic=traffic,
+        )
+        campaign = CrawlCampaign(tmp_path / name, config)
+        return campaign, campaign.run(registry=Registry(enabled=False))
+
+    _, quiet = run("quiet", None)
+    busy_campaign, busy = run(
+        "busy",
+        {"n_clients": 200, "seed": 11, "mix": "read_heavy", "think_mean": 0.05},
+    )
+    assert busy_campaign.last_traffic.n_requests > 0
+    assert dataset_diff(quiet, busy) == []
+    bench_extra(
+        crawl_users=CRAWL_USERS,
+        crawl_edges=len(quiet.sources),
+        traffic_requests=busy_campaign.last_traffic.n_requests,
+    )

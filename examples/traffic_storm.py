@@ -1,0 +1,109 @@
+"""Traffic storm: thousands of clients hammer the site mid-crawl.
+
+A 50k-user world serves two populations at once — a crawler fleet
+walking the graph under transient 503 bursts, and a seeded client
+population browsing, searching and editing circles through the
+privacy-aware page cache while the serving frontend degrades under the
+``serving-rush`` chaos scenario.  Both ride one virtual clock, so the
+whole storm is deterministic: same seed, same request trace, same SLO
+numbers, and a crawl dataset bit-identical to a quiet-weather run.
+
+The wrap-up renders the live dashboard frame (crawl progress + serving
+SLO block) and the chained request-trace digest.
+
+Run:  python examples/traffic_storm.py [--users N] [--clients C]
+                                       [--seed S] [--dir PATH]
+
+See docs/serving.md for the cache keying and SLO definitions.
+"""
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+
+from repro.obs.live import LiveTelemetry
+from repro.obs.live.dashboard import load_report_document, render_report
+from repro.obs.metrics import Registry
+from repro.store.campaign import CampaignConfig, CrawlCampaign
+
+#: Crawler-side chaos: a 503 burst while the frontier is still wide.
+CRAWLER_FAULTS = {
+    "seed": 5,
+    "rules": [
+        {"kind": "error_burst", "start": 0.2, "end": 1.0, "rate": 0.3,
+         "retry_after": 0.01},
+    ],
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=50_000)
+    parser.add_argument("--clients", type=int, default=2_000)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--dir", default=None, help="campaign directory")
+    args = parser.parse_args()
+
+    directory = Path(
+        args.dir if args.dir else tempfile.mkdtemp(prefix="traffic-storm-")
+    )
+    config = CampaignConfig(
+        n_users=args.users,
+        seed=args.seed,
+        checkpoint_every_pages=max(250, args.users // 25),
+        faults=CRAWLER_FAULTS,
+        traffic={
+            "n_clients": args.clients,
+            "seed": args.seed + 1,
+            "mix": "mixed",
+            "think_mean": 0.05,
+            "faults": "serving-rush",
+        },
+    )
+    campaign = CrawlCampaign(directory / "campaign", config)
+    registry = Registry(enabled=True)
+    live = LiveTelemetry(
+        directory / "run_report.json",
+        registry=registry,
+        epoch_every_pages=config.checkpoint_every_pages,
+        path_sources=0,
+    )
+    print(f"storm: {args.users:,} users, {args.clients:,} clients + crawl fleet")
+    dataset = campaign.run(registry=registry, live=live)
+    traffic = campaign.last_traffic
+
+    print(
+        f"\ncrawl: {dataset.n_profiles:,} pages, {dataset.n_edges:,} edges"
+        f" (under {CRAWLER_FAULTS['rules'][0]['kind']} chaos)"
+    )
+    section = traffic.slo.section()
+    requests = section["requests"]
+    availability = section["availability"]
+    latency = section["latency"]
+    cache = section["cache"]
+    print(
+        f"traffic: {requests['total']:,} requests, ops {json.dumps(requests['by_op'])}"
+    )
+    if availability["observed"] is not None:
+        print(
+            f"  availability {availability['observed']:.4%}"
+            f" (target {availability['target']:.1%},"
+            f" burn rate {availability['burn_rate']:.2f})"
+        )
+    if latency["p50"] is not None:
+        print(
+            f"  latency p50 {latency['p50'] * 1e3:.2f}ms"
+            f" p99 {latency['p99'] * 1e3:.2f}ms"
+        )
+    if cache["hit_rate"] is not None:
+        print(f"  page cache hit rate {cache['hit_rate']:.1%} ({cache['size']} entries)")
+
+    print("\ndashboard frame:")
+    print(render_report(load_report_document(directory / "run_report.json")))
+    print(f"\ntrace digest: {traffic.trace_digest}")
+    print(f"campaign archived in {directory}")
+
+
+if __name__ == "__main__":
+    main()

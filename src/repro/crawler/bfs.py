@@ -158,6 +158,11 @@ class CrawlSnapshot:
     #: Dead-letter queue state (see :class:`DeadLetterQueue`); empty dict
     #: on snapshots from before the resilience layer.
     dead_letter: dict = field(default_factory=dict)
+    #: Opaque per-subsystem state (keyed by extension name) contributed
+    #: by :attr:`BidirectionalBFSCrawler.extension_providers` — e.g. the
+    #: serving layer's load-generator state.  Empty dict on snapshots
+    #: from before the extension mechanism.
+    extensions: dict = field(default_factory=dict)
 
     def to_json_dict(self) -> dict:
         return {
@@ -170,6 +175,7 @@ class CrawlSnapshot:
             "frontend": self.frontend,
             "config": self.config,
             "dead_letter": self.dead_letter,
+            "extensions": self.extensions,
         }
 
     @classmethod
@@ -184,6 +190,7 @@ class CrawlSnapshot:
             frontend=data["frontend"],
             config=dict(data.get("config", {})),
             dead_letter=dict(data.get("dead_letter", {})),
+            extensions=dict(data.get("extensions", {})),
         )
 
 
@@ -331,6 +338,12 @@ class BidirectionalBFSCrawler:
             request_latency=self.config.request_latency,
             policy=self.config.resilience_policy(),
         )
+        #: Extension state riding the checkpoints: providers contribute
+        #: a JSON-ready dict per snapshot, restorers get it back on
+        #: resume (after the crawl's own control state is restored).
+        #: Keyed by extension name; :mod:`repro.serve` registers "serve".
+        self.extension_providers: dict = {}
+        self.extension_restorers: dict = {}
 
     def crawl(self, seeds: list[int], hooks: CrawlHooks | None = None) -> CrawlDataset:
         """Run the campaign from the given seed users.
@@ -374,6 +387,10 @@ class BidirectionalBFSCrawler:
                 self.pool.restore_state(snapshot.pool)
                 self.frontend.restore_state(snapshot.frontend)
                 dead_letters.restore_state(snapshot.dead_letter)
+                for name, restorer in self.extension_restorers.items():
+                    extension_state = snapshot.extensions.get(name)
+                    if extension_state is not None:
+                        restorer(extension_state)
                 started = snapshot.started
                 profiles = dict(resume.profiles)
                 sources = list(resume.sources)
@@ -663,4 +680,8 @@ class BidirectionalBFSCrawler:
                 "follow_out_lists": self.config.follow_out_lists,
             },
             dead_letter=dead_letters.export_state(),
+            extensions={
+                name: provider()
+                for name, provider in sorted(self.extension_providers.items())
+            },
         )

@@ -73,6 +73,24 @@ SCENARIOS: dict[str, dict[str, Any]] = {
              "timeout": 0.05},
         ],
     },
+    # Peak-hour serving chaos: latency degradation and short 503/408
+    # windows while interactive clients and the crawler share the site.
+    # Deliberately no corrupt_pages — serving responses must stay
+    # byte-comparable for the page-cache differential proofs.
+    "serving-rush": {
+        "seed": 29,
+        "description": "slow responses + 503 bursts + timeouts (cache-safe)",
+        "rules": [
+            {"kind": "slow_responses", "start": 0.5, "end": 6.0, "rate": 0.25,
+             "extra_latency": 0.08},
+            {"kind": "error_burst", "start": 1.0, "end": 2.0, "rate": 0.2,
+             "retry_after": 0.02},
+            {"kind": "timeouts", "start": 2.5, "end": 4.0, "rate": 0.05,
+             "timeout": 0.05},
+            {"kind": "error_burst", "start": 4.5, "end": 5.2, "rate": 0.35,
+             "retry_after": 0.02},
+        ],
+    },
     # Everything at once — the closest analogue to a hostile live site.
     "kitchen-sink": {
         "seed": 23,

@@ -96,6 +96,43 @@ def render_report(document: dict) -> str:
         f"retry budget {_fmt(fleet.get('retry_budget_remaining'), ',.0f')}"
     )
 
+    serving = document.get("extra", {}).get("serving")
+    if serving:
+        requests = serving.get("requests", {})
+        availability = serving.get("availability", {})
+        latency = serving.get("latency", {})
+        cache = serving.get("cache", {})
+        lines.append("serving")
+        lines.append(
+            f"  requests {_fmt(requests.get('total'), ',')}   "
+            f"throttled {_fmt(requests.get('throttled'), ',')}   "
+            f"errors {_fmt(requests.get('errors'), ',')}"
+        )
+        observed = availability.get("observed")
+        burn = availability.get("burn_rate")
+        lines.append(
+            "  availability "
+            + (_fmt(100 * observed, ".3f") + "%" if observed is not None else "-")
+            + f" (target {_fmt(100 * availability.get('target', 0), '.1f')}%)"
+            + "   burn rate "
+            + _fmt(burn, ".2f")
+        )
+        p50 = latency.get("p50")
+        p99 = latency.get("p99")
+        lines.append(
+            "  serve latency: p50 "
+            + (_fmt(p50 * 1000, ",.2f") + " ms" if p50 is not None else "-")
+            + "   p99 "
+            + (_fmt(p99 * 1000, ",.2f") + " ms" if p99 is not None else "-")
+        )
+        hit_rate = cache.get("hit_rate")
+        lines.append(
+            "  page cache: hit rate "
+            + (_fmt(100 * hit_rate, ".1f") + "%" if hit_rate is not None else "-")
+            + f"   size {_fmt(cache.get('size'), ',')}"
+            + f"   invalidations {_fmt(cache.get('invalidations'), ',')}"
+        )
+
     epoch = live.get("epoch")
     if epoch is None:
         lines.append("figures: no epoch published yet")

@@ -210,6 +210,10 @@ class LiveTelemetry(CrawlHooks):
         #: faster than any dashboard polls it.  Epoch and terminal
         #: writes are never throttled.
         self.progress_min_wall_seconds = progress_min_wall_seconds
+        #: Extra report sections: name -> zero-arg provider whose return
+        #: value is embedded under ``extra[name]`` on every rewrite.
+        #: Campaigns register the serving layer's SLO section here.
+        self.sections: dict[str, object] = {}
 
         self.degrees = DegreeSketch()
         self.reciprocity = ReciprocitySketch()
@@ -509,12 +513,15 @@ class LiveTelemetry(CrawlHooks):
         ):
             return
         self._last_write_wall = now
+        extra: dict = {"live": self.live_section(virtual_now)}
+        for name, provider in self.sections.items():
+            extra[name] = provider()
         report = RunReport(
             kind="live_crawl",
             config=dict(self._config),
             metrics=self._metrics_cache,
             coverage=dict(coverage or {}),
-            extra={"live": self.live_section(virtual_now)},
+            extra=extra,
         )
         report.write(self.report_path, indent=None)
 

@@ -11,6 +11,7 @@ perfectly deterministic.
 from __future__ import annotations
 
 import copy
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -47,10 +48,16 @@ RETRYABLE_STATUSES = frozenset(
 
 @dataclass(frozen=True)
 class Request:
-    """One client request: a path such as ``/u/123`` from a client IP."""
+    """One client request: a path such as ``/u/123`` from a client IP.
+
+    ``viewer_id`` identifies the logged-in user issuing the request;
+    ``None`` is an anonymous client — the crawler's case — which keeps
+    every pre-existing request equivalent to the two-argument form.
+    """
 
     path: str
     client_ip: str
+    viewer_id: int | None = None
 
 
 @dataclass(frozen=True)
@@ -134,30 +141,81 @@ class TokenBucket:
 
 
 class RateLimiter:
-    """Per-client-IP token buckets, as a web front end would maintain."""
+    """Per-client-IP token buckets, as a web front end would maintain.
 
-    def __init__(self, rate_per_ip: float, burst: float, clock: SimulatedClock):
+    Buckets are pruned on a fixed virtual-time cadence: an idle bucket
+    that has refilled to capacity is byte-for-byte equivalent to the
+    fresh bucket :meth:`admit` would lazily recreate, so dropping it
+    cannot change any future admission decision.  Without the prune the
+    table grows one bucket per distinct client IP forever — a real leak
+    once thousands of load-generator clients hit the front end.  The
+    prune clock (``_last_prune``) rides ``export_state`` so a resumed
+    run prunes at the same virtual times as an uninterrupted one.
+    """
+
+    def __init__(
+        self,
+        rate_per_ip: float,
+        burst: float,
+        clock: SimulatedClock,
+        prune_interval: float = 300.0,
+    ):
         self._rate = rate_per_ip
         self._burst = burst
         self._clock = clock
         self._buckets: dict[str, TokenBucket] = {}
+        #: Virtual seconds between idle-bucket sweeps (0 disables).
+        self._prune_interval = prune_interval
+        self._last_prune = clock.now()
+
+    def __len__(self) -> int:
+        return len(self._buckets)
 
     def admit(self, ip: str) -> tuple[bool, float]:
+        now = self._clock.now()
+        if self._prune_interval and now - self._last_prune >= self._prune_interval:
+            self.prune(now)
         bucket = self._buckets.get(ip)
         if bucket is None:
             bucket = TokenBucket(self._rate, self._burst)
-            bucket.last_refill = self._clock.now()
+            bucket.last_refill = now
             self._buckets[ip] = bucket
-        return bucket.try_take(self._clock.now())
+        return bucket.try_take(now)
+
+    def prune(self, now: float) -> int:
+        """Drop every bucket that has refilled to capacity; return count.
+
+        Only fully-refilled buckets go: for any other bucket the pending
+        token deficit still shapes future ``try_take`` outcomes.
+        """
+        self._last_prune = now
+        full = [
+            ip
+            for ip, bucket in self._buckets.items()
+            if bucket.tokens + (now - bucket.last_refill) * bucket.rate
+            >= bucket.capacity
+        ]
+        for ip in full:
+            del self._buckets[ip]
+        return len(full)
 
     def export_state(self) -> dict:
-        """Per-IP bucket levels, JSON-ready (see :mod:`repro.store`)."""
+        """Bucket levels + prune clock, JSON-ready (see :mod:`repro.store`)."""
         return {
-            ip: {"tokens": bucket.tokens, "last_refill": bucket.last_refill}
-            for ip, bucket in sorted(self._buckets.items())
+            "last_prune": self._last_prune,
+            "buckets": {
+                ip: {"tokens": bucket.tokens, "last_refill": bucket.last_refill}
+                for ip, bucket in sorted(self._buckets.items())
+            },
         }
 
-    def restore_state(self, state: Mapping[str, Mapping[str, float]]) -> None:
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        if "buckets" in state:
+            entries = state["buckets"]
+            self._last_prune = float(state["last_prune"])
+        else:  # legacy flat {ip: {...}} schema, from before bucket pruning
+            entries = state
+            self._last_prune = self._clock.now()
         self._buckets = {
             ip: TokenBucket(
                 self._rate,
@@ -165,7 +223,7 @@ class RateLimiter:
                 tokens=float(entry["tokens"]),
                 last_refill=float(entry["last_refill"]),
             )
-            for ip, entry in state.items()
+            for ip, entry in entries.items()
         }
 
 
@@ -198,11 +256,38 @@ class FlakinessModel:
         self._rng.bit_generator.state = copy.deepcopy(dict(state))
 
 
+def _handler_accepts_viewer(handler) -> bool:
+    """Whether a page handler takes a ``(path, viewer_id)`` pair.
+
+    Decided once at construction from the signature so legacy one-
+    argument handlers (plenty exist in tests) keep working unchanged,
+    with no per-request ``TypeError`` probing.
+    """
+    try:
+        signature = inspect.signature(handler)
+    except (TypeError, ValueError):
+        return False
+    positional = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+        elif parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            return True
+    return positional >= 2
+
+
 class HttpFrontend:
     """Ties the rate limiter and fault schedule in front of a page handler.
 
     The handler is any callable mapping a path to ``(status, payload)``;
-    :class:`repro.platform.service.GooglePlusService` provides one.
+    :class:`repro.platform.service.GooglePlusService` provides one.  A
+    handler whose signature accepts a second positional argument is
+    called as ``handler(path, viewer_id)``, which is how logged-in
+    clients get privacy-filtered pages; one-argument handlers keep the
+    anonymous-only behaviour.
 
     ``faults`` is a :class:`repro.faults.FaultSchedule` of scripted
     failure windows; the legacy ``error_rate``/``seed`` pair still works
@@ -221,6 +306,7 @@ class HttpFrontend:
         registry: Registry | None = None,
     ):
         self._handler = handler
+        self._pass_viewer = _handler_accepts_viewer(handler)
         self.clock = clock if clock is not None else SimulatedClock()
         self._limiter = RateLimiter(rate_per_ip, burst, self.clock)
         rules = list(faults.rules) if faults is not None else []
@@ -311,7 +397,10 @@ class HttpFrontend:
             self._m_requests.inc(status=decision.status)
             self._m_faults.inc(kind=decision.kind)
             return Response(decision.status, retry_after=decision.retry_after)
-        status, payload = self._handler(request.path)
+        if self._pass_viewer:
+            status, payload = self._handler(request.path, request.viewer_id)
+        else:
+            status, payload = self._handler(request.path)
         slow_by = 0.0
         if decision is not None and status == STATUS_OK:
             slow_by = decision.slow_by

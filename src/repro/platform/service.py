@@ -32,7 +32,23 @@ from .errors import (
 from .http import STATUS_NOT_FOUND, STATUS_OK
 from .models import UserProfile
 from .pages import ProfilePage, truncate_list
-from .privacy import Visibility
+from .privacy import FieldPrivacy, Visibility
+
+
+@dataclass(frozen=True)
+class MutationEvent:
+    """One state change a subscriber (e.g. a page cache) must react to.
+
+    Kinds: ``circle_add`` / ``circle_remove`` (``user_id`` acts on
+    ``target_id``), ``bulk_edges`` (a batch ingest; ids unenumerated),
+    ``profile`` (a field or lists_public change on ``user_id``),
+    ``post`` (``user_id`` published) and ``plus_one`` (``target_id`` is
+    the post id).
+    """
+
+    kind: str
+    user_id: int
+    target_id: int | None = None
 
 
 @dataclass(frozen=True)
@@ -89,6 +105,21 @@ class GooglePlusService:
         self._next_post_id = 1
         self.open_signup = open_signup
         self.circle_display_limit = circle_display_limit
+        #: Mutation subscribers; empty for every non-serving workload, so
+        #: the guard in :meth:`_notify` keeps the hot paths free.
+        self._mutation_listeners: list = []
+
+    # -- mutation events -----------------------------------------------------
+
+    def add_mutation_listener(self, listener) -> None:
+        """Subscribe a callable to :class:`MutationEvent` notifications."""
+        self._mutation_listeners.append(listener)
+
+    def _notify(self, kind: str, user_id: int, target_id: int | None = None) -> None:
+        if self._mutation_listeners:
+            event = MutationEvent(kind=kind, user_id=user_id, target_id=target_id)
+            for listener in self._mutation_listeners:
+                listener(event)
 
     # -- account lifecycle -------------------------------------------------
 
@@ -203,6 +234,9 @@ class GooglePlusService:
             target.notifications.append(
                 Notification(kind="added_to_circle", actor_id=user_id)
             )
+        # Even a non-link add (an existing contact joining another circle)
+        # changes the named-circle membership CUSTOM privacy reads.
+        self._notify("circle_add", user_id, target_id)
         return is_new_link
 
     def add_edges_bulk(
@@ -238,7 +272,10 @@ class GooglePlusService:
         # pausing cyclic GC for the duration avoids repeated whole-heap
         # collections triggered by allocation thresholds.
         with gc_paused():
-            return self._add_edges_bulk(sources, targets, circles, circle_index)
+            created = self._add_edges_bulk(sources, targets, circles, circle_index)
+        if created:
+            self._notify("bulk_edges", -1)
+        return created
 
     def _add_edges_bulk(self, sources, targets, circles, circle_index) -> int:
         src = np.asarray(sources, dtype=np.int64)
@@ -442,6 +479,7 @@ class GooglePlusService:
         link_removed = account.circles.remove(target_id, circle)
         if link_removed:
             self._account(target_id).followers.pop(user_id, None)
+        self._notify("circle_remove", user_id, target_id)
         return link_removed
 
     def followees(self, user_id: int) -> list[int]:
@@ -457,6 +495,58 @@ class GooglePlusService:
 
     def in_degree(self, user_id: int) -> int:
         return len(self._account(user_id).followers)
+
+    def in_circles(self, owner_id: int, viewer_id: int) -> bool:
+        """Whether the owner has the viewer in any circle (O(1))."""
+        return self._account(owner_id).circles.contains(viewer_id)
+
+    def in_extended_circles(self, owner_id: int, viewer_id: int) -> bool:
+        """Whether the viewer is in the owner's circles, or in the
+        circles of any of the owner's contacts (the EXTENDED_CIRCLES
+        reach; O(owner's out-degree))."""
+        owner = self._account(owner_id)
+        if owner.circles.contains(viewer_id):
+            return True
+        return any(
+            self._account(contact).circles.contains(viewer_id)
+            for contact in owner.circles.flattened()
+        )
+
+    def circles_containing(self, owner_id, viewer_id, names) -> tuple[str, ...]:
+        """Which of the owner's named circles hold the viewer, in the
+        order ``names`` lists them (for CUSTOM privacy classing)."""
+        by_circle = self._account(owner_id).circles.members_by_circle
+        return tuple(
+            name for name in names if viewer_id in by_circle.get(name, {})
+        )
+
+    # -- profile mutation ----------------------------------------------------
+
+    def update_field(
+        self,
+        user_id: int,
+        key: str,
+        value,
+        privacy: FieldPrivacy | None = None,
+    ) -> None:
+        """Set or replace one optional profile field, notifying subscribers.
+
+        This is the serving-side mutation path: unlike touching the
+        :class:`~repro.platform.models.UserProfile` directly, it fires a
+        ``profile`` :class:`MutationEvent` so caches drop the owner's
+        rendered pages.
+        """
+        profile = self._account(user_id).profile
+        if privacy is None:
+            profile.set_field(key, value)
+        else:
+            profile.set_field(key, value, privacy)
+        self._notify("profile", user_id)
+
+    def set_lists_public(self, user_id: int, public: bool) -> None:
+        """Toggle the owner's circle-list visibility, notifying subscribers."""
+        self._account(user_id).profile.lists_public = bool(public)
+        self._notify("profile", user_id)
 
     # -- privacy-aware profile views ----------------------------------------
 
@@ -541,6 +631,7 @@ class GooglePlusService:
         )
         self._next_post_id += 1
         self._posts[post.post_id] = post
+        self._notify("post", author_id, post.post_id)
         return post
 
     def notifications(self, user_id: int, clear: bool = False) -> list[Notification]:
@@ -563,6 +654,7 @@ class GooglePlusService:
             self._account(post.author_id).notifications.append(
                 Notification(kind="plus_one", actor_id=user_id, subject_id=post_id)
             )
+            self._notify("plus_one", user_id, post_id)
 
     def can_view_post(self, post_id: int, viewer_id: int | None) -> bool:
         """Circle-scoped posts are visible to members of the named circles."""
@@ -590,8 +682,15 @@ class GooglePlusService:
 
     # -- HTTP handler ---------------------------------------------------------
 
-    def handle_path(self, path: str) -> tuple[int, ProfilePage | None]:
-        """Serve ``/u/<id>`` paths for :class:`repro.platform.http.HttpFrontend`."""
+    def handle_path(
+        self, path: str, viewer_id: int | None = None
+    ) -> tuple[int, ProfilePage | None]:
+        """Serve ``/u/<id>`` paths for :class:`repro.platform.http.HttpFrontend`.
+
+        ``viewer_id`` is the logged-in requester; the crawler's requests
+        default to ``None`` and see exactly the anonymous pages they
+        always did.
+        """
         if not path.startswith("/u/"):
             return STATUS_NOT_FOUND, None
         try:
@@ -600,4 +699,4 @@ class GooglePlusService:
             return STATUS_NOT_FOUND, None
         if user_id not in self._accounts:
             return STATUS_NOT_FOUND, None
-        return STATUS_OK, self.profile_page(user_id, viewer_id=None)
+        return STATUS_OK, self.profile_page(user_id, viewer_id=viewer_id)

@@ -1,0 +1,151 @@
+"""``repro.serve`` — the heavy-traffic serving layer.
+
+The paper's Google+ served millions of interactive members at the same
+time it was being crawled; this package puts that load on the simulated
+platform, deterministically:
+
+* :mod:`repro.serve.loadgen` — an :class:`EventClock` cooperative
+  scheduler plus a seeded open-loop load generator: thousands of
+  concurrent clients with Zipf-skewed targets whose request trace is a
+  pure function of the seed;
+* :mod:`repro.serve.cache` — a privacy-aware profile-page cache keyed
+  by ``(owner, viewer-privacy-class)`` with exact invalidation off the
+  service's mutation events, proven byte-equivalent to uncached
+  serving;
+* :mod:`repro.serve.slo` — p50/p99 latency, availability and
+  error-budget burn rate, and cache efficiency published through
+  :mod:`repro.obs` as a schema-versioned ``serving`` report section.
+
+``python -m repro.serve`` runs a standalone traffic storm;
+:func:`build_traffic` is the one-call constructor campaigns use (see
+``CampaignConfig.traffic``).  See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.faults import FaultSchedule, get_scenario
+from repro.obs.metrics import Registry
+
+from .cache import (
+    ANON_CLASS,
+    PageCache,
+    SELF_CLASS,
+    ViewerClasser,
+    page_to_bytes,
+    payload_digest,
+    payload_to_bytes,
+    render_for_class,
+)
+from .loadgen import (
+    MIXED,
+    MIXES,
+    READ_HEAVY,
+    BehaviorMix,
+    EventClock,
+    LoadGenerator,
+    ServingStack,
+    op_of,
+)
+from .slo import SERVING_SCHEMA_VERSION, SLOTracker, validate_serving_section
+
+__all__ = [
+    "ANON_CLASS",
+    "BehaviorMix",
+    "EventClock",
+    "LoadGenerator",
+    "MIXED",
+    "MIXES",
+    "PageCache",
+    "READ_HEAVY",
+    "SELF_CLASS",
+    "SERVING_SCHEMA_VERSION",
+    "SLOTracker",
+    "ServingStack",
+    "ViewerClasser",
+    "build_traffic",
+    "op_of",
+    "page_to_bytes",
+    "payload_digest",
+    "payload_to_bytes",
+    "render_for_class",
+    "validate_serving_section",
+]
+
+
+def build_traffic(
+    service,
+    clock: EventClock,
+    config: Mapping | None = None,
+    registry: Registry | None = None,
+) -> LoadGenerator:
+    """Build the full serving stack from one config mapping.
+
+    Recognised keys (all optional): ``n_clients``, ``seed``, ``mix``
+    (a name from :data:`MIXES` or a :class:`BehaviorMix`), ``zipf_s``,
+    ``think_mean``, ``n_seed_posts``, ``record_bodies``, ``keep_trace``,
+    ``rate_per_ip``, ``burst``, ``hit_latency``, ``miss_latency``,
+    ``op_latency``, ``availability_target``, ``cache`` (``False`` to
+    serve uncached, or ``{"capacity": ..., "ttl": ...}``), and
+    ``faults`` (a scenario name or document for
+    :meth:`~repro.faults.FaultSchedule.from_dict`).
+
+    Returns the :class:`LoadGenerator`, with the stack, cache, and
+    :class:`SLOTracker` attached as attributes.
+    """
+    config = dict(config or {})
+    mix = config.get("mix", "read_heavy")
+    if isinstance(mix, str):
+        try:
+            mix = MIXES[mix]
+        except KeyError:
+            raise ValueError(
+                f"unknown behavior mix {mix!r} (known: {sorted(MIXES)})"
+            ) from None
+    faults_spec = config.get("faults")
+    if isinstance(faults_spec, str):
+        faults_spec = get_scenario(faults_spec)
+    faults = FaultSchedule.from_dict(faults_spec) if faults_spec else None
+    cache_cfg = config.get("cache", {})
+    cache = None
+    if cache_cfg is not False and cache_cfg is not None:
+        cache_cfg = dict(cache_cfg) if cache_cfg else {}
+        cache = PageCache(
+            service,
+            clock,
+            capacity=int(cache_cfg.get("capacity", 4096)),
+            ttl=float(cache_cfg.get("ttl", 0.0)),
+            registry=registry,
+        )
+    stack = ServingStack(
+        service,
+        clock,
+        cache=cache,
+        rate_per_ip=float(config.get("rate_per_ip", 50.0)),
+        burst=float(config.get("burst", 200.0)),
+        faults=faults,
+        registry=registry,
+        hit_latency=float(config.get("hit_latency", 0.0004)),
+        miss_latency=float(config.get("miss_latency", 0.004)),
+        op_latency=float(config.get("op_latency", 0.002)),
+    )
+    slo = SLOTracker(
+        availability_target=float(config.get("availability_target", 0.999)),
+        registry=registry,
+        cache=cache,
+    )
+    return LoadGenerator(
+        stack,
+        clock,
+        n_clients=int(config.get("n_clients", 200)),
+        seed=int(config.get("seed", 0)),
+        mix=mix,
+        zipf_s=float(config.get("zipf_s", 1.3)),
+        think_mean=float(config.get("think_mean", 1.0)),
+        n_seed_posts=int(config.get("n_seed_posts", 32)),
+        record_bodies=bool(config.get("record_bodies", False)),
+        keep_trace=bool(config.get("keep_trace", False)),
+        slo=slo,
+        registry=registry,
+    )

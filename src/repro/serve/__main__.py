@@ -1,0 +1,118 @@
+"""Run a standalone traffic storm against a synthetic world.
+
+Builds a world, points a seeded client population at its serving stack,
+and prints the SLO summary plus the chained request-trace digest — two
+runs with the same arguments must print identical digests and write
+identical ``serving`` report sections, which is exactly what the
+``serving-slo`` CI job checks.
+
+Run:  python -m repro.serve [--users N] [--clients C] [--requests R]
+                            [--seed S] [--mix read_heavy|mixed]
+                            [--scenario NAME] [--no-cache]
+                            [--record-bodies] [--report PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.obs import RunReport
+from repro.synth import WorldConfig, build_world
+
+from . import EventClock, build_traffic
+from .slo import validate_serving_section
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__
+    )
+    parser.add_argument("--users", type=int, default=5_000)
+    parser.add_argument("--clients", type=int, default=500)
+    parser.add_argument("--requests", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--mix", default="read_heavy")
+    parser.add_argument("--scenario", default=None, help="chaos scenario name")
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument(
+        "--record-bodies",
+        action="store_true",
+        help="chain response-body digests into the trace digest",
+    )
+    parser.add_argument("--report", default=None, help="write run_report.json here")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    world = build_world(WorldConfig(n_users=args.users, seed=args.seed))
+    clock = EventClock(world.clock.now())
+    world.clock = clock
+    print(f"world: {world.n_users:,} users, {world.graph.n_edges:,} true edges")
+    traffic = build_traffic(
+        world.service,
+        clock,
+        {
+            "n_clients": args.clients,
+            "seed": args.seed,
+            "mix": args.mix,
+            "cache": False if args.no_cache else {},
+            "faults": args.scenario,
+            "record_bodies": args.record_bodies,
+        },
+    )
+    traffic.run_requests(args.requests)
+    section = traffic.slo.section()
+    problems = validate_serving_section(section)
+    if problems:
+        for problem in problems:
+            print(f"INVALID serving section: {problem}")
+        return 1
+    requests = section["requests"]
+    availability = section["availability"]
+    latency = section["latency"]
+    cache = section["cache"]
+    print(
+        f"traffic: {requests['total']:,} requests from {traffic.clients:,} clients"
+        f" over {clock.now():.1f}s virtual"
+    )
+    print(f"  ops: {json.dumps(requests['by_op'])}")
+    print(f"  statuses: {json.dumps(requests['by_status'])}")
+    observed = availability["observed"]
+    burn = availability["burn_rate"]
+    print(
+        f"  availability: {observed:.4%} (target {availability['target']:.1%},"
+        f" burn rate {burn:.2f})"
+        if observed is not None
+        else "  availability: n/a"
+    )
+    if latency["p50"] is not None:
+        print(f"  latency: p50 {latency['p50']*1e3:.2f}ms p99 {latency['p99']*1e3:.2f}ms")
+    if cache["hit_rate"] is not None:
+        print(
+            f"  cache: {cache['hits']:,} hits / {cache['misses']:,} misses"
+            f" (hit rate {cache['hit_rate']:.1%}), size {cache['size']}"
+        )
+    print(f"trace digest: {traffic.trace_digest}")
+    if args.report:
+        report = RunReport(
+            kind="traffic_storm",
+            config={
+                "users": args.users,
+                "clients": args.clients,
+                "requests": args.requests,
+                "seed": args.seed,
+                "mix": args.mix,
+                "scenario": args.scenario,
+                "cache": not args.no_cache,
+            },
+            extra={"serving": section, "loadgen": traffic.summary()},
+        )
+        path = report.write(args.report)
+        print(f"report: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

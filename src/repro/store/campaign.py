@@ -145,6 +145,13 @@ class CampaignConfig:
     #: knobs (max_retries, max_backoff, retry_budget, breaker_*,
     #: parse_retries, max_redrive_rounds, ...).  None = defaults.
     resilience: dict | None = None
+    #: Interactive traffic served alongside the crawl
+    #: (:func:`repro.serve.build_traffic` schema: n_clients, seed, mix,
+    #: cache, faults, ...).  Frozen into the manifest like every other
+    #: knob; the load generator's state rides in the crawl checkpoints,
+    #: so a killed mixed campaign resumes bit-identically.  None = the
+    #: crawler has the site to itself.
+    traffic: dict | None = None
 
     def to_json_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
@@ -414,6 +421,9 @@ class CrawlCampaign:
 
     def __init__(self, directory: str | Path, config: CampaignConfig | None = None):
         self.directory = Path(directory)
+        #: The :class:`~repro.serve.LoadGenerator` of the most recent
+        #: :meth:`run`, when the config carries a ``traffic`` block.
+        self.last_traffic = None
         manifest = self.directory / MANIFEST_NAME
         if manifest.exists():
             data = json.loads(manifest.read_text(encoding="utf-8"))
@@ -471,6 +481,20 @@ class CrawlCampaign:
                 circle_display_limit=cfg.circle_display_limit,
             )
         )
+        traffic = None
+        if cfg.traffic:
+            from repro.serve import EventClock, build_traffic
+
+            # Swap in the event clock *before* the crawler's front end is
+            # built, so both transports share it: the crawler's politeness
+            # and backoff waits dispatch the due client requests at their
+            # exact virtual times.
+            clock = EventClock(world.clock.now())
+            world.clock = clock
+            traffic = build_traffic(
+                world.service, clock, cfg.traffic, registry=registry
+            )
+        self.last_traffic = traffic
         faults = FaultSchedule.from_dict(cfg.faults) if cfg.faults else None
         frontend = world.frontend(
             rate_per_ip=cfg.rate_per_ip,
@@ -479,6 +503,17 @@ class CrawlCampaign:
             faults=faults,
         )
         crawler = BidirectionalBFSCrawler(frontend, cfg.crawl_config())
+        if traffic is not None:
+            # The generator's full state (client RNGs, next-event times,
+            # mutation log, cache metadata) rides in every crawl snapshot
+            # and is restored on resume, after the world is rebuilt.
+            crawler.extension_providers["serve"] = traffic.export_state
+
+            def _restore_serve(state, _traffic=traffic):
+                if state is not None:
+                    _traffic.restore_state(state)
+
+            crawler.extension_restorers["serve"] = _restore_serve
         store = CampaignStore(
             self.directory,
             cfg,
@@ -507,6 +542,8 @@ class CrawlCampaign:
                 )
             if live.enabled:
                 live.consume_seals(store.segments)
+                if traffic is not None:
+                    live.sections["serving"] = traffic.slo.section
                 hooks = HookChain(store, live)
             # A disabled registry (REPRO_OBS=0) removes the observer
             # from the hot path entirely — not even a no-op in the

@@ -1,0 +1,176 @@
+"""Mixed crawl+traffic campaigns: the differential proofs.
+
+The acceptance bar for the serving layer:
+
+* with the page cache enabled, every response body in a seeded mixed
+  crawl+traffic campaign is byte-identical to the uncached run —
+  including across mid-run circle/profile mutations and a kill/resume;
+* the crawler's output is unperturbed by read-only traffic;
+* a killed mixed campaign resumes bit-identically (trace digest, SLO
+  tallies, cache state, crawler dataset).
+"""
+
+import pytest
+
+from repro.obs.metrics import Registry
+from repro.serve import EventClock, build_traffic
+from repro.store.campaign import (
+    CampaignConfig,
+    CrawlCampaign,
+    SimulatedCrash,
+    dataset_diff,
+)
+from repro.synth import WorldConfig, build_world
+
+USERS = 1_000
+SEED = 33
+
+#: Chaos on both transports: the crawler fleet rides flaky-fleet while
+#: the serving stack degrades under serving-rush (no corrupt_pages on
+#: the serving side — bodies must stay byte-comparable).
+TRAFFIC = {
+    "n_clients": 60,
+    "seed": 4,
+    "mix": "mixed",
+    "think_mean": 0.02,
+    "record_bodies": True,
+    "keep_trace": True,
+    "faults": "serving-rush",
+}
+
+
+def campaign_config(**overrides) -> CampaignConfig:
+    base = dict(
+        n_users=USERS,
+        seed=SEED,
+        checkpoint_every_pages=150,
+        faults={"seed": 5, "rules": [
+            {"kind": "error_burst", "start": 0.2, "end": 0.8, "rate": 0.3,
+             "retry_after": 0.01},
+        ]},
+        traffic=dict(TRAFFIC),
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def run_campaign(tmp_path, name, config, **run_kwargs):
+    campaign = CrawlCampaign(tmp_path / name, config)
+    dataset = campaign.run(registry=Registry(enabled=False), **run_kwargs)
+    return campaign, dataset
+
+
+def body_projection(traffic):
+    """(path, status, body-digest) per request — latency-independent."""
+    return [(r[3], r[4], r[6]) for r in traffic.trace]
+
+
+class TestChaosDifferential:
+    @pytest.fixture(scope="class")
+    def arms(self, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("arms")
+        cached_cfg = campaign_config()
+        uncached_cfg = campaign_config(
+            traffic={**TRAFFIC, "cache": False},
+        )
+        cached = run_campaign(tmp_path, "cached", cached_cfg)
+        uncached = run_campaign(tmp_path, "uncached", uncached_cfg)
+        return cached, uncached
+
+    def test_bodies_byte_identical_cache_on_vs_off(self, arms):
+        (cached, _), (uncached, _) = arms
+        a, b = cached.last_traffic, uncached.last_traffic
+        assert a.n_requests == b.n_requests > 500
+        assert a.cache is not None and b.cache is None
+        assert a.cache.hits > 0
+        # The mixed mix mutated circles mid-run on both arms.
+        assert any(k.startswith("circle") for k, *_ in a.stack.mutation_log)
+        assert a.stack.mutation_log == b.stack.mutation_log
+        assert body_projection(a) == body_projection(b)
+
+    def test_crawler_output_identical_across_cache_arms(self, arms):
+        (_, cached_ds), (_, uncached_ds) = arms
+        assert dataset_diff(cached_ds, uncached_ds) == []
+
+    def test_chaos_engaged(self, arms):
+        (cached, _), _ = arms
+        statuses = cached.last_traffic.status_counts
+        assert any(code != "200" for code in statuses), statuses
+
+
+class TestKillResume:
+    def test_mixed_campaign_resumes_bit_identically(self, tmp_path):
+        config = campaign_config()
+        straight, straight_ds = run_campaign(tmp_path, "straight", config)
+
+        crashed = CrawlCampaign(tmp_path / "crashed", config)
+        with pytest.raises(SimulatedCrash):
+            crashed.run(registry=Registry(enabled=False), crash_after_pages=400)
+        resumed, resumed_ds = run_campaign(tmp_path, "crashed", config)
+
+        assert dataset_diff(straight_ds, resumed_ds) == []
+        t_straight = straight.last_traffic
+        t_resumed = resumed.last_traffic
+        assert t_resumed.trace_digest == t_straight.trace_digest
+        assert t_resumed.n_requests == t_straight.n_requests
+        assert t_resumed.slo.export_state() == t_straight.slo.export_state()
+        assert (
+            t_resumed.cache.export_state() == t_straight.cache.export_state()
+        )
+
+
+class TestReadOnlyTrafficLeavesCrawlUntouched:
+    def test_dataset_bit_identical_to_no_traffic_run(self, tmp_path):
+        quiet_cfg = campaign_config(faults=None, traffic=None)
+        busy_cfg = campaign_config(
+            faults=None,
+            traffic={**TRAFFIC, "mix": "read_heavy", "faults": None},
+        )
+        _, quiet_ds = run_campaign(tmp_path, "quiet", quiet_cfg)
+        busy, busy_ds = run_campaign(tmp_path, "busy", busy_cfg)
+        assert busy.last_traffic.n_requests > 0
+        assert dataset_diff(quiet_ds, busy_ds) == []
+
+
+class TestProfileMutationDifferential:
+    def test_bodies_identical_across_explicit_profile_mutations(self):
+        # Interleave load with profile-field / list-visibility mutations
+        # applied identically on both arms; cached bodies must track.
+        from repro.platform.privacy import PUBLIC, YOUR_CIRCLES
+
+        def build(cache):
+            world = build_world(WorldConfig(n_users=600, seed=9))
+            clock = EventClock(world.clock.now())
+            world.clock = clock
+            traffic = build_traffic(
+                world.service,
+                clock,
+                {
+                    "n_clients": 40,
+                    "seed": 2,
+                    "mix": "mixed",
+                    "think_mean": 0.02,
+                    "cache": {} if cache else False,
+                    "record_bodies": True,
+                    "keep_trace": True,
+                },
+                registry=Registry(enabled=False),
+            )
+            return world, traffic
+
+        arms = [build(True), build(False)]
+        hot = arms[0][1]._ranking[:3]  # most-browsed owners on both arms
+        for step in range(4):
+            for world, traffic in arms:
+                traffic.run_requests(150)
+                for owner in hot:
+                    world.service.update_field(
+                        owner,
+                        "occupation",
+                        f"occupation-{step}",
+                        YOUR_CIRCLES if step % 2 else PUBLIC,
+                    )
+                world.service.set_lists_public(hot[step % 3], step % 2 == 0)
+        a, b = arms[0][1], arms[1][1]
+        assert a.cache.invalidations > 0
+        assert body_projection(a) == body_projection(b)

@@ -1,0 +1,48 @@
+"""The serving section rides the live report: a mixed crawl+traffic
+campaign run with telemetry publishes a schema-valid SLO section into
+``run_report.json`` and the dashboard renders it."""
+
+from repro.obs.live import LiveTelemetry
+from repro.obs.live.dashboard import load_report_document, render_report
+from repro.obs.metrics import Registry
+from repro.serve import validate_serving_section
+from repro.store.campaign import CampaignConfig, CrawlCampaign
+
+
+def run_live_campaign(tmp_path, traffic):
+    config = CampaignConfig(
+        n_users=500,
+        seed=3,
+        checkpoint_every_pages=200,
+        traffic=traffic,
+    )
+    campaign = CrawlCampaign(tmp_path / "camp", config)
+    report_path = tmp_path / "run_report.json"
+    registry = Registry(enabled=True)
+    live = LiveTelemetry(report_path, registry=registry, epoch_every_pages=200)
+    campaign.run(registry=registry, live=live)
+    return load_report_document(report_path)
+
+
+def test_live_report_carries_validated_serving_section(tmp_path):
+    document = run_live_campaign(
+        tmp_path, {"n_clients": 25, "seed": 1, "think_mean": 0.02}
+    )
+    serving = document["extra"]["serving"]
+    assert validate_serving_section(serving) == []
+    assert serving["requests"]["total"] > 0
+    assert serving["cache"]["hits"] > 0
+    assert serving["availability"]["target"] == 0.999
+
+    text = render_report(document)
+    assert "serving" in text
+    assert "page cache: hit rate" in text
+    assert "burn rate" in text
+
+
+def test_report_without_traffic_renders_without_serving_block(tmp_path):
+    document = run_live_campaign(tmp_path, None)
+    assert "serving" not in document["extra"]
+    text = render_report(document)
+    assert "crawl status" in text
+    assert "page cache" not in text

@@ -1,0 +1,121 @@
+"""SLO accounting: budget math, section schema, kill-switch behavior."""
+
+import pytest
+
+from repro.obs.metrics import Registry
+from repro.serve import SERVING_SCHEMA_VERSION, SLOTracker, validate_serving_section
+
+
+def tracker(**kwargs) -> SLOTracker:
+    kwargs.setdefault("registry", Registry(enabled=True))
+    return SLOTracker(**kwargs)
+
+
+class TestAccounting:
+    def test_counts_by_op_and_status(self):
+        slo = tracker()
+        slo.observe("browse", 200, latency=0.001)
+        slo.observe("browse", 200, latency=0.002)
+        slo.observe("stream", 503)
+        assert slo.total == 3
+        assert slo.by_op == {"browse": 2, "stream": 1}
+        assert slo.by_status == {"200": 2, "503": 1}
+        assert slo.errors == 1
+
+    def test_throttles_are_not_errors(self):
+        slo = tracker()
+        slo.observe("browse", 429)
+        slo.observe("browse", 200, latency=0.001)
+        assert slo.throttled == 1
+        assert slo.errors == 0
+        section = slo.section()
+        # 429s are excluded from the availability denominator entirely.
+        assert section["availability"]["observed"] == 1.0
+
+    def test_404_is_not_an_error(self):
+        slo = tracker()
+        slo.observe("browse", 404)
+        assert slo.errors == 0
+
+    def test_burn_rate_math(self):
+        slo = tracker(availability_target=0.9)  # budget = 10%
+        for _ in range(95):
+            slo.observe("browse", 200, latency=0.001)
+        for _ in range(5):
+            slo.observe("browse", 503)
+        section = slo.section()
+        assert section["availability"]["observed"] == pytest.approx(0.95)
+        assert section["availability"]["error_rate"] == pytest.approx(0.05)
+        assert section["availability"]["burn_rate"] == pytest.approx(0.5)
+
+    def test_cache_hit_tally(self):
+        slo = tracker()
+        slo.observe("browse", 200, latency=0.001, hit=True)
+        slo.observe("browse", 200, latency=0.001, hit=False)
+        slo.observe("stream", 200, latency=0.001, hit=None)
+        assert (slo.hits, slo.misses) == (1, 1)
+
+    def test_quantiles_per_op_and_overall(self):
+        slo = tracker()
+        for _ in range(100):
+            slo.observe("browse", 200, latency=0.001)
+        for _ in range(100):
+            slo.observe("stream", 200, latency=0.1)
+        browse_p50 = slo.quantile(0.5, op="browse")
+        overall_p99 = slo.quantile(0.99)
+        assert browse_p50 == pytest.approx(0.001, rel=0.5)
+        assert overall_p99 == pytest.approx(0.1, rel=0.5)
+        assert overall_p99 > browse_p50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tracker(availability_target=1.0)
+        with pytest.raises(ValueError):
+            tracker(availability_target=0.0)
+
+
+class TestSection:
+    def test_section_validates(self):
+        slo = tracker()
+        slo.observe("browse", 200, latency=0.001, hit=False)
+        section = slo.section()
+        assert section["serving_schema_version"] == SERVING_SCHEMA_VERSION
+        assert validate_serving_section(section) == []
+        assert "browse" in section["latency"]["by_op"]
+
+    def test_empty_tracker_section_validates(self):
+        section = tracker().section()
+        assert validate_serving_section(section) == []
+        assert section["availability"]["observed"] is None
+        assert section["latency"]["p50"] is None
+
+    def test_validate_rejects_junk(self):
+        assert validate_serving_section(None)
+        assert validate_serving_section({})
+        newer = tracker().section()
+        newer["serving_schema_version"] = SERVING_SCHEMA_VERSION + 1
+        assert any("newer" in p for p in validate_serving_section(newer))
+
+    def test_disabled_registry_still_counts(self):
+        slo = tracker(registry=Registry(enabled=False))
+        for _ in range(10):
+            slo.observe("browse", 200, latency=0.001)
+        slo.observe("browse", 503)
+        section = slo.section()
+        assert validate_serving_section(section) == []
+        assert section["requests"]["total"] == 11
+        assert section["availability"]["observed"] == pytest.approx(10 / 11)
+        # The histogram is obs-owned: under REPRO_OBS=0 quantiles vanish
+        # but the section stays well-formed.
+        assert section["latency"]["p50"] is None
+
+
+class TestState:
+    def test_export_restore_roundtrip(self):
+        slo = tracker()
+        slo.observe("browse", 200, latency=0.001, hit=True)
+        slo.observe("stream", 429)
+        exported = slo.export_state()
+        replica = tracker()
+        replica.restore_state(exported)
+        assert replica.export_state() == exported

@@ -64,6 +64,17 @@ class TestExamples:
         assert "chaos crawl" in out
         assert "recovered the identical graph" in out
 
+    def test_traffic_storm(self, tmp_path):
+        out = run_example(
+            "traffic_storm.py", "--users", "1200", "--clients", "60",
+            "--seed", "3", "--dir", str(tmp_path),
+        )
+        assert "clients + crawl fleet" in out
+        assert "availability" in out
+        assert "page cache" in out
+        assert "trace digest: " in out
+        assert "crawl status: COMPLETE" in out
+
     def test_market_strategies(self):
         out = run_example("market_strategies.py", "1500", "3")
         assert "product strategy" in out
