@@ -1,0 +1,147 @@
+"""fsck + StoreIO seam benches: verification is cheap, injection is free.
+
+Two numbers guard the robustness layer:
+
+* **Seam overhead**: every journal flush, segment seal, and checkpoint
+  publish now routes through :class:`~repro.store.atomio.StoreIO`.  A
+  campaign run with an *armed-but-quiet* disk-fault schedule (windows
+  the clock never reaches) must stay within 2% of the unarmed run's
+  wall clock, and its dataset must be bit-identical — chaos plumbing
+  costs nothing when chaos isn't firing.
+* **fsck wall time**: a clean verify, a deep scrub, and a
+  damage-and-repair pass over the same store, so the doctor's cost
+  shows up in the perf trajectory file-by-file across PRs.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.obs.metrics import Registry
+from repro.store import CampaignConfig, CrawlCampaign, dataset_diff, fsck
+from repro.store.campaign import SEGMENTS_DIR
+from repro.store.segments import iter_segment_paths
+
+try:  # merged into BENCH_fsck.json's ``extra`` when the harness is live
+    from conftest import _BENCH_EXTRA
+except ImportError:  # direct invocation outside the bench harness
+    _BENCH_EXTRA = {}
+
+USERS = 4_000
+SEED = 11
+ROUNDS = 5
+
+#: One of every disk-fault rule kind, all scripted for windows the
+#: virtual clock never reaches: armed, consulted on every I/O operation,
+#: firing nothing.
+QUIET_DISK_SPEC = {
+    "seed": 5,
+    "rules": [
+        {"kind": "torn_write", "start": 1e9, "end": 2e9, "rate": 0.5},
+        {"kind": "bit_rot", "start": 1e9, "end": 2e9, "rate": 0.5},
+        {"kind": "missing_file", "start": 1e9, "end": 2e9, "rate": 0.5},
+        {"kind": "dropped_fsync", "start": 1e9, "end": 2e9, "rate": 0.5},
+        {"kind": "enospc", "start": 1e9, "end": 2e9, "rate": 0.5},
+    ],
+}
+
+CONFIG = dict(
+    n_users=USERS,
+    seed=SEED,
+    checkpoint_every_pages=400,
+    shard_edges=8_192,
+)
+
+
+def timed_campaign(scratch: list[Path], disk_faults: dict | None):
+    directory = Path(tempfile.mkdtemp(prefix="bench-fsck-")) / "camp"
+    scratch.append(directory.parent)
+    config = CampaignConfig(**CONFIG, disk_faults=disk_faults)
+    start = time.perf_counter()
+    dataset = CrawlCampaign(directory, config).run(registry=Registry())
+    return directory, dataset, time.perf_counter() - start
+
+
+def test_quiet_seam_overhead(benchmark):
+    scratch: list[Path] = []
+    unarmed_walls: list[float] = []
+    armed_walls: list[float] = []
+    reference = armed = None
+    try:
+        # Interleaved so machine drift hits both sides equally.
+        for _ in range(ROUNDS):
+            _, reference, wall = timed_campaign(scratch, None)
+            unarmed_walls.append(wall)
+            _, armed, wall = timed_campaign(scratch, QUIET_DISK_SPEC)
+            armed_walls.append(wall)
+
+        # Armed-but-quiet leaves the crawl untouched, exactly.
+        assert dataset_diff(armed, reference) == []
+
+        overhead = min(armed_walls) / min(unarmed_walls) - 1.0
+        print(
+            f"\nquiet StoreIO seam overhead: {overhead:+.2%} "
+            f"(unarmed {min(unarmed_walls):.3f}s, armed {min(armed_walls):.3f}s)"
+        )
+        assert overhead < 0.02
+
+        _BENCH_EXTRA.setdefault("bench_fsck", {})["seam_overhead"] = {
+            "unarmed_seconds": min(unarmed_walls),
+            "armed_quiet_seconds": min(armed_walls),
+            "overhead_fraction": overhead,
+            "budget_fraction": 0.02,
+        }
+
+        benchmark.pedantic(
+            lambda: timed_campaign(scratch, QUIET_DISK_SPEC), rounds=1, iterations=1
+        )
+    finally:
+        for directory in scratch:
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+def test_fsck_clean_scrub_and_repair(benchmark):
+    scratch: list[Path] = []
+    try:
+        camp, _, _ = timed_campaign(scratch, None)
+
+        start = time.perf_counter()
+        report = fsck(camp, registry=Registry())
+        clean_wall = time.perf_counter() - start
+        assert report.status == "clean"
+
+        start = time.perf_counter()
+        report = fsck(camp, scrub=True, registry=Registry())
+        scrub_wall = time.perf_counter() - start
+        assert report.status == "clean"
+
+        # Damage a segment, then time the diagnose+rebuild pass.
+        target = iter_segment_paths(camp / SEGMENTS_DIR)[0]
+        blob = bytearray(target.read_bytes())
+        blob[len(blob) // 2] ^= 0x20
+        target.write_bytes(bytes(blob))
+        start = time.perf_counter()
+        report = fsck(camp, repair=True, registry=Registry())
+        repair_wall = time.perf_counter() - start
+        assert report.status == "repaired"
+        assert fsck(camp, registry=Registry()).status == "clean"
+
+        print(
+            f"\nfsck: clean={clean_wall * 1e3:.1f}ms scrub={scrub_wall * 1e3:.1f}ms "
+            f"damaged+rebuild={repair_wall * 1e3:.1f}ms"
+        )
+        _BENCH_EXTRA.setdefault("bench_fsck", {})["fsck_walls"] = {
+            "clean_seconds": clean_wall,
+            "scrub_seconds": scrub_wall,
+            "repair_seconds": repair_wall,
+        }
+
+        benchmark.pedantic(
+            lambda: fsck(camp, registry=Registry()), rounds=1, iterations=1
+        )
+    finally:
+        for directory in scratch:
+            shutil.rmtree(directory, ignore_errors=True)

@@ -29,9 +29,38 @@ from .schedule import (
     Timeouts,
     corrupt_payload,
 )
-from .scenarios import SCENARIOS, get_scenario, load_scenario_file, scenario_names
+from .scenarios import (
+    DISK_SCENARIOS,
+    SCENARIOS,
+    disk_scenario_names,
+    get_disk_scenario,
+    get_scenario,
+    load_scenario_file,
+    scenario_names,
+)
+
+#: Disk-fault names resolved lazily (PEP 562): ``.disk`` imports the
+#: store's I/O seam, whose package init imports the crawler — which
+#: imports this package.  Eager import here would close that cycle.
+_DISK_EXPORTS = frozenset(
+    {"DiskFaultError", "DiskFaultRule", "DiskFaultSchedule", "FaultyStoreIO"}
+)
+
+
+def __getattr__(name: str):
+    if name in _DISK_EXPORTS:
+        from . import disk
+
+        return getattr(disk, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "DISK_SCENARIOS",
+    "DiskFaultError",
+    "DiskFaultRule",
+    "DiskFaultSchedule",
+    "FaultyStoreIO",
     "BernoulliErrors",
     "CORRUPTION_MODES",
     "CorruptPages",
@@ -49,6 +78,8 @@ __all__ = [
     "STATUS_SERVER_ERROR",
     "Timeouts",
     "corrupt_payload",
+    "disk_scenario_names",
+    "get_disk_scenario",
     "get_scenario",
     "load_scenario_file",
     "scenario_names",

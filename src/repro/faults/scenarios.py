@@ -16,7 +16,15 @@ from typing import Any, Mapping
 
 from .schedule import FaultSchedule, FaultSpecError
 
-__all__ = ["SCENARIOS", "get_scenario", "load_scenario_file", "scenario_names"]
+__all__ = [
+    "DISK_SCENARIOS",
+    "SCENARIOS",
+    "disk_scenario_names",
+    "get_disk_scenario",
+    "get_scenario",
+    "load_scenario_file",
+    "scenario_names",
+]
 
 
 SCENARIOS: dict[str, dict[str, Any]] = {
@@ -111,8 +119,121 @@ SCENARIOS: dict[str, dict[str, Any]] = {
 }
 
 
+#: Disk-fault scenarios (:meth:`repro.faults.disk.DiskFaultSchedule.from_dict`
+#: schema).  Windows use the same virtual timescale as the network
+#: scenarios above; disk ops fire on journal flushes (~every 64 pages)
+#: and on segment/checkpoint publishes, so rates are per durability
+#: event, not per page.
+DISK_SCENARIOS: dict[str, dict[str, Any]] = {
+    # Crash-consistency classics: occasional torn batch writes plus a
+    # stretch of lying fsyncs.  Everything is recoverable from the
+    # journal's valid prefix — fsck repairs, the supervisor resumes.
+    "torn-tail": {
+        "seed": 31,
+        "description": "torn journal batches + dropped fsyncs",
+        "rules": [
+            {"kind": "torn_write", "start": 0.3, "end": 2.4, "rate": 0.04},
+            {"kind": "dropped_fsync", "start": 0.5, "end": 2.0, "rate": 0.3},
+        ],
+    },
+    # Sealed data decays: bit flips in published segments and stray
+    # duplicate shards.  fsck rebuilds rotted segments by journal replay
+    # and quarantines the strays.
+    "rotten-segments": {
+        "seed": 37,
+        "description": "bit rot in sealed segments + duplicate shards",
+        "rules": [
+            {"kind": "bit_rot", "start": 0.2, "end": 3.0, "rate": 0.3,
+             "targets": ["segment"]},
+            {"kind": "duplicate_segment", "start": 0.5, "end": 2.5, "rate": 0.2},
+        ],
+    },
+    # Resume points vanish and rot: newest-verifiable-wins fallback plus
+    # fsck quarantine keep the campaign resumable from an older cut.
+    "vanishing-checkpoints": {
+        "seed": 41,
+        "description": "checkpoint files deleted or rotted after publish",
+        "rules": [
+            {"kind": "missing_file", "start": 0.3, "end": 2.8, "rate": 0.3,
+             "targets": ["checkpoint"]},
+            {"kind": "bit_rot", "start": 0.3, "end": 2.8, "rate": 0.2,
+             "targets": ["checkpoint"]},
+        ],
+    },
+    # A drive on its way out: transient EIO, a short full-disk window,
+    # lying fsyncs, the odd torn write.  Crashy but journal-recoverable.
+    "disk-dying": {
+        "seed": 43,
+        "description": "EIO + a short ENOSPC window + dropped fsyncs",
+        "rules": [
+            {"kind": "eio", "start": 0.4, "end": 2.6, "rate": 0.05},
+            {"kind": "enospc", "start": 1.2, "end": 1.5, "rate": 0.5},
+            {"kind": "dropped_fsync", "start": 0.3, "end": 2.2, "rate": 0.25},
+            {"kind": "torn_write", "start": 0.6, "end": 2.0, "rate": 0.03},
+        ],
+    },
+    # The CI grinder: every *recoverable* fault kind at once.  A
+    # supervised campaign must ride through this to a bit-identical
+    # dataset (the journal always survives).
+    "full-grind": {
+        "seed": 47,
+        "description": "torn writes + segment rot + vanishing checkpoints + strays",
+        "rules": [
+            {"kind": "torn_write", "start": 0.4, "end": 2.2, "rate": 0.03},
+            {"kind": "bit_rot", "start": 0.3, "end": 2.8, "rate": 0.2,
+             "targets": ["segment"]},
+            {"kind": "missing_file", "start": 0.5, "end": 2.5, "rate": 0.2,
+             "targets": ["checkpoint"]},
+            {"kind": "duplicate_segment", "start": 0.6, "end": 2.4, "rate": 0.15},
+            {"kind": "dropped_fsync", "start": 0.3, "end": 2.0, "rate": 0.2},
+        ],
+    },
+    # Journal destroyers — the *unrecoverable* scenarios.  "journal-rot"
+    # flips a bit early in the journal's history (before every retained
+    # checkpoint's offset); "journal-vanishes" unlinks the file
+    # outright.  Either way fsck must emit an exact loss manifest.
+    "journal-rot": {
+        "seed": 53,
+        "description": "bit rot lands early in the journal history",
+        "rules": [
+            {"kind": "bit_rot", "start": 1.2, "end": 1e9, "rate": 1.0,
+             "targets": ["journal"], "zone": [0.0, 0.15]},
+        ],
+    },
+    "journal-vanishes": {
+        "seed": 59,
+        "description": "the journal file is unlinked mid-campaign",
+        "rules": [
+            {"kind": "missing_file", "start": 0.8, "end": 1e9, "rate": 1.0,
+             "targets": ["journal"]},
+        ],
+    },
+}
+
+
 def scenario_names() -> list[str]:
     return sorted(SCENARIOS)
+
+
+def disk_scenario_names() -> list[str]:
+    return sorted(DISK_SCENARIOS)
+
+
+def get_disk_scenario(name: str) -> dict[str, Any]:
+    """The named disk scenario document (validated buildable)."""
+    # Imported here, not at module top: ``.disk`` pulls in the store's
+    # I/O seam, whose package init imports the crawler — which imports
+    # this package.  Deferring breaks the cycle.
+    from .disk import DiskFaultSchedule
+
+    try:
+        spec = DISK_SCENARIOS[name]
+    except KeyError:
+        raise FaultSpecError(
+            f"unknown disk scenario {name!r} (known: {', '.join(disk_scenario_names())})"
+        ) from None
+    DiskFaultSchedule.from_dict(spec)
+    return spec
 
 
 def get_scenario(name: str) -> dict[str, Any]:

@@ -18,7 +18,6 @@ and metrics from the (default) tracer and registry.
 from __future__ import annotations
 
 import json
-import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -101,12 +100,15 @@ class RunReport:
         choice, since it rewrites the document on a cadence and compact
         encoding is several times cheaper than pretty-printing.
         """
+        # Lazy import: this module stays pipeline-free; atomio is the
+        # store's dependency-free bottom layer, safe to borrow.
+        from repro.store.atomio import publish_text
+
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(self.to_json(indent=indent) + "\n", encoding="utf-8")
-        os.replace(tmp, path)
-        return path
+        # durable=False: telemetry rewrites this on a cadence, so the
+        # atomic rename matters but a per-write fsync would not.
+        return publish_text(path, self.to_json(indent=indent) + "\n", durable=False)
 
     @classmethod
     def from_json_dict(cls, data: Mapping[str, Any]) -> "RunReport":

@@ -6,19 +6,28 @@ be killed at any instant and resumed to a **bit-identical** dataset.
 
 Layers (each usable standalone):
 
+- :mod:`repro.store.atomio` — the fsync/rename discipline and the
+  :class:`StoreIO` seam disk-fault injection composes into.
 - :mod:`repro.store.journal` — append-only CRC-checked write-ahead log.
 - :mod:`repro.store.segments` — sharded columnar edge files + compaction
   into the ``edges.npz`` archive format ``CrawlDataset.load`` reads.
 - :mod:`repro.store.checkpoint` — atomic, self-verifying resume points.
 - :mod:`repro.store.campaign` — ties them to the crawler's hook API.
+- :mod:`repro.store.doctor` — ``fsck``: verify, classify, repair.
+- :mod:`repro.store.supervisor` — respawn-until-done crash supervision.
+- :mod:`repro.store.exitcodes` — the CLI exit-code taxonomy the
+  supervisor's restart policy is built on.
 
-CLI: ``python -m repro.store {run,resume,inspect,compact,verify} ...``.
+CLI: ``python -m repro.store
+{run,resume,supervise,fsck,inspect,compact,verify} ...``.
 """
 
+from .atomio import StoreIO, fsync_dir, publish_bytes, publish_text
 from .campaign import (
     CampaignConfig,
     CampaignError,
     CampaignStore,
+    CorruptStoreError,
     CrawlCampaign,
     SimulatedCrash,
     dataset_diff,
@@ -30,16 +39,35 @@ from .checkpoint import (
     load_latest,
     write_checkpoint,
 )
+from .doctor import Finding, FsckReport, fsck
+from .exitcodes import (
+    EXIT_CORRUPT,
+    EXIT_OK,
+    EXIT_RESUMABLE,
+    EXIT_UNRECOVERABLE,
+    EXIT_USAGE,
+    classify,
+)
 from .journal import JournalError, JournalRecord, JournalScan, JournalWriter
 from .segments import SegmentError, SegmentWriter, read_segment, write_segment
+from .supervisor import CampaignSupervisor, SupervisorConfig
 
 __all__ = [
     "CampaignConfig",
     "CampaignError",
     "CampaignStore",
+    "CampaignSupervisor",
     "CheckpointError",
     "CheckpointRecord",
+    "CorruptStoreError",
     "CrawlCampaign",
+    "EXIT_CORRUPT",
+    "EXIT_OK",
+    "EXIT_RESUMABLE",
+    "EXIT_UNRECOVERABLE",
+    "EXIT_USAGE",
+    "Finding",
+    "FsckReport",
     "JournalError",
     "JournalRecord",
     "JournalScan",
@@ -47,9 +75,16 @@ __all__ = [
     "SegmentError",
     "SegmentWriter",
     "SimulatedCrash",
+    "StoreIO",
+    "SupervisorConfig",
+    "classify",
     "dataset_diff",
+    "fsck",
+    "fsync_dir",
     "load_checkpoint",
     "load_latest",
+    "publish_bytes",
+    "publish_text",
     "read_segment",
     "write_checkpoint",
     "write_segment",

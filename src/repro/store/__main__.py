@@ -1,8 +1,10 @@
-"""``python -m repro.store`` — run, resume, inspect, and compact campaigns.
+"""``python -m repro.store`` — run, resume, supervise, and repair campaigns.
 
     python -m repro.store run --dir /tmp/camp --users 2000 --seed 11
     python -m repro.store run --dir /tmp/camp --kill-after-pages 700   # dies (SIGKILL)
     python -m repro.store resume --dir /tmp/camp                       # finishes it
+    python -m repro.store fsck --dir /tmp/camp --repair                # verify + heal
+    python -m repro.store supervise --dir /tmp/camp --disk-scenario full-grind
     python -m repro.store inspect --dir /tmp/camp
     python -m repro.store compact --dir /tmp/camp --out /tmp/archive
     python -m repro.store verify --dir /tmp/camp --against /tmp/other  # exit 1 on diff
@@ -10,12 +12,18 @@
 ``run`` and ``resume`` are the same operation (a campaign always resumes
 from its newest checkpoint); ``resume`` exists so scripts read honestly
 and so it can refuse to *create* a campaign that does not exist.
+
+Exit codes follow :mod:`repro.store.exitcodes`: 0 done, 2 usage/config,
+70 transient-but-resumable (injected fault, simulated crash), 71 the
+store needs ``fsck --repair``, 72 proven data loss.  The supervisor
+drives its restart policy off exactly these codes.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 from pathlib import Path
 
 from repro.obs import build_report, get_registry, get_tracer
@@ -26,9 +34,30 @@ from .campaign import (
     MANIFEST_NAME,
     CampaignConfig,
     CampaignError,
+    CorruptStoreError,
     CrawlCampaign,
+    SimulatedCrash,
     dataset_diff,
 )
+from .checkpoint import CheckpointError
+from .exitcodes import (
+    EXIT_CORRUPT,
+    EXIT_OK,
+    EXIT_RESUMABLE,
+    EXIT_UNRECOVERABLE,
+    EXIT_USAGE,
+)
+from .journal import JournalError
+from .segments import SegmentError
+
+#: Retry/backoff overrides applied whenever a chaos scenario is armed —
+#: calibrated to the simulated transport's time scale (a request costs
+#: ~0.02 virtual s), mirroring ``python -m repro.faults``.
+_CHAOS_RESILIENCE = {
+    "initial_backoff": 0.02,
+    "max_backoff": 0.5,
+    "breaker_cooldown": 0.25,
+}
 
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
@@ -43,11 +72,37 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--checkpoint-every-pages", type=int, default=500)
     parser.add_argument("--checkpoint-every-virtual", type=float, default=0.0)
     parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="arm a named network chaos scenario (see python -m repro.faults --list)",
+    )
+    parser.add_argument(
+        "--disk-scenario",
+        default=None,
+        metavar="NAME",
+        help="arm a named disk-fault scenario against the store's I/O paths",
+    )
+    _add_crash_arguments(parser)
+    _add_report_arguments(parser)
+
+
+def _add_crash_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
         "--kill-after-pages",
         type=int,
         default=None,
         help="SIGKILL this process after N pages (crash/resume testing)",
     )
+    parser.add_argument(
+        "--hang-after-pages",
+        type=int,
+        default=None,
+        help="stop progressing (and heartbeating) after N pages (stall testing)",
+    )
+
+
+def _add_report_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--report",
         action="store_true",
@@ -64,6 +119,18 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
+    faults = None
+    disk_faults = None
+    resilience = None
+    if args.scenario:
+        from repro.faults import get_scenario
+
+        faults = get_scenario(args.scenario)
+        resilience = dict(_CHAOS_RESILIENCE)
+    if args.disk_scenario:
+        from repro.faults import get_disk_scenario
+
+        disk_faults = get_disk_scenario(args.disk_scenario)
     return CampaignConfig(
         n_users=args.users,
         seed=args.seed,
@@ -75,6 +142,9 @@ def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
         error_rate=args.error_rate,
         checkpoint_every_pages=args.checkpoint_every_pages,
         checkpoint_every_virtual=args.checkpoint_every_virtual,
+        faults=faults,
+        resilience=resilience,
+        disk_faults=disk_faults,
     )
 
 
@@ -84,7 +154,10 @@ def _run(directory: Path, config: CampaignConfig | None, args: argparse.Namespac
     get_tracer().reset()
     campaign = CrawlCampaign(directory, config)
     dataset = campaign.run(
-        registry=registry, kill_after_pages=args.kill_after_pages, live=args.live
+        registry=registry,
+        kill_after_pages=args.kill_after_pages,
+        hang_after_pages=args.hang_after_pages,
+        live=args.live,
     )
     # --live already left a final (terminal-status) run_report.json behind;
     # don't clobber it with the plain campaign report.
@@ -106,7 +179,73 @@ def _run(directory: Path, config: CampaignConfig | None, args: argparse.Namespac
             }
         )
     )
-    return 0
+    return EXIT_OK
+
+
+def _fsck(directory: Path, args: argparse.Namespace) -> int:
+    from .doctor import fsck
+
+    report = fsck(directory, repair=args.repair, scrub=args.scrub)
+    if args.json:
+        print(json.dumps(report.to_json_dict(), indent=2))
+    else:
+        print(f"fsck {directory}  [{report.status}]")
+        for finding in report.findings:
+            mark = "healed" if finding.repaired else finding.action
+            print(
+                f"  {finding.severity:<26} {finding.path}  "
+                f"{finding.problem} -> {mark}"
+            )
+        if report.lost_page_range:
+            lo, hi = report.lost_page_range
+            print(f"  LOST pages {lo}..{hi} ({hi - lo + 1} pages)")
+    if report.lost_page_range is not None:
+        return EXIT_UNRECOVERABLE
+    if report.status == "needs-repair":
+        return EXIT_CORRUPT
+    return EXIT_OK
+
+
+def _supervise(directory: Path, args: argparse.Namespace) -> int:
+    from .supervisor import CampaignSupervisor, SupervisorConfig
+
+    if not (directory / MANIFEST_NAME).exists():
+        # Create the campaign (manifest only); the children do the work.
+        CrawlCampaign(directory, _config_from_args(args))
+    child_args: list[str] = []
+    if args.kill_after_pages is not None:
+        # Re-armed on *every* incarnation: the child dies again and
+        # again until a final stretch shorter than N pages completes.
+        child_args += ["--kill-after-pages", str(args.kill_after_pages)]
+    if args.hang_after_pages is not None:
+        child_args += ["--hang-after-pages", str(args.hang_after_pages)]
+    supervisor = CampaignSupervisor(
+        directory,
+        SupervisorConfig(
+            max_restarts=args.max_restarts,
+            heartbeat_timeout=args.heartbeat_timeout,
+            backoff_base=args.backoff_base,
+            backoff_cap=args.backoff_cap,
+            seed=args.supervisor_seed,
+            allow_data_loss=args.allow_data_loss,
+        ),
+        child_args=child_args,
+    )
+    result = supervisor.run()
+    print(
+        json.dumps(
+            {
+                "outcome": result.outcome,
+                "restarts": result.restarts,
+                "attempts": len(result.attempts),
+            }
+        )
+    )
+    if result.completed:
+        return EXIT_OK
+    if result.outcome == "unrecoverable":
+        return EXIT_UNRECOVERABLE
+    return 1
 
 
 def _load_dataset(path: Path):
@@ -125,7 +264,10 @@ def _load_dataset(path: Path):
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.store",
-        description="Durable crawl campaigns: run, resume, inspect, compact, verify.",
+        description=(
+            "Durable crawl campaigns: run, resume, supervise, fsck, "
+            "inspect, compact, verify."
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -135,8 +277,29 @@ def main(argv: list[str] | None = None) -> int:
 
     p_resume = sub.add_parser("resume", help="resume an existing campaign")
     p_resume.add_argument("--dir", required=True)
-    p_resume.add_argument("--report", action="store_true")
-    p_resume.add_argument("--live", action="store_true")
+    _add_crash_arguments(p_resume)
+    _add_report_arguments(p_resume)
+
+    p_fsck = sub.add_parser("fsck", help="verify a campaign directory; repair damage")
+    p_fsck.add_argument("--dir", required=True)
+    p_fsck.add_argument("--repair", action="store_true",
+                        help="truncate/rebuild/quarantine instead of just reporting")
+    p_fsck.add_argument("--scrub", action="store_true",
+                        help="also cross-check segment contents against journal replay")
+    p_fsck.add_argument("--json", action="store_true")
+
+    p_sup = sub.add_parser(
+        "supervise", help="run the campaign in supervised child processes until done"
+    )
+    p_sup.add_argument("--dir", required=True)
+    _add_run_arguments(p_sup)
+    p_sup.add_argument("--max-restarts", type=int, default=16)
+    p_sup.add_argument("--heartbeat-timeout", type=float, default=60.0)
+    p_sup.add_argument("--backoff-base", type=float, default=0.05)
+    p_sup.add_argument("--backoff-cap", type=float, default=2.0)
+    p_sup.add_argument("--supervisor-seed", type=int, default=0)
+    p_sup.add_argument("--allow-data-loss", action="store_true",
+                       help="resume from the best surviving cut instead of halting")
 
     p_inspect = sub.add_parser("inspect", help="report a campaign directory's state")
     p_inspect.add_argument("--dir", required=True)
@@ -159,9 +322,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "resume":
             if not (directory / MANIFEST_NAME).exists():
                 print(f"no campaign at {directory} (missing {MANIFEST_NAME})")
-                return 2
-            args.kill_after_pages = None
+                return EXIT_USAGE
             return _run(directory, None, args)
+        if args.command == "fsck":
+            return _fsck(directory, args)
+        if args.command == "supervise":
+            return _supervise(directory, args)
         if args.command == "inspect":
             report = CrawlCampaign(directory).inspect()
             if args.json:
@@ -201,9 +367,26 @@ def main(argv: list[str] | None = None) -> int:
                 print(problem)
             print("datasets identical" if not problems else "datasets DIFFER")
             return 1 if problems else 0
+    except CorruptStoreError as exc:
+        print(f"corrupt store: {exc}", file=sys.stderr)
+        return EXIT_CORRUPT
+    except (SegmentError, CheckpointError, JournalError) as exc:
+        print(f"corrupt store: {exc}", file=sys.stderr)
+        return EXIT_CORRUPT
+    except SimulatedCrash as exc:
+        print(f"simulated crash: {exc}", file=sys.stderr)
+        return EXIT_RESUMABLE
     except CampaignError as exc:
-        print(f"error: {exc}")
-        return 2
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except OSError as exc:
+        # Injected disk faults subclass OSError; honest I/O errors land
+        # here too, and both are worth a blind retry before giving up.
+        if getattr(exc, "kind", None) is not None:
+            print(f"injected disk fault: {exc}", file=sys.stderr)
+        else:
+            print(f"I/O error: {exc}", file=sys.stderr)
+        return EXIT_RESUMABLE
     raise AssertionError("unreachable")
 
 

@@ -1,0 +1,150 @@
+"""Atomic durable publishes and the injectable ``StoreIO`` seam.
+
+Every file the store publishes under a live name — a sealed segment, a
+checkpoint, the manifest — goes through the same dance:
+
+    write to ``<name>.tmp`` → flush → fsync the file → ``os.replace``
+    onto the live name → fsync the containing directory
+
+The file fsync makes the *bytes* durable before the rename can expose
+them; the directory fsync makes the *rename itself* durable, so an OS
+crash cannot resurrect the old name or lose the new one.  A kill at any
+point leaves either the old state or the new state under the live name,
+never a torn hybrid — ``.tmp`` debris is the only possible leftover, and
+``repro.store.doctor`` quarantines it.
+
+:class:`StoreIO` is the seam the disk-fault layer
+(:mod:`repro.faults.disk`) injects through: the journal, segment, and
+checkpoint writers route their write/fsync/replace calls through an
+``io`` object that defaults to this transparent passthrough.  The seam
+is consulted per *batch* (one journal flush, one segment seal, one
+checkpoint publish), never per edge, so the unarmed production path pays
+one extra method call per durability event — nothing measurable (the
+``bench_fsck.py`` gate holds it under 2%).
+
+This module deliberately imports nothing from the rest of ``repro`` so
+that ``repro.faults.disk`` can import it without cycling through the
+store package's heavier modules.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import IO
+
+__all__ = [
+    "DEFAULT_IO",
+    "StoreIO",
+    "fsync_dir",
+    "publish_bytes",
+    "publish_text",
+]
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a rename/create inside it is durable."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path, flags)
+    except OSError:
+        return  # platform without directory fds; rename atomicity still holds
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class StoreIO:
+    """Transparent I/O passthrough — the injection seam for disk faults.
+
+    The store's writers call these instead of raw file methods at every
+    durability event.  The default implementation is the production
+    path; :class:`repro.faults.disk.FaultyStoreIO` overrides the same
+    methods to tear writes, drop fsyncs, rot published bytes, and so on,
+    under a deterministic schedule.
+
+    ``flushed`` and ``published`` are observation hooks (no-ops here):
+    they fire *after* a journal batch lands and *after* a file goes
+    live, which is where sealed-data faults (``bit_rot``,
+    ``missing_file``, ``duplicate_segment``) attach.
+    """
+
+    #: True when this IO can inject faults (lets callers log/guard).
+    armed = False
+
+    def write(self, handle: IO[bytes], data: bytes) -> None:
+        handle.write(data)
+
+    def fsync(self, handle: IO[bytes]) -> None:
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def fsync_dir(self, path: str | Path) -> None:
+        fsync_dir(path)
+
+    def replace(self, src: str | Path, dst: str | Path, kind: str = "file") -> None:
+        os.replace(src, dst)
+
+    def flushed(self, handle: IO[bytes], path: Path, durable_end: int) -> None:
+        """A journal batch just landed; ``[header, durable_end)`` is history."""
+
+    def published(self, path: Path, kind: str = "file") -> None:
+        """A file just went live under its final name."""
+
+    def bind_clock(self, clock) -> None:
+        """Receive the crawl's virtual clock (fault scheduling input)."""
+
+    # -- checkpointing (see repro.store) -------------------------------------
+
+    def export_state(self) -> dict:
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        pass
+
+
+#: Shared passthrough instance — the unarmed production path.
+DEFAULT_IO = StoreIO()
+
+
+def publish_bytes(
+    path: str | Path,
+    data: bytes,
+    *,
+    kind: str = "file",
+    durable: bool = True,
+    io: StoreIO | None = None,
+) -> Path:
+    """Atomically publish ``data`` under ``path`` (see module docstring).
+
+    ``durable=False`` skips both fsyncs — for files that are rewritten
+    continuously and only need rename atomicity (live run reports).
+    """
+    io = io if io is not None else DEFAULT_IO
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        io.write(handle, data)
+        handle.flush()
+        if durable:
+            io.fsync(handle)
+    io.replace(tmp, path, kind=kind)
+    if durable:
+        io.fsync_dir(path.parent)
+    io.published(path, kind=kind)
+    return path
+
+
+def publish_text(
+    path: str | Path,
+    text: str,
+    *,
+    kind: str = "file",
+    durable: bool = True,
+    io: StoreIO | None = None,
+) -> Path:
+    return publish_bytes(
+        path, text.encode("utf-8"), kind=kind, durable=durable, io=io
+    )

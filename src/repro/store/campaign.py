@@ -54,6 +54,7 @@ from repro.crawler.dataset import profile_to_json as _profile_to_json
 from repro.obs.metrics import Registry, get_registry, log_buckets
 
 from . import checkpoint as ckpt
+from .atomio import StoreIO, publish_text
 from .journal import HEADER_SIZE, JournalWriter, iter_records, scan as scan_journal
 from .segments import (
     SegmentError,
@@ -69,7 +70,9 @@ __all__ = [
     "CampaignConfig",
     "CampaignError",
     "CampaignStore",
+    "CorruptStoreError",
     "CrawlCampaign",
+    "HEARTBEAT_NAME",
     "JOURNAL_NAME",
     "KIND_DEADLETTER",
     "KIND_EDGES",
@@ -102,10 +105,28 @@ JOURNAL_NAME = "journal.wal"
 SEGMENTS_DIR = "segments"
 CHECKPOINTS_DIR = "checkpoints"
 ARCHIVE_DIR = "archive"
+#: Wall-clock liveness file the supervisor watches (see
+#: :mod:`repro.store.supervisor`); refreshed every
+#: :data:`HEARTBEAT_EVERY_PAGES` pages and at every checkpoint.
+HEARTBEAT_NAME = "heartbeat.json"
+HEARTBEAT_EVERY_PAGES = 16
 
 
 class CampaignError(Exception):
     """The campaign directory is unusable or was opened inconsistently."""
+
+
+class CorruptStoreError(CampaignError):
+    """Checkpoints exist but none is satisfiable — run fsck, don't reset.
+
+    Distinct from the fresh-directory case (no checkpoint files at all,
+    which legitimately starts from scratch): when resume points *exist*
+    but the on-disk data cannot satisfy any of them, silently resetting
+    would destroy the evidence a repair needs.  ``python -m repro.store
+    fsck --repair`` quarantines/rebuilds what it can; the exit-code
+    taxonomy in :mod:`repro.store.exitcodes` lets supervisors branch on
+    this condition.
+    """
 
 
 class SimulatedCrash(RuntimeError):
@@ -152,6 +173,12 @@ class CampaignConfig:
     #: so a killed mixed campaign resumes bit-identically.  None = the
     #: crawler has the site to itself.
     traffic: dict | None = None
+    #: Disk-fault scenario document
+    #: (:meth:`repro.faults.disk.DiskFaultSchedule.from_dict` schema),
+    #: injected into the store's I/O paths via :class:`StoreIO`.  Frozen
+    #: into the manifest so every resumed incarnation replays the same
+    #: disk chaos.  None = the disk is trustworthy.
+    disk_faults: dict | None = None
 
     def to_json_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
@@ -211,10 +238,16 @@ class CampaignStore(CrawlHooks):
         kill_after_pages: int | None = None,
         crash_after_pages: int | None = None,
         crash_after_checkpoints: int | None = None,
+        hang_after_pages: int | None = None,
+        io: StoreIO | None = None,
     ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.config = config
+        #: The I/O seam every durability event routes through; the
+        #: default passthrough is the production path, a
+        #: :class:`~repro.faults.disk.FaultyStoreIO` injects disk chaos.
+        self.io = io if io is not None else StoreIO()
         registry = registry if registry is not None else get_registry()
         self._registry = registry
         self._m_checkpoints = registry.counter(
@@ -245,6 +278,10 @@ class CampaignStore(CrawlHooks):
         self.kill_after_pages = kill_after_pages
         self.crash_after_pages = crash_after_pages
         self.crash_after_checkpoints = crash_after_checkpoints
+        #: Stall injection: stop making progress (without exiting) after
+        #: N pages, so supervisor heartbeat-timeout detection can be
+        #: exercised end to end.
+        self.hang_after_pages = hang_after_pages
         self._pages_this_process = 0
         self._checkpoints_this_process = 0
 
@@ -252,9 +289,12 @@ class CampaignStore(CrawlHooks):
             self.directory / SEGMENTS_DIR,
             shard_edges=config.shard_edges,
             registry=registry,
+            io=self.io,
         )
         self._resume, rollback_offset = self._recover()
-        self.journal = JournalWriter(self.directory / JOURNAL_NAME, registry=registry)
+        self.journal = JournalWriter(
+            self.directory / JOURNAL_NAME, registry=registry, io=self.io
+        )
         if rollback_offset is not None and rollback_offset < self.journal.offset:
             self.journal.truncate_to(rollback_offset)
         self._sequence = self._next_sequence()
@@ -262,6 +302,31 @@ class CampaignStore(CrawlHooks):
         self._last_checkpoint_virtual = (
             self._resume.snapshot.virtual_now if self._resume is not None else 0.0
         )
+        self._beat()
+
+    # -- liveness ------------------------------------------------------------
+
+    def _beat(self) -> None:
+        """Refresh the wall-clock heartbeat the supervisor watches.
+
+        Deliberately *not* routed through the fault seam (the supervisor
+        needs an honest liveness signal even while the simulated disk is
+        dying) and best-effort: a failed heartbeat must never take the
+        campaign down.
+        """
+        document = json.dumps(
+            {
+                "pid": os.getpid(),
+                "unix": time.time(),
+                "pages": self._pages_this_process,
+            }
+        )
+        tmp = self.directory / (HEARTBEAT_NAME + ".tmp")
+        try:
+            tmp.write_text(document, encoding="utf-8")
+            os.replace(tmp, self.directory / HEARTBEAT_NAME)
+        except OSError:
+            pass
 
     # -- recovery ------------------------------------------------------------
 
@@ -269,7 +334,16 @@ class CampaignStore(CrawlHooks):
         journal_path = self.directory / JOURNAL_NAME
         record, journal_scan = _select_checkpoint(self.directory)
         if record is None:
-            # No usable resume point: reset to an empty campaign.
+            if ckpt.list_checkpoint_paths(self.directory / CHECKPOINTS_DIR):
+                # Resume points exist but none is satisfiable: refuse to
+                # reset (that would delete the evidence fsck repairs
+                # from) and hand the taxonomy a distinct failure.
+                raise CorruptStoreError(
+                    f"{self.directory}: checkpoints exist but none is satisfiable "
+                    f"by the on-disk journal/segments; run "
+                    f"`python -m repro.store fsck --dir {self.directory} --repair`"
+                )
+            # No resume point was ever written: reset to an empty campaign.
             self.segments.rollback([])
             if journal_scan is not None and journal_scan.n_records:
                 self._m_rolled_back.inc(journal_scan.n_records)
@@ -320,6 +394,11 @@ class CampaignStore(CrawlHooks):
 
     # -- CrawlHooks ----------------------------------------------------------
 
+    def bind_clock(self, clock) -> None:
+        # First hook the crawler calls — hands the virtual clock to the
+        # fault seam so disk-fault windows run on crawl time.
+        self.io.bind_clock(clock)
+
     def resume_state(self) -> ResumeState | None:
         return self._resume
 
@@ -332,6 +411,16 @@ class CampaignStore(CrawlHooks):
             self.segments.extend(new_edges)
         self._pages_since_checkpoint += 1
         self._pages_this_process += 1
+        if self._pages_this_process % HEARTBEAT_EVERY_PAGES == 0:
+            self._beat()
+        if (
+            self.hang_after_pages is not None
+            and self._pages_this_process >= self.hang_after_pages
+        ):
+            # Stop beating and stop progressing — the injected stall the
+            # supervisor must detect and SIGKILL.
+            while True:
+                time.sleep(3600)
         if (
             self.crash_after_pages is not None
             and self._pages_this_process >= self.crash_after_pages
@@ -388,14 +477,19 @@ class CampaignStore(CrawlHooks):
             journal_offset=self.journal.offset,
             segments=self.segments.sealed_names(),
             snapshot=snapshot.to_json_dict(),
+            segment_counts=self.segments.sealed_counts(),
         )
         ckpt.write_checkpoint(
-            self.directory / CHECKPOINTS_DIR, record, keep=self.config.keep_checkpoints
+            self.directory / CHECKPOINTS_DIR,
+            record,
+            keep=self.config.keep_checkpoints,
+            io=self.io,
         )
         self._sequence += 1
         self._pages_since_checkpoint = 0
         self._last_checkpoint_virtual = snapshot.virtual_now
         self._checkpoints_this_process += 1
+        self._beat()
         self._m_checkpoints.inc()
         self._m_checkpoint_seconds.observe(time.perf_counter() - started)
         if (
@@ -446,9 +540,9 @@ class CrawlCampaign:
             "config": self.config.to_json_dict(),
             "status": self.status,
         }
-        tmp = self.directory / (MANIFEST_NAME + ".tmp")
-        tmp.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
-        os.replace(tmp, self.directory / MANIFEST_NAME)
+        publish_text(
+            self.directory / MANIFEST_NAME, json.dumps(document, indent=2) + "\n"
+        )
 
     def run(
         self,
@@ -456,6 +550,7 @@ class CrawlCampaign:
         kill_after_pages: int | None = None,
         crash_after_pages: int | None = None,
         crash_after_checkpoints: int | None = None,
+        hang_after_pages: int | None = None,
         live: object = None,
     ) -> CrawlDataset:
         """Run (or resume) the campaign to completion and archive it.
@@ -514,6 +609,22 @@ class CrawlCampaign:
                     _traffic.restore_state(state)
 
             crawler.extension_restorers["serve"] = _restore_serve
+        disk_io = None
+        if cfg.disk_faults:
+            from repro.faults.disk import DiskFaultSchedule, FaultyStoreIO
+
+            disk_schedule = DiskFaultSchedule.from_dict(cfg.disk_faults)
+            disk_io = FaultyStoreIO(disk_schedule, registry=registry)
+            # The schedule's RNG states ride in every checkpoint (like
+            # the network fault RNGs and the traffic generator), so
+            # repeated crash/resume cycles replay the same disk chaos.
+            crawler.extension_providers["disk_faults"] = disk_schedule.export_state
+
+            def _restore_disk(state, _schedule=disk_schedule):
+                if state is not None:
+                    _schedule.restore_state(state)
+
+            crawler.extension_restorers["disk_faults"] = _restore_disk
         store = CampaignStore(
             self.directory,
             cfg,
@@ -521,6 +632,8 @@ class CrawlCampaign:
             kill_after_pages=kill_after_pages,
             crash_after_pages=crash_after_pages,
             crash_after_checkpoints=crash_after_checkpoints,
+            hang_after_pages=hang_after_pages,
+            io=disk_io,
         )
         hooks: CrawlHooks = store
         if live:

@@ -24,7 +24,6 @@ dicts, so inspection and compaction work without a live crawler.
 from __future__ import annotations
 
 import json
-import os
 import re
 import zlib
 from dataclasses import dataclass
@@ -34,6 +33,8 @@ from typing import Mapping
 from repro.crawler.dataset import CrawlStats
 from repro.crawler.frontier import BFSFrontier
 from repro.obs.metrics import Registry, get_registry
+
+from .atomio import StoreIO, publish_bytes
 
 __all__ = [
     "CheckpointError",
@@ -66,6 +67,11 @@ class CheckpointRecord:
     segments: list[str]
     #: ``CrawlSnapshot.to_json_dict()`` — the crawl's control state.
     snapshot: dict
+    #: Per-segment edge counts aligned with ``segments`` — lets
+    #: ``repro.store.doctor`` rebuild any one corrupt segment from
+    #: journal replay without trusting the (CRC-unprotected) segment
+    #: headers.  ``None`` on records written before this field existed.
+    segment_counts: list[int] | None = None
 
     def to_json_dict(self) -> dict:
         return {
@@ -75,10 +81,14 @@ class CheckpointRecord:
             "journal_offset": self.journal_offset,
             "segments": list(self.segments),
             "snapshot": self.snapshot,
+            "segment_counts": (
+                list(self.segment_counts) if self.segment_counts is not None else None
+            ),
         }
 
     @classmethod
     def from_json_dict(cls, data: Mapping) -> "CheckpointRecord":
+        counts = data.get("segment_counts")
         return cls(
             sequence=int(data["sequence"]),
             n_pages=int(data["n_pages"]),
@@ -86,6 +96,7 @@ class CheckpointRecord:
             journal_offset=int(data["journal_offset"]),
             segments=list(data["segments"]),
             snapshot=dict(data["snapshot"]),
+            segment_counts=list(counts) if counts is not None else None,
         )
 
 
@@ -107,7 +118,10 @@ def list_checkpoint_paths(directory: str | Path) -> list[Path]:
 
 
 def write_checkpoint(
-    directory: str | Path, record: CheckpointRecord, keep: int = 3
+    directory: str | Path,
+    record: CheckpointRecord,
+    keep: int = 3,
+    io: StoreIO | None = None,
 ) -> Path:
     """Write one checkpoint atomically and prune all but the last ``keep``."""
     directory = Path(directory)
@@ -115,9 +129,7 @@ def write_checkpoint(
     body = record.to_json_dict()
     document = {"crc": zlib.crc32(_canonical(body)), "record": body}
     path = checkpoint_path(directory, record.sequence)
-    tmp = directory / (path.name + ".tmp")
-    tmp.write_text(json.dumps(document), encoding="utf-8")
-    os.replace(tmp, path)
+    publish_bytes(path, json.dumps(document).encode("utf-8"), kind="checkpoint", io=io)
     if keep > 0:
         for old in list_checkpoint_paths(directory)[:-keep]:
             old.unlink()

@@ -1,0 +1,592 @@
+"""``fsck`` for campaign directories: verify, classify, repair.
+
+The store's crash-recovery contract (journal valid-prefix + sealed
+segments + newest-verifiable checkpoint) survives process kills by
+construction, but *disk* faults — bit rot, vanished files, lying fsyncs
+— can damage what recovery trusts.  This module walks every durable
+structure in a campaign directory, classifies each piece of damage, and
+(with ``repair=True``) restores the directory to a state the campaign
+can resume from, or proves that it cannot and accounts for exactly what
+was lost.
+
+Damage taxonomy
+---------------
+``recoverable_from_journal``
+    The journal's valid prefix can regenerate the damaged bytes: a
+    rotted or missing *segment* is rebuilt by replaying the journal's
+    EDGES records (checkpoints record ``segment_counts`` so the replay
+    slices back into byte-identical shards); a torn journal tail is
+    truncated at the last whole record.
+``quarantinable``
+    The file carries no recoverable information but blocks or confuses
+    resume: corrupt checkpoints, unsatisfiable checkpoints, stray
+    ``*.tmp`` files, corrupt segments no usable checkpoint references.
+    Repair moves them into ``quarantine/`` (never deletes).
+``lost``
+    Pages a checkpoint claims durable that no surviving journal prefix
+    can reproduce.  Repair writes ``loss_manifest.json`` naming the
+    exact lost page range; the status becomes ``unrecoverable``.
+
+Guarantees
+----------
+* fsck on an undamaged directory is a **byte-level no-op**: no file is
+  written, truncated, or created (not even ``quarantine/``).
+* Repair is idempotent: a second ``fsck --repair`` finds nothing.
+* Rebuilt segments are byte-identical to the originals (same writer,
+  same bytes, CRC re-verified after rebuild).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.metrics import Registry, get_registry
+
+from . import checkpoint as ckpt
+from .atomio import publish_bytes
+from .journal import (
+    HEADER_SIZE,
+    JournalError,
+    iter_records,
+    scan as scan_journal,
+)
+from .segments import (
+    SegmentError,
+    iter_segment_paths,
+    read_segment,
+    write_segment,
+)
+
+__all__ = [
+    "FSCK_SCHEMA_VERSION",
+    "Finding",
+    "FsckReport",
+    "LOSS_MANIFEST_NAME",
+    "QUARANTINE_DIR",
+    "fsck",
+]
+
+FSCK_SCHEMA_VERSION = 1
+QUARANTINE_DIR = "quarantine"
+LOSS_MANIFEST_NAME = "loss_manifest.json"
+
+# Layout names, duplicated from campaign.py to keep this module
+# importable without the crawler stack (campaign pulls in bfs/platform).
+_JOURNAL_NAME = "journal.wal"
+_SEGMENTS_DIR = "segments"
+_CHECKPOINTS_DIR = "checkpoints"
+_KIND_PAGE = 1
+_KIND_EDGES = 2
+
+
+@dataclass
+class Finding:
+    """One piece of damage: where, what, how bad, what repair does."""
+
+    path: str  #: relative to the campaign directory
+    kind: str  #: "journal" | "segment" | "checkpoint" | "stray"
+    problem: str  #: e.g. "torn_tail", "crc_mismatch", "missing", "stray_tmp"
+    severity: str  #: "recoverable_from_journal" | "quarantinable" | "lost"
+    action: str  #: "truncate" | "rebuild" | "quarantine" | "manifest" | "none"
+    detail: str = ""
+    repaired: bool = False
+
+    def to_json_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "problem": self.problem,
+            "severity": self.severity,
+            "action": self.action,
+            "detail": self.detail,
+            "repaired": self.repaired,
+        }
+
+
+@dataclass
+class FsckReport:
+    """Schema-versioned result of one fsck pass."""
+
+    directory: str
+    status: str = "clean"  #: clean | needs-repair | repaired | unrecoverable
+    repair: bool = False
+    scrub: bool = False
+    findings: list[Finding] = field(default_factory=list)
+    #: Sequence of the newest checkpoint the surviving data satisfies.
+    chosen_checkpoint: int | None = None
+    #: Pages the newest *verifiable* checkpoint claims were durable.
+    n_pages_claimed: int = 0
+    #: Pages the chosen cut actually reproduces.
+    n_pages_recovered: int = 0
+    #: Inclusive ``[first, last]`` lost page ordinals, or ``None``.
+    lost_page_range: list[int] | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("clean", "repaired")
+
+    def to_json_dict(self) -> dict:
+        return {
+            "schema": FSCK_SCHEMA_VERSION,
+            "directory": self.directory,
+            "status": self.status,
+            "repair": self.repair,
+            "scrub": self.scrub,
+            "chosen_checkpoint": self.chosen_checkpoint,
+            "n_pages_claimed": self.n_pages_claimed,
+            "n_pages_recovered": self.n_pages_recovered,
+            "lost_page_range": (
+                list(self.lost_page_range) if self.lost_page_range else None
+            ),
+            "findings": [f.to_json_dict() for f in self.findings],
+        }
+
+
+# -- journal examination -------------------------------------------------------
+
+@dataclass
+class _JournalFacts:
+    exists: bool = False
+    readable: bool = False
+    valid_end: int = HEADER_SIZE
+    torn_bytes: int = 0
+    #: (end_offset, pages so far, edges so far) per valid record.
+    boundaries: list[tuple[int, int, int]] = field(default_factory=list)
+
+    def counts_at(self, offset: int) -> tuple[int, int] | None:
+        """(n_pages, n_edges) replayed by the prefix ending at ``offset``.
+
+        ``None`` when ``offset`` is not a record boundary within the
+        valid prefix — a checkpoint pointing there is unsatisfiable.
+        """
+        if offset == HEADER_SIZE:
+            return (0, 0)
+        for end, pages, edges in self.boundaries:
+            if end == offset:
+                return (pages, edges)
+        return None
+
+
+def _examine_journal(path: Path) -> _JournalFacts:
+    facts = _JournalFacts()
+    if not path.exists():
+        return facts
+    facts.exists = True
+    try:
+        journal_scan = scan_journal(path)
+    except (OSError, JournalError):
+        return facts  # unreadable: bad magic or I/O error
+    facts.readable = True
+    facts.valid_end = journal_scan.valid_end
+    facts.torn_bytes = journal_scan.torn_bytes
+    pages = edges = 0
+    for rec in iter_records(path):
+        if rec.kind == _KIND_PAGE:
+            pages += 1
+        elif rec.kind == _KIND_EDGES:
+            edges += len(rec.body) // 16  # (n, 2) int64 pairs
+        facts.boundaries.append((rec.end_offset, pages, edges))
+    return facts
+
+
+# -- segment examination -------------------------------------------------------
+
+@dataclass
+class _SegmentFacts:
+    name: str
+    healthy: bool
+    n_edges: int | None  #: from a full verified read; None when corrupt
+    problem: str = ""
+
+
+def _examine_segments(seg_dir: Path) -> dict[str, _SegmentFacts]:
+    out: dict[str, _SegmentFacts] = {}
+    for path in iter_segment_paths(seg_dir):
+        try:
+            sources, _targets = read_segment(path)
+            out[path.name] = _SegmentFacts(path.name, True, len(sources))
+        except (OSError, SegmentError) as exc:
+            out[path.name] = _SegmentFacts(
+                path.name, False, None, problem=str(exc)
+            )
+    return out
+
+
+# -- repair helpers ------------------------------------------------------------
+
+def _quarantine(directory: Path, rel_path: str) -> str:
+    """Move one file into ``quarantine/`` (never delete); returns dest."""
+    src = directory / rel_path
+    dest = directory / QUARANTINE_DIR / rel_path
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    final = dest
+    suffix = 0
+    while final.exists():
+        suffix += 1
+        final = dest.with_name(f"{dest.name}.{suffix}")
+    src.rename(final)
+    return str(final.relative_to(directory))
+
+
+def _replay_edges(journal_path: Path, upto: int) -> tuple[np.ndarray, np.ndarray]:
+    """All edges the journal's prefix up to ``upto`` carries, in order."""
+    chunks: list[np.ndarray] = []
+    for rec in iter_records(journal_path, upto=upto):
+        if rec.kind == _KIND_EDGES:
+            chunks.append(np.frombuffer(rec.body, dtype="<i8").reshape(-1, 2))
+    if not chunks:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    pairs = np.concatenate(chunks)
+    return (
+        pairs[:, 0].astype(np.int64, copy=False),
+        pairs[:, 1].astype(np.int64, copy=False),
+    )
+
+
+def _segment_slices(record: ckpt.CheckpointRecord) -> dict[str, tuple[int, int]]:
+    """``name -> (row_start, row_end)`` into the journal's edge replay."""
+    assert record.segment_counts is not None
+    slices: dict[str, tuple[int, int]] = {}
+    start = 0
+    for name, count in zip(record.segments, record.segment_counts):
+        slices[name] = (start, start + count)
+        start += count
+    return slices
+
+
+# -- the fsck pass -------------------------------------------------------------
+
+def fsck(
+    directory: str | Path,
+    repair: bool = False,
+    scrub: bool = False,
+    registry: Registry | None = None,
+) -> FsckReport:
+    """Verify a campaign directory; optionally repair it.
+
+    ``scrub`` additionally cross-checks every *healthy* referenced
+    segment's contents against the journal replay — catching damage that
+    preserved the CRC (or a CRC computed over already-rotted bytes).
+    """
+    directory = Path(directory)
+    registry = registry if registry is not None else get_registry()
+    m_runs = registry.counter("store.fsck.runs", "fsck passes", labels=("status",))
+    m_findings = registry.counter(
+        "store.fsck.findings", "fsck findings", labels=("severity",)
+    )
+    m_repairs = registry.counter(
+        "store.fsck.repairs", "fsck repair actions applied", labels=("action",)
+    )
+    m_lost = registry.counter(
+        "store.fsck.lost_pages", "Pages fsck proved unrecoverable"
+    )
+
+    report = FsckReport(directory=str(directory), repair=repair, scrub=scrub)
+    journal_path = directory / _JOURNAL_NAME
+    seg_dir = directory / _SEGMENTS_DIR
+    ckpt_dir = directory / _CHECKPOINTS_DIR
+
+    journal = _examine_journal(journal_path)
+    segments = _examine_segments(seg_dir)
+
+    # Stray temp files: a kill mid-publish leaves `<name>.<pid>.tmp`
+    # next to the target.  Never trusted, always quarantined.
+    for sub in (directory, seg_dir, ckpt_dir):
+        if not sub.is_dir():
+            continue
+        for tmp in sorted(sub.glob("*.tmp")):
+            report.findings.append(Finding(
+                path=str(tmp.relative_to(directory)),
+                kind="stray",
+                problem="stray_tmp",
+                severity="quarantinable",
+                action="quarantine",
+                detail="half-published temp file left by a kill",
+            ))
+
+    if journal.exists and not journal.readable:
+        report.findings.append(Finding(
+            path=_JOURNAL_NAME,
+            kind="journal",
+            problem="bad_magic",
+            severity="lost",
+            action="quarantine",
+            detail="journal header unreadable; no prefix can be trusted",
+        ))
+    elif journal.readable and journal.torn_bytes:
+        report.findings.append(Finding(
+            path=_JOURNAL_NAME,
+            kind="journal",
+            problem="torn_tail",
+            severity="recoverable_from_journal",
+            action="truncate",
+            detail=(
+                f"{journal.torn_bytes} bytes past the last whole record "
+                f"at offset {journal.valid_end}"
+            ),
+        ))
+
+    # Checkpoints: verify every file, keep the loadable records.
+    valid: list[tuple[Path, ckpt.CheckpointRecord]] = []
+    for path in ckpt.list_checkpoint_paths(ckpt_dir):
+        try:
+            valid.append((path, ckpt.load_checkpoint(path)))
+        except ckpt.CheckpointError as exc:
+            report.findings.append(Finding(
+                path=str(path.relative_to(directory)),
+                kind="checkpoint",
+                problem="crc_mismatch",
+                severity="quarantinable",
+                action="quarantine",
+                detail=str(exc),
+            ))
+    report.n_pages_claimed = max((r.n_pages for _, r in valid), default=0)
+
+    # Cut selection, newest verifiable checkpoint first.  A cut is
+    # satisfiable when the journal prefix replays exactly its page and
+    # edge counts and every referenced segment is healthy with the
+    # right count — or rebuildable from that same prefix.
+    chosen: ckpt.CheckpointRecord | None = None
+    rebuild_plan: list[str] = []
+    for path, record in reversed(valid):
+        usable, plan, why = _check_cut(record, journal, segments)
+        if usable:
+            chosen = record
+            rebuild_plan = plan
+            break
+        report.findings.append(Finding(
+            path=str(path.relative_to(directory)),
+            kind="checkpoint",
+            problem="unsatisfiable",
+            severity="quarantinable",
+            action="quarantine",
+            detail=why,
+        ))
+    if chosen is not None:
+        report.chosen_checkpoint = chosen.sequence
+        report.n_pages_recovered = chosen.n_pages
+        # Keep older checkpoints as-is: resume ignores them, and they
+        # are honest fallbacks.  Only *newer* unsatisfiable ones (found
+        # above, before `chosen` in the reversed walk) are quarantined.
+        for name in rebuild_plan:
+            facts = segments.get(name)
+            if facts is None:
+                problem, detail = "missing", (
+                    "referenced by the chosen checkpoint; journal replay "
+                    "regenerates it byte-identically"
+                )
+            elif facts.healthy:
+                problem, detail = "wrong_length", (
+                    f"CRC-clean but holds {facts.n_edges} edges, not what "
+                    f"the checkpoint recorded"
+                )
+            else:
+                problem, detail = "crc_mismatch", facts.problem
+            report.findings.append(Finding(
+                path=f"{_SEGMENTS_DIR}/{name}",
+                kind="segment",
+                problem=problem,
+                severity="recoverable_from_journal",
+                action="rebuild",
+                detail=detail,
+            ))
+
+    # Corrupt segments the chosen cut does not cover carry nothing the
+    # journal can't regenerate later, but their presence breaks the
+    # segment writer's startup scan — quarantine them.
+    referenced = set(chosen.segments) if chosen is not None else set()
+    for name, facts in segments.items():
+        if facts.healthy or name in referenced:
+            continue
+        report.findings.append(Finding(
+            path=f"{_SEGMENTS_DIR}/{name}",
+            kind="segment",
+            problem="crc_mismatch",
+            severity="quarantinable",
+            action="quarantine",
+            detail=facts.problem,
+        ))
+
+    # Scrub: the CRC can lie when rot landed before sealing (CRC of
+    # rotted bytes) — compare healthy referenced segments to the
+    # journal replay row-for-row.
+    if scrub and chosen is not None and chosen.segment_counts is not None:
+        sources, targets = _replay_edges(journal_path, chosen.journal_offset)
+        for name, (lo, hi) in _segment_slices(chosen).items():
+            facts = segments.get(name)
+            if facts is None or not facts.healthy or name in rebuild_plan:
+                continue
+            seg_s, seg_t = read_segment(seg_dir / name)
+            if not (
+                np.array_equal(seg_s, sources[lo:hi])
+                and np.array_equal(seg_t, targets[lo:hi])
+            ):
+                rebuild_plan.append(name)
+                report.findings.append(Finding(
+                    path=f"{_SEGMENTS_DIR}/{name}",
+                    kind="segment",
+                    problem="journal_mismatch",
+                    severity="recoverable_from_journal",
+                    action="rebuild",
+                    detail="contents disagree with journal replay (CRC lied)",
+                ))
+
+    # Loss accounting: pages claimed by the newest verifiable checkpoint
+    # that the chosen cut (or the empty store) cannot reproduce.
+    n_cut = chosen.n_pages if chosen is not None else 0
+    if report.n_pages_claimed > n_cut:
+        report.lost_page_range = [n_cut + 1, report.n_pages_claimed]
+        n_lost = report.n_pages_claimed - n_cut
+        report.findings.append(Finding(
+            path=_JOURNAL_NAME,
+            kind="journal",
+            problem="pages_unreproducible",
+            severity="lost",
+            action="manifest",
+            detail=(
+                f"pages {n_cut + 1}..{report.n_pages_claimed} were claimed "
+                f"durable but no surviving journal prefix reproduces them"
+            ),
+        ))
+        m_lost.inc(n_lost)
+
+    # -- status + repair ------------------------------------------------------
+    for finding in report.findings:
+        m_findings.inc(severity=finding.severity)
+    if not report.findings:
+        report.status = "clean"
+    elif report.lost_page_range is not None:
+        report.status = "unrecoverable"
+    else:
+        report.status = "needs-repair"
+
+    if repair and report.findings:
+        _apply_repairs(directory, report, chosen, rebuild_plan, journal, m_repairs)
+        if report.lost_page_range is None:
+            report.status = "repaired"
+
+    m_runs.inc(status=report.status)
+    return report
+
+
+def _check_cut(
+    record: ckpt.CheckpointRecord,
+    journal: _JournalFacts,
+    segments: dict[str, _SegmentFacts],
+) -> tuple[bool, list[str], str]:
+    """Can the on-disk data satisfy this checkpoint?
+
+    Returns ``(usable, segments_to_rebuild, reason_when_not)``.
+    """
+    if not journal.readable:
+        return False, [], "journal missing or unreadable"
+    if record.journal_offset > journal.valid_end:
+        return False, [], (
+            f"journal offset {record.journal_offset} beyond valid prefix "
+            f"end {journal.valid_end}"
+        )
+    counts = journal.counts_at(record.journal_offset)
+    if counts is None:
+        return False, [], (
+            f"journal offset {record.journal_offset} is not a record boundary"
+        )
+    if counts != (record.n_pages, record.n_edges):
+        return False, [], (
+            f"journal prefix replays {counts[0]} pages / {counts[1]} edges, "
+            f"checkpoint expects {record.n_pages} / {record.n_edges}"
+        )
+    rebuild: list[str] = []
+    expected = dict(
+        zip(record.segments, record.segment_counts or [None] * len(record.segments))
+    )
+    for name, want in expected.items():
+        facts = segments.get(name)
+        if facts is not None and facts.healthy:
+            if want is None or facts.n_edges == want:
+                continue
+            # CRC-clean but the wrong length (renamed/duplicated shard
+            # landed under this name): the count is known, so rebuild.
+            rebuild.append(name)
+            continue
+        if want is None:
+            # Pre-segment_counts checkpoint: no way to slice the replay.
+            return False, [], (
+                f"segment {name} damaged and checkpoint records no "
+                f"segment_counts to rebuild from"
+            )
+        rebuild.append(name)
+    return True, rebuild, ""
+
+
+def _apply_repairs(
+    directory: Path,
+    report: FsckReport,
+    chosen: ckpt.CheckpointRecord | None,
+    rebuild_plan: list[str],
+    journal: _JournalFacts,
+    m_repairs,
+) -> None:
+    journal_path = directory / _JOURNAL_NAME
+    seg_dir = directory / _SEGMENTS_DIR
+
+    # Rebuild before anything is moved: replay needs the journal as-is
+    # (truncation below only touches bytes past every chosen offset).
+    rebuilt: dict[str, str] = {}
+    if chosen is not None and rebuild_plan:
+        sources, targets = _replay_edges(journal_path, chosen.journal_offset)
+        slices = _segment_slices(chosen)
+        for name in rebuild_plan:
+            lo, hi = slices[name]
+            target = seg_dir / name
+            if target.exists():
+                # Preserve the damaged bytes for the postmortem.
+                rebuilt[name] = _quarantine(
+                    directory, f"{_SEGMENTS_DIR}/{name}"
+                )
+            write_segment(target, sources[lo:hi], targets[lo:hi])
+            read_segment(target)  # re-verify: rebuild must round-trip
+            m_repairs.inc(action="rebuild")
+
+    for finding in report.findings:
+        if finding.action == "truncate" and finding.problem == "torn_tail":
+            os.truncate(journal_path, journal.valid_end)
+            finding.repaired = True
+            m_repairs.inc(action="truncate")
+        elif finding.action == "quarantine":
+            src = directory / finding.path
+            if src.exists():
+                dest = _quarantine(directory, finding.path)
+                finding.detail += f"; moved to {dest}"
+            finding.repaired = True
+            m_repairs.inc(action="quarantine")
+        elif finding.action == "rebuild":
+            qpath = rebuilt.get(Path(finding.path).name)
+            if qpath:
+                finding.detail += f"; damaged original kept at {qpath}"
+            finding.repaired = True
+        elif finding.action == "manifest":
+            finding.repaired = True
+
+    if report.lost_page_range is not None:
+        manifest = {
+            "schema": FSCK_SCHEMA_VERSION,
+            "directory": str(directory),
+            "claimed_pages": report.n_pages_claimed,
+            "recovered_pages": report.n_pages_recovered,
+            "lost_page_range": list(report.lost_page_range),
+            "lost_pages": report.n_pages_claimed - report.n_pages_recovered,
+            "chosen_checkpoint": report.chosen_checkpoint,
+            "findings": [f.to_json_dict() for f in report.findings],
+        }
+        publish_bytes(
+            directory / LOSS_MANIFEST_NAME,
+            (json.dumps(manifest, indent=2) + "\n").encode("utf-8"),
+            kind="manifest",
+        )
+        m_repairs.inc(action="manifest")

@@ -1,0 +1,63 @@
+"""Exit-code taxonomy for ``python -m repro.store``.
+
+The supervisor (:mod:`repro.store.supervisor`) restarts a crashed
+campaign child based purely on how it died, so the CLI's exit codes are
+a contract, not a convention.  Shell scripts and CI jobs lean on the
+same codes.
+
+====  =================  =====================================================
+code  name               meaning
+====  =================  =====================================================
+0     ``EXIT_OK``        completed; nothing left to do
+2     ``EXIT_USAGE``     bad arguments / unusable config (argparse default)
+70    ``EXIT_RESUMABLE`` transient failure (injected disk fault, simulated
+                         crash); the store is intact — resume and carry on
+71    ``EXIT_CORRUPT``   the store failed verification (CRC mismatch, torn
+                         structure); run ``fsck --repair`` before resuming
+72    ``EXIT_UNRECOVERABLE``  data loss is certain: no satisfiable resume
+                         cut exists and the journal cannot fill the gap
+====  =================  =====================================================
+
+Negative codes (POSIX ``-signum``) and 128+signum shell conventions are
+folded in by :func:`classify`: a SIGKILL'd child (``-9`` from
+``Popen.returncode``, ``137`` from a shell) is ``killed`` — resumable by
+definition, since kills are exactly what the journal protects against.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EXIT_CORRUPT",
+    "EXIT_OK",
+    "EXIT_RESUMABLE",
+    "EXIT_UNRECOVERABLE",
+    "EXIT_USAGE",
+    "classify",
+]
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_RESUMABLE = 70
+EXIT_CORRUPT = 71
+EXIT_UNRECOVERABLE = 72
+
+
+def classify(code: int) -> str:
+    """Map a child exit code to an outcome word the supervisor acts on.
+
+    Returns one of ``"ok"``, ``"resumable"``, ``"corrupt"``,
+    ``"unrecoverable"``, ``"killed"``, or ``"fatal"`` (anything
+    unclassified — argparse errors, tracebacks — which the supervisor
+    treats as not worth retrying).
+    """
+    if code == EXIT_OK:
+        return "ok"
+    if code == EXIT_RESUMABLE:
+        return "resumable"
+    if code == EXIT_CORRUPT:
+        return "corrupt"
+    if code == EXIT_UNRECOVERABLE:
+        return "unrecoverable"
+    if code < 0 or code > 128:
+        return "killed"
+    return "fatal"

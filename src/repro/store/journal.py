@@ -38,6 +38,8 @@ from typing import Iterator
 
 from repro.obs.metrics import Registry, get_registry
 
+from .atomio import DEFAULT_IO, StoreIO, fsync_dir
+
 __all__ = [
     "MAGIC",
     "HEADER_SIZE",
@@ -158,11 +160,13 @@ class JournalWriter:
         flush_bytes: int = 256 * 1024,
         fsync: bool = False,
         registry: Registry | None = None,
+        io: StoreIO | None = None,
     ):
         self.path = Path(path)
         self._flush_records = max(1, flush_records)
         self._flush_bytes = max(1, flush_bytes)
         self._fsync = fsync
+        self._io = io if io is not None else DEFAULT_IO
         self._buffer: list[bytes] = []
         self._buffered_bytes = 0
         self._appended = False
@@ -192,6 +196,11 @@ class JournalWriter:
             self._handle = open(self.path, "wb")
             self._handle.write(MAGIC)
             self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+            # Make the journal's *existence* durable regardless: a lost
+            # dirent would orphan every checkpoint that references it.
+            fsync_dir(self.path.parent)
             self.offset = HEADER_SIZE
 
     def truncate_to(self, offset: int) -> None:
@@ -230,15 +239,22 @@ class JournalWriter:
             return
         blob = b"".join(self._buffer)
         self._handle.seek(self.offset)
-        self._handle.write(blob)
+        # Routed through the StoreIO seam: an injected fault raises here
+        # with the buffer intact (an honest crash can retry or die), and
+        # a torn write leaves exactly the prefix a real kill would.
+        self._io.write(self._handle, blob)
         self._handle.flush()
         if self._fsync:
-            os.fsync(self._handle.fileno())
+            self._io.fsync(self._handle)
+        durable_end = self.offset
         self.offset += len(blob)
         self._buffer.clear()
         self._buffered_bytes = 0
         self._m_bytes.inc(len(blob))
         self._m_flushes.inc()
+        # Post-flush hook: sealed-history faults (journal bit rot, the
+        # file vanishing) attach to [HEADER_SIZE, durable_end).
+        self._io.flushed(self._handle, self.path, durable_end)
 
     def close(self) -> None:
         self.flush()

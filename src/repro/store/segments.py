@@ -24,7 +24,6 @@ archive format :meth:`repro.crawler.dataset.CrawlDataset.load` reads.
 
 from __future__ import annotations
 
-import os
 import re
 import struct
 import zlib
@@ -34,6 +33,8 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.obs.metrics import Registry, get_registry
+
+from .atomio import StoreIO, publish_bytes
 
 __all__ = [
     "SealCallback",
@@ -63,22 +64,21 @@ def _segment_name(index: int) -> str:
     return f"seg-{index:06d}.edges"
 
 
-def write_segment(path: str | Path, sources: np.ndarray, targets: np.ndarray) -> Path:
-    """Write one sealed segment atomically (temp file + rename)."""
+def write_segment(
+    path: str | Path,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    io: StoreIO | None = None,
+) -> Path:
+    """Write one sealed segment atomically (tmp → fsync → rename)."""
     path = Path(path)
     sources = np.ascontiguousarray(sources, dtype=EDGE_DTYPE)
     targets = np.ascontiguousarray(targets, dtype=EDGE_DTYPE)
     if sources.shape != targets.shape or sources.ndim != 1:
         raise ValueError("sources/targets must be equal-length 1-D arrays")
     data = sources.tobytes() + targets.tobytes()
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as handle:
-        handle.write(MAGIC)
-        handle.write(_HEADER.pack(len(sources), zlib.crc32(data)))
-        handle.write(data)
-        handle.flush()
-    os.replace(tmp, path)
-    return path
+    blob = MAGIC + _HEADER.pack(len(sources), zlib.crc32(data)) + data
+    return publish_bytes(path, blob, kind="segment", io=io)
 
 
 def read_segment(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
@@ -180,6 +180,7 @@ class SegmentWriter:
         shard_edges: int = 65_536,
         registry: Registry | None = None,
         on_seal: SealCallback | None = None,
+        io: StoreIO | None = None,
     ):
         if shard_edges < 1:
             raise ValueError("shard_edges must be positive")
@@ -187,6 +188,7 @@ class SegmentWriter:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.shard_edges = shard_edges
         self.on_seal = on_seal
+        self._io = io
         self._buf_sources: list[int] = []
         self._buf_targets: list[int] = []
         registry = registry if registry is not None else get_registry()
@@ -216,6 +218,10 @@ class SegmentWriter:
     def sealed_names(self) -> list[str]:
         return [name for name, _ in self._sealed]
 
+    def sealed_counts(self) -> list[int]:
+        """Per-shard edge counts, aligned with :meth:`sealed_names`."""
+        return [count for _, count in self._sealed]
+
     def append(self, u: int, v: int) -> None:
         self._buf_sources.append(int(u))
         self._buf_targets.append(int(v))
@@ -233,7 +239,9 @@ class SegmentWriter:
         index = self._next_index()
         sources = np.asarray(self._buf_sources, dtype=EDGE_DTYPE)
         targets = np.asarray(self._buf_targets, dtype=EDGE_DTYPE)
-        path = write_segment(self.directory / _segment_name(index), sources, targets)
+        path = write_segment(
+            self.directory / _segment_name(index), sources, targets, io=self._io
+        )
         self._sealed.append((path.name, len(self._buf_sources)))
         self._m_sealed.inc()
         self._m_edges.inc(len(self._buf_sources))

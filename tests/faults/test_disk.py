@@ -1,0 +1,322 @@
+"""Disk-fault rules, schedules, and the FaultyStoreIO injection seam."""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.faults.disk import (
+    BitRot,
+    DiskFaultError,
+    DiskFaultSchedule,
+    DroppedFsync,
+    Enospc,
+    FaultyStoreIO,
+    MissingFile,
+    TornWrite,
+)
+from repro.faults.schedule import FaultSpecError
+from repro.faults.scenarios import (
+    DISK_SCENARIOS,
+    disk_scenario_names,
+    get_disk_scenario,
+)
+from repro.obs.metrics import Registry
+from repro.store.atomio import publish_bytes
+from repro.store.segments import SegmentError, read_segment, write_segment
+
+
+def make_io(spec: dict, now: float = 1.0) -> FaultyStoreIO:
+    io = FaultyStoreIO(DiskFaultSchedule.from_dict(spec), registry=Registry())
+    io.bind_clock(lambda: now)
+    return io
+
+
+class TestSchema:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown disk fault kind"):
+            DiskFaultSchedule.from_dict({"rules": [{"kind": "gremlins"}]})
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown parameters"):
+            DiskFaultSchedule.from_dict(
+                {"rules": [{"kind": "torn_write", "color": "red"}]}
+            )
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(FaultSpecError, match="must be in"):
+            DiskFaultSchedule.from_dict({"rules": [{"kind": "eio", "rate": 1.5}]})
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(FaultSpecError, match="before start"):
+            DiskFaultSchedule.from_dict(
+                {"rules": [{"kind": "eio", "start": 2.0, "end": 1.0}]}
+            )
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown targets"):
+            DiskFaultSchedule.from_dict(
+                {"rules": [{"kind": "bit_rot", "targets": ["floppy"]}]}
+            )
+
+    def test_bad_zone_rejected(self):
+        with pytest.raises(FaultSpecError, match="zone"):
+            DiskFaultSchedule.from_dict(
+                {"rules": [{"kind": "bit_rot", "zone": [0.9, 0.2]}]}
+            )
+
+    def test_rules_list_required(self):
+        with pytest.raises(FaultSpecError, match="rules"):
+            DiskFaultSchedule.from_dict({"seed": 3})
+
+    def test_named_scenarios_all_validate(self):
+        for name in disk_scenario_names():
+            schedule = DiskFaultSchedule.from_dict(get_disk_scenario(name))
+            assert len(schedule) == len(DISK_SCENARIOS[name]["rules"])
+
+    def test_unknown_scenario_name(self):
+        with pytest.raises(FaultSpecError, match="unknown disk scenario"):
+            get_disk_scenario("raid-of-doom")
+
+
+class TestDeterminism:
+    SPEC = {
+        "seed": 5,
+        "rules": [
+            {"kind": "torn_write", "rate": 0.3},
+            {"kind": "eio", "rate": 0.2},
+            {"kind": "dropped_fsync", "rate": 0.4},
+        ],
+    }
+
+    @staticmethod
+    def _trace(schedule: DiskFaultSchedule, n: int = 64) -> list[tuple]:
+        out = []
+        for i in range(n):
+            for op in ("write", "fsync"):
+                decisions = schedule.decide(op, now=1.0 + i * 0.01)
+                out.append(tuple(d.kind for d in decisions))
+        return out
+
+    def test_same_spec_same_decisions(self):
+        a = DiskFaultSchedule.from_dict(self.SPEC)
+        b = DiskFaultSchedule.from_dict(self.SPEC)
+        assert self._trace(a) == self._trace(b)
+
+    def test_different_seed_diverges(self):
+        a = DiskFaultSchedule.from_dict(self.SPEC)
+        b = DiskFaultSchedule.from_dict({**self.SPEC, "seed": 6})
+        assert self._trace(a) != self._trace(b)
+
+    def test_state_roundtrip_resumes_exactly(self):
+        a = DiskFaultSchedule.from_dict(self.SPEC)
+        self._trace(a, 16)  # advance
+        state = a.export_state()
+        tail_a = self._trace(a, 32)
+        b = DiskFaultSchedule.from_dict(self.SPEC)
+        b.restore_state(state)
+        assert self._trace(b, 32) == tail_a
+
+    def test_restore_rejects_wrong_shape(self):
+        a = DiskFaultSchedule.from_dict(self.SPEC)
+        with pytest.raises(FaultSpecError, match="state covers"):
+            a.restore_state({"rules": [{}]})
+
+    def test_draws_independent_of_outcome(self):
+        # A rule draws the same variate count whether or not it fires,
+        # so *observing* ops never perturbs the fault timeline.
+        tw = TornWrite(rate=0.0, seed=1)
+        miss = TornWrite(rate=0.0, seed=1)
+        hit = TornWrite(rate=1.0, seed=1)
+        assert miss.decide("write", 0.0, "file") is None
+        assert hit.decide("write", 0.0, "file") is not None
+        # After one decide each, both RNGs sit at the same position.
+        assert (
+            miss._rng.bit_generator.state["state"]
+            == hit._rng.bit_generator.state["state"]
+        )
+        del tw
+
+    def test_window_envelope_fast_path(self):
+        schedule = DiskFaultSchedule.from_dict(
+            {"rules": [{"kind": "eio", "start": 5.0, "end": 6.0, "rate": 1.0}]}
+        )
+        assert schedule.decide("write", 0.0) == []
+        assert schedule.decide("write", 99.0) == []
+        assert schedule.decide("write", 5.5) != []
+
+
+class TestRuleBehaviors:
+    def test_torn_write_keeps_prefix_and_raises(self, tmp_path):
+        io = make_io({"rules": [{"kind": "torn_write", "rate": 1.0}]})
+        path = tmp_path / "f"
+        with open(path, "wb") as handle:
+            with pytest.raises(DiskFaultError) as err:
+                io.write(handle, b"0123456789")
+        assert err.value.kind == "torn_write"
+        # A strict prefix: at least 0, at most len-1 bytes landed.
+        assert 0 <= path.stat().st_size < 10
+
+    def test_enospc_and_eio_raise_with_errno(self, tmp_path):
+        io = make_io({"rules": [{"kind": "enospc", "rate": 1.0}]})
+        with open(tmp_path / "f", "wb") as handle:
+            with pytest.raises(DiskFaultError) as err:
+                io.write(handle, b"data")
+        assert err.value.errno == errno.ENOSPC
+
+        io = make_io({"rules": [{"kind": "eio", "rate": 1.0}]})
+        with open(tmp_path / "g", "wb") as handle:
+            with pytest.raises(DiskFaultError) as err:
+                io.fsync(handle)
+        assert err.value.errno == errno.EIO
+
+    def test_dropped_fsync_then_replace_truncates_tail(self, tmp_path):
+        io = make_io({"rules": [{"kind": "dropped_fsync", "rate": 1.0}]})
+        src = tmp_path / "doc.tmp"
+        dst = tmp_path / "doc"
+        with open(src, "wb") as handle:
+            io.write(handle, b"A" * 100)
+            handle.flush()
+            io.fsync(handle)  # lies
+        io.replace(src, dst)
+        # The rename landed but the never-synced tail did not.
+        assert dst.exists()
+        assert dst.stat().st_size < 100
+
+    def test_honest_fsync_clears_the_debt(self, tmp_path):
+        # fsync lies only inside the window; a later honest fsync makes
+        # the file whole again before it is published.
+        spec = {"rules": [{"kind": "dropped_fsync", "start": 0.0, "end": 2.0,
+                           "rate": 1.0}]}
+        io = make_io(spec, now=1.0)
+        src = tmp_path / "doc.tmp"
+        with open(src, "wb") as handle:
+            io.write(handle, b"A" * 100)
+            io.fsync(handle)  # dropped (t=1.0 inside window)
+            io.bind_clock(lambda: 5.0)  # window over
+            io.fsync(handle)  # honest
+        io.replace(src, tmp_path / "doc")
+        assert (tmp_path / "doc").stat().st_size == 100
+
+    def test_bit_rot_flips_one_bit_in_segment(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "seg-000001.edges"
+        write_segment(path, np.arange(50), np.arange(50))
+        pristine = path.read_bytes()
+        io = make_io({"rules": [{"kind": "bit_rot", "rate": 1.0,
+                                 "targets": ["segment"]}]})
+        io.published(path, kind="segment")
+        rotted = path.read_bytes()
+        assert rotted != pristine
+        assert len(rotted) == len(pristine)
+        diff = [i for i, (a, b) in enumerate(zip(pristine, rotted)) if a != b]
+        assert len(diff) == 1
+        assert bin(pristine[diff[0]] ^ rotted[diff[0]]).count("1") == 1
+        with pytest.raises(SegmentError):
+            read_segment(path)
+
+    def test_bit_rot_ignores_other_targets(self, tmp_path):
+        path = tmp_path / "ckpt-000001.json"
+        path.write_bytes(b"{}")
+        io = make_io({"rules": [{"kind": "bit_rot", "rate": 1.0,
+                                 "targets": ["segment"]}]})
+        io.published(path, kind="checkpoint")
+        assert path.read_bytes() == b"{}"
+
+    def test_missing_file_unlinks_checkpoint(self, tmp_path):
+        io = make_io({"rules": [{"kind": "missing_file", "rate": 1.0}]})
+        path = tmp_path / "ckpt-000001.json"
+        path.write_bytes(b"{}")
+        io.published(path, kind="checkpoint")
+        assert not path.exists()
+
+    def test_duplicate_segment_clones_to_next_name(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "seg-000003.edges"
+        write_segment(path, np.arange(10), np.arange(10))
+        io = make_io({"rules": [{"kind": "duplicate_segment", "rate": 1.0}]})
+        io.published(path, kind="segment")
+        clone = tmp_path / "seg-000004.edges"
+        assert clone.exists()
+        assert clone.read_bytes() == path.read_bytes()
+
+    def test_journal_flushed_rot_spares_the_new_batch(self, tmp_path):
+        from repro.store.journal import HEADER_SIZE, JournalWriter
+
+        spec = {"rules": [{"kind": "bit_rot", "rate": 1.0,
+                           "targets": ["journal"]}]}
+        io = make_io(spec)
+        journal = JournalWriter(tmp_path / "j.wal", io=io)
+        journal.append(1, b"first-batch-record")
+        journal.flush()  # durable_end == HEADER_SIZE: nothing to rot yet
+        first_batch = (tmp_path / "j.wal").read_bytes()
+        journal.append(1, b"second-batch-record")
+        journal.flush()  # rot lands somewhere in the first batch
+        journal.close()
+        now = (tmp_path / "j.wal").read_bytes()
+        # Exactly one bit differs, and it differs inside batch one.
+        diff = [
+            i
+            for i, (a, b) in enumerate(zip(first_batch, now[: len(first_batch)]))
+            if a != b
+        ]
+        assert len(diff) == 1
+        assert HEADER_SIZE <= diff[0] < len(first_batch)
+
+    def test_journal_flushed_unlink(self, tmp_path):
+        from repro.store.journal import JournalWriter
+
+        spec = {"rules": [{"kind": "missing_file", "rate": 1.0,
+                           "targets": ["journal"]}]}
+        io = make_io(spec)
+        journal = JournalWriter(tmp_path / "j.wal", io=io)
+        journal.append(1, b"record")
+        journal.flush()
+        assert not (tmp_path / "j.wal").exists()
+
+    def test_metrics_count_injections(self, tmp_path):
+        registry = Registry()
+        io = FaultyStoreIO(
+            DiskFaultSchedule.from_dict(
+                {"rules": [{"kind": "missing_file", "rate": 1.0}]}
+            ),
+            registry=registry,
+        )
+        io.bind_clock(lambda: 1.0)
+        path = tmp_path / "ckpt-000001.json"
+        path.write_bytes(b"{}")
+        io.published(path, kind="checkpoint")
+        counter = registry.counter(
+            "store.disk_faults_injected", "Disk faults injected, by rule kind",
+            labels=("kind",),
+        )
+        assert counter.value(kind="missing_file") == 1
+
+
+class TestUnarmedOverheadPath:
+    def test_quiet_schedule_decides_nothing(self):
+        spec = {"rules": [{"kind": "eio", "start": 1e9, "end": 2e9, "rate": 1.0}]}
+        schedule = DiskFaultSchedule.from_dict(spec)
+        assert schedule.decide("write", 0.5) == []
+
+    def test_faulty_io_with_quiet_schedule_behaves_normally(self, tmp_path):
+        spec = {"rules": [{"kind": "eio", "start": 1e9, "end": 2e9, "rate": 1.0}]}
+        io = make_io(spec, now=1.0)
+        target = tmp_path / "file"
+        publish_bytes(target, b"payload", kind="checkpoint", io=io)
+        assert target.read_bytes() == b"payload"
+
+
+def test_rule_constructors_validate():
+    with pytest.raises(FaultSpecError):
+        TornWrite(rate=-0.1)
+    with pytest.raises(FaultSpecError):
+        Enospc(start=3.0, end=1.0)
+    with pytest.raises(FaultSpecError):
+        BitRot(zone=(0.5, 0.5))
+    with pytest.raises(FaultSpecError):
+        MissingFile(targets=["tape"])
+    DroppedFsync(rate=1.0)  # valid

@@ -1,0 +1,116 @@
+"""The atomic-publish helper and the StoreIO seam's unarmed behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.atomio import (
+    DEFAULT_IO,
+    StoreIO,
+    fsync_dir,
+    publish_bytes,
+    publish_text,
+)
+
+
+class TestFsyncDir:
+    def test_syncs_a_real_directory(self, tmp_path):
+        fsync_dir(tmp_path)  # must not raise
+
+    def test_tolerates_missing_directory(self, tmp_path):
+        # Platforms (and gone-away paths) where O_DIRECTORY fails must
+        # degrade to a no-op, not kill the writer.
+        fsync_dir(tmp_path / "nope")
+
+
+class TestPublishBytes:
+    def test_publishes_atomically(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        out = publish_bytes(target, b"hello world")
+        assert out == target
+        assert target.read_bytes() == b"hello world"
+        # No temp debris under any outcome.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        publish_bytes(target, b"old")
+        publish_bytes(target, b"new contents")
+        assert target.read_bytes() == b"new contents"
+
+    def test_durable_false_skips_fsync(self, tmp_path):
+        calls = []
+
+        class Spy(StoreIO):
+            def fsync(self, handle):
+                calls.append("fsync")
+                super().fsync(handle)
+
+            def fsync_dir(self, path):
+                calls.append("fsync_dir")
+
+        publish_bytes(tmp_path / "a", b"x", durable=False, io=Spy())
+        assert calls == []
+        publish_bytes(tmp_path / "b", b"x", durable=True, io=Spy())
+        assert calls == ["fsync", "fsync_dir"]
+
+    def test_publish_text_roundtrip(self, tmp_path):
+        target = tmp_path / "doc.json"
+        publish_text(target, '{"a": 1}\n')
+        assert target.read_text(encoding="utf-8") == '{"a": 1}\n'
+
+    def test_published_hook_sees_final_path(self, tmp_path):
+        seen = []
+
+        class Spy(StoreIO):
+            def published(self, path, kind="file"):
+                seen.append((path, kind))
+
+        target = tmp_path / "seg-000001.edges"
+        publish_bytes(target, b"data", kind="segment", io=Spy())
+        assert seen == [(target, "segment")]
+
+
+class TestUnarmedStoreIO:
+    """The production path: plain os semantics, zero decisions."""
+
+    def test_default_io_is_unarmed(self):
+        assert DEFAULT_IO.armed is False
+
+    def test_write_and_fsync_pass_through(self, tmp_path):
+        io = StoreIO()
+        path = tmp_path / "f"
+        with open(path, "wb") as handle:
+            io.write(handle, b"payload")
+            io.fsync(handle)
+        assert path.read_bytes() == b"payload"
+
+    def test_replace_passes_through(self, tmp_path):
+        io = StoreIO()
+        src = tmp_path / "src"
+        dst = tmp_path / "dst"
+        src.write_bytes(b"v2")
+        dst.write_bytes(b"v1")
+        io.replace(src, dst, kind="checkpoint")
+        assert dst.read_bytes() == b"v2"
+        assert not src.exists()
+
+    def test_hooks_are_no_ops(self, tmp_path):
+        io = StoreIO()
+        io.published(tmp_path / "whatever", kind="segment")
+        with open(tmp_path / "j", "wb") as handle:
+            io.flushed(handle, tmp_path / "j", 0)
+        io.bind_clock(object())
+
+    def test_state_roundtrip_is_empty(self):
+        io = StoreIO()
+        state = io.export_state()
+        assert state == {}
+        io.restore_state(state)
+
+
+@pytest.mark.parametrize("payload", [b"", b"x", b"a" * 100_000])
+def test_publish_sizes(tmp_path, payload):
+    target = tmp_path / "sized.bin"
+    publish_bytes(target, payload)
+    assert target.read_bytes() == payload

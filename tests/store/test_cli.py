@@ -98,3 +98,54 @@ class TestKillAndResume:
         assert main(run_args(reference)) == 0
         capsys.readouterr()
         assert main(["verify", "--dir", str(camp), "--against", str(reference)]) == 0
+
+
+class TestFsckCommand:
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        camp = tmp_path / "camp"
+        assert main(run_args(camp)) == 0
+        capsys.readouterr()
+        assert main(["fsck", "--dir", str(camp)]) == 0
+        assert "[clean]" in capsys.readouterr().out
+
+        assert main(["fsck", "--dir", str(camp), "--scrub", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "clean"
+        assert report["schema"] == 1
+
+    def test_damage_report_repair_cycle(self, tmp_path, capsys):
+        from repro.store.campaign import CHECKPOINTS_DIR
+        from repro.store.checkpoint import list_checkpoint_paths
+
+        camp = tmp_path / "camp"
+        assert main(run_args(camp)) == 0
+        newest = list_checkpoint_paths(camp / CHECKPOINTS_DIR)[-1]
+        newest.write_bytes(newest.read_bytes()[:-7])
+        capsys.readouterr()
+
+        assert main(["fsck", "--dir", str(camp)]) == 71
+        assert "crc_mismatch" in capsys.readouterr().out
+        assert main(["fsck", "--dir", str(camp), "--repair"]) == 0
+        assert "healed" in capsys.readouterr().out
+        assert main(["fsck", "--dir", str(camp)]) == 0
+
+    def test_lost_journal_exits_72(self, tmp_path, capsys):
+        camp = tmp_path / "camp"
+        assert main(run_args(camp)) == 0
+        (camp / "journal.wal").unlink()
+        capsys.readouterr()
+        assert main(["fsck", "--dir", str(camp)]) == 72
+        assert "LOST pages" in capsys.readouterr().out
+
+
+class TestSuperviseCommand:
+    def test_supervise_clean_run(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("PYTHONPATH", str(SRC_DIR))
+        camp = tmp_path / "camp"
+        assert main([
+            "supervise", "--dir", str(camp), *RUN_ARGS,
+            "--backoff-base", "0.01", "--backoff-cap", "0.05",
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["outcome"] == "complete"
+        assert (camp / "supervise_report.json").exists()

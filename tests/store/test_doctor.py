@@ -1,0 +1,304 @@
+"""fsck: verification, damage classification, repair, loss accounting.
+
+A single small campaign is built once per module; every test damages a
+fresh copy of it, so the matrix stays fast while each cell exercises the
+real on-disk layout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import Registry
+from repro.store.campaign import (
+    CHECKPOINTS_DIR,
+    JOURNAL_NAME,
+    SEGMENTS_DIR,
+    CampaignConfig,
+    CrawlCampaign,
+)
+from repro.store.checkpoint import list_checkpoint_paths, load_checkpoint
+from repro.store.doctor import LOSS_MANIFEST_NAME, QUARANTINE_DIR, fsck
+from repro.store.journal import scan
+from repro.store.segments import iter_segment_paths, read_segment
+
+CONFIG = CampaignConfig(
+    n_users=500,
+    seed=17,
+    n_machines=4,
+    checkpoint_every_pages=60,
+    shard_edges=512,
+)
+
+
+@pytest.fixture(scope="module")
+def finished_campaign(tmp_path_factory) -> Path:
+    directory = tmp_path_factory.mktemp("doctor") / "camp"
+    CrawlCampaign(directory, CONFIG).run(registry=Registry())
+    return directory
+
+
+@pytest.fixture
+def camp(finished_campaign, tmp_path) -> Path:
+    copy = tmp_path / "camp"
+    shutil.copytree(finished_campaign, copy)
+    return copy
+
+
+def tree_digest(directory: Path) -> dict[str, str]:
+    return {
+        str(p.relative_to(directory)): hashlib.md5(p.read_bytes()).hexdigest()
+        for p in sorted(directory.rglob("*"))
+        if p.is_file()
+    }
+
+
+class TestCleanDirectory:
+    def test_clean_status(self, camp):
+        report = fsck(camp, registry=Registry())
+        assert report.status == "clean"
+        assert report.ok
+        assert report.findings == []
+        assert report.lost_page_range is None
+
+    def test_repair_scrub_is_byte_level_noop(self, camp):
+        before = tree_digest(camp)
+        report = fsck(camp, repair=True, scrub=True, registry=Registry())
+        assert report.status == "clean"
+        assert tree_digest(camp) == before
+        assert not (camp / QUARANTINE_DIR).exists()
+
+    def test_report_schema(self, camp):
+        doc = fsck(camp, registry=Registry()).to_json_dict()
+        assert doc["schema"] == 1
+        assert doc["status"] == "clean"
+        assert doc["n_pages_claimed"] == doc["n_pages_recovered"]
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+
+def damage_truncate(path: Path) -> None:
+    size = path.stat().st_size
+    with open(path, "r+b") as handle:
+        handle.truncate(max(1, size - max(3, size // 4)))
+
+
+def damage_flip(path: Path) -> None:
+    size = path.stat().st_size
+    offset = int(size * 0.85)
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0x40]))
+
+
+def damage_delete(path: Path) -> None:
+    path.unlink()
+
+
+DAMAGES = {"truncate": damage_truncate, "flip": damage_flip, "delete": damage_delete}
+
+
+def append_journal_tail(camp: Path, n_records: int = 3) -> None:
+    """Leave flushed-but-uncheckpointed records past the newest cut.
+
+    A completed (or in-process-crashed) campaign always ends with a
+    checkpoint at the journal's very end, so this is how the matrix gets
+    the state a real SIGKILL leaves: durable journal bytes the next
+    checkpoint never covered.
+    """
+    from repro.store.campaign import KIND_PAGE
+    from repro.store.journal import JournalWriter
+
+    writer = JournalWriter(camp / JOURNAL_NAME, registry=Registry())
+    for index in range(n_records):
+        writer.append(KIND_PAGE, b'{"tail": %d}' % index)
+    writer.close()
+
+
+def tail_truncate(path: Path) -> None:
+    os.truncate(path, path.stat().st_size - 3)
+
+
+def tail_flip(path: Path) -> None:
+    size = path.stat().st_size
+    with open(path, "r+b") as handle:
+        handle.seek(size - 2)
+        byte = handle.read(1)
+        handle.seek(size - 2)
+        handle.write(bytes([byte[0] ^ 0x40]))
+
+
+class TestCorruptionMatrix:
+    """Every (damage × file kind) cell classifies and repairs correctly."""
+
+    @pytest.mark.parametrize("damage", [tail_truncate, tail_flip], ids=["truncate", "flip"])
+    def test_journal_tail_damage_is_recoverable(self, camp, damage):
+        # Damage confined to records past the newest checkpoint's offset
+        # tears the valid prefix without touching anything durable.
+        append_journal_tail(camp)
+        assert fsck(camp, registry=Registry()).status == "clean"
+        damage(camp / JOURNAL_NAME)
+        report = fsck(camp, registry=Registry())
+        assert report.status == "needs-repair"
+        problems = {f.problem for f in report.findings}
+        assert "torn_tail" in problems
+        assert report.lost_page_range is None
+
+        repaired = fsck(camp, repair=True, registry=Registry())
+        assert repaired.status == "repaired"
+        assert not scan(camp / JOURNAL_NAME).torn
+        assert fsck(camp, registry=Registry()).status == "clean"
+
+    def test_journal_delete_is_loss(self, camp):
+        claimed = max(
+            load_checkpoint(p).n_pages
+            for p in list_checkpoint_paths(camp / CHECKPOINTS_DIR)
+        )
+        damage_delete(camp / JOURNAL_NAME)
+        report = fsck(camp, registry=Registry())
+        assert report.status == "unrecoverable"
+        assert report.chosen_checkpoint is None
+        assert report.lost_page_range == [1, claimed]
+
+        repaired = fsck(camp, repair=True, registry=Registry())
+        assert repaired.status == "unrecoverable"
+        manifest = json.loads((camp / LOSS_MANIFEST_NAME).read_text())
+        assert manifest["lost_page_range"] == [1, claimed]
+        assert manifest["lost_pages"] == claimed
+        # The unsatisfiable checkpoints were preserved, not deleted.
+        assert (camp / QUARANTINE_DIR / CHECKPOINTS_DIR).is_dir()
+
+    @pytest.mark.parametrize("damage", ["truncate", "flip", "delete"])
+    def test_segment_damage_rebuilds_byte_identical(self, camp, damage):
+        target = iter_segment_paths(camp / SEGMENTS_DIR)[0]
+        pristine = target.read_bytes()
+        DAMAGES[damage](target)
+        report = fsck(camp, registry=Registry())
+        assert report.status == "needs-repair"
+        finding = next(f for f in report.findings if f.path.endswith(target.name))
+        assert finding.severity == "recoverable_from_journal"
+        assert finding.action == "rebuild"
+
+        repaired = fsck(camp, repair=True, registry=Registry())
+        assert repaired.status == "repaired"
+        assert target.read_bytes() == pristine
+        read_segment(target)  # verifies CRC
+        assert fsck(camp, registry=Registry()).status == "clean"
+
+    @pytest.mark.parametrize("damage", ["truncate", "flip"])
+    def test_checkpoint_damage_falls_back_to_older(self, camp, damage):
+        paths = list_checkpoint_paths(camp / CHECKPOINTS_DIR)
+        assert len(paths) >= 2, "matrix needs at least two checkpoints"
+        newest, fallback = paths[-1], paths[-2]
+        fallback_record = load_checkpoint(fallback)
+        DAMAGES[damage](newest)
+
+        report = fsck(camp, registry=Registry())
+        assert report.status == "needs-repair"
+        finding = next(f for f in report.findings if f.path.endswith(newest.name))
+        assert finding.problem == "crc_mismatch"
+        assert finding.severity == "quarantinable"
+        # Newest-verifiable-wins: the older checkpoint is the cut now.
+        assert report.chosen_checkpoint == fallback_record.sequence
+        assert report.n_pages_recovered == fallback_record.n_pages
+
+        repaired = fsck(camp, repair=True, registry=Registry())
+        assert repaired.status == "repaired"
+        assert not newest.exists()
+        assert (camp / QUARANTINE_DIR / CHECKPOINTS_DIR / newest.name).exists()
+        assert fsck(camp, registry=Registry()).status == "clean"
+
+    def test_checkpoint_delete_leaves_older_cut(self, camp):
+        paths = list_checkpoint_paths(camp / CHECKPOINTS_DIR)
+        fallback_record = load_checkpoint(paths[-2])
+        damage_delete(paths[-1])
+        # A vanished checkpoint leaves no evidence — the directory is
+        # simply an older (consistent) version of itself.
+        report = fsck(camp, registry=Registry())
+        assert report.status == "clean"
+        assert report.chosen_checkpoint == fallback_record.sequence
+
+
+class TestOtherDamage:
+    def test_stray_tmp_files_quarantined(self, camp):
+        (camp / SEGMENTS_DIR / "seg-000099.edges.tmp").write_bytes(b"half")
+        (camp / "manifest.json.tmp").write_bytes(b"half")
+        report = fsck(camp, repair=True, registry=Registry())
+        assert report.status == "repaired"
+        assert not (camp / SEGMENTS_DIR / "seg-000099.edges.tmp").exists()
+        assert not (camp / "manifest.json.tmp").exists()
+        assert (camp / QUARANTINE_DIR / "manifest.json.tmp").exists()
+
+    def test_unreferenced_corrupt_segment_quarantined(self, camp):
+        names = [p.name for p in iter_segment_paths(camp / SEGMENTS_DIR)]
+        last = int(names[-1][4:10])
+        stray = camp / SEGMENTS_DIR / f"seg-{last + 1:06d}.edges"
+        stray.write_bytes(b"RSEG1\n garbage")
+        report = fsck(camp, repair=True, registry=Registry())
+        assert report.status == "repaired"
+        assert not stray.exists()
+        assert fsck(camp, registry=Registry()).status == "clean"
+
+    def test_multi_damage_single_repair_pass(self, camp):
+        # Rot a segment AND the newest checkpoint AND leave tmp debris:
+        # one --repair pass must settle all of it.
+        damage_flip(iter_segment_paths(camp / SEGMENTS_DIR)[0])
+        damage_flip(list_checkpoint_paths(camp / CHECKPOINTS_DIR)[-1])
+        (camp / "junk.tmp").write_bytes(b"x")
+        repaired = fsck(camp, repair=True, registry=Registry())
+        assert repaired.status == "repaired"
+        assert fsck(camp, registry=Registry()).status == "clean"
+
+    def test_early_journal_rot_is_exact_loss(self, camp):
+        # Flip a byte in the journal's early history: the valid prefix
+        # collapses below every checkpoint's offset — provable loss with
+        # an exact page range.
+        path = camp / JOURNAL_NAME
+        with open(path, "r+b") as handle:
+            handle.seek(10)
+            byte = handle.read(1)
+            handle.seek(10)
+            handle.write(bytes([byte[0] ^ 0x01]))
+        claimed = max(
+            load_checkpoint(p).n_pages
+            for p in list_checkpoint_paths(camp / CHECKPOINTS_DIR)
+        )
+        report = fsck(camp, repair=True, registry=Registry())
+        assert report.status == "unrecoverable"
+        assert report.lost_page_range == [1, claimed]
+        manifest = json.loads((camp / LOSS_MANIFEST_NAME).read_text())
+        assert manifest["lost_page_range"] == [1, claimed]
+
+    def test_scrub_catches_crc_preserving_damage(self, camp):
+        # Rewrite a referenced segment with self-consistent (CRC-valid)
+        # but wrong contents — only --scrub's journal cross-check sees it.
+        import numpy as np
+
+        from repro.store.segments import write_segment
+
+        target = iter_segment_paths(camp / SEGMENTS_DIR)[0]
+        pristine = target.read_bytes()
+        n = len(read_segment(target)[0])
+        write_segment(target, np.zeros(n, dtype=np.int64), np.zeros(n, dtype=np.int64))
+        assert fsck(camp, registry=Registry()).status == "clean"  # CRC lies
+
+        report = fsck(camp, scrub=True, repair=True, registry=Registry())
+        assert report.status == "repaired"
+        assert any(f.problem == "journal_mismatch" for f in report.findings)
+        assert target.read_bytes() == pristine
+
+    def test_fsck_metrics(self, camp):
+        registry = Registry()
+        damage_flip(iter_segment_paths(camp / SEGMENTS_DIR)[0])
+        fsck(camp, repair=True, registry=registry)
+        snap = {m["name"]: m for m in registry.snapshot()["metrics"]}
+        assert "store.fsck.runs" in snap
+        assert "store.fsck.findings" in snap
+        assert "store.fsck.repairs" in snap

@@ -1,0 +1,183 @@
+"""The crash supervisor: exit taxonomy, stall watchdog, chaos-to-completion.
+
+The supervisor always drives real child processes (``python -m
+repro.store resume``), so these are end-to-end tests by construction —
+the kill/hang switches ride in ``child_args`` exactly the way the CI
+chaos job arms them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.faults import get_disk_scenario, get_scenario
+from repro.obs.metrics import Registry
+from repro.store.campaign import (
+    ARCHIVE_DIR,
+    CampaignConfig,
+    CrawlCampaign,
+    dataset_diff,
+)
+from repro.store.doctor import LOSS_MANIFEST_NAME, fsck
+from repro.store.exitcodes import (
+    EXIT_CORRUPT,
+    EXIT_OK,
+    EXIT_RESUMABLE,
+    EXIT_UNRECOVERABLE,
+    EXIT_USAGE,
+    classify,
+)
+from repro.store.supervisor import (
+    SUPERVISE_REPORT_NAME,
+    CampaignSupervisor,
+    SupervisorConfig,
+)
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+#: Small, fast campaign shape shared by every supervised run here.
+BASE = dict(
+    n_users=500,
+    seed=17,
+    n_machines=4,
+    checkpoint_every_pages=40,
+    shard_edges=512,
+)
+#: Tight retry/breaker knobs so injected network chaos doesn't stretch
+#: the virtual clock (mirrors the CLI's chaos defaults).
+RESILIENCE = {"initial_backoff": 0.02, "max_backoff": 0.5, "breaker_cooldown": 0.25}
+
+FAST = dict(backoff_base=0.01, backoff_cap=0.05, poll_interval=0.1)
+
+
+@pytest.fixture(autouse=True)
+def _child_pythonpath(monkeypatch):
+    # The children are real subprocesses; they must import repro the
+    # same way this test run does.
+    monkeypatch.setenv("PYTHONPATH", str(SRC_DIR))
+
+
+class TestExitCodeTaxonomy:
+    @pytest.mark.parametrize(
+        ("code", "word"),
+        [
+            (EXIT_OK, "ok"),
+            (EXIT_RESUMABLE, "resumable"),
+            (EXIT_CORRUPT, "corrupt"),
+            (EXIT_UNRECOVERABLE, "unrecoverable"),
+            (EXIT_USAGE, "fatal"),
+            (1, "fatal"),
+            (-9, "killed"),   # SIGKILL as Popen reports it
+            (137, "killed"),  # SIGKILL as a shell reports it
+        ],
+    )
+    def test_classify(self, code, word):
+        assert classify(code) == word
+
+
+class TestSupervisedCompletion:
+    def test_clean_run_completes_first_try(self, tmp_path):
+        camp = tmp_path / "camp"
+        CrawlCampaign(camp, CampaignConfig(**BASE))
+        registry = Registry()
+        result = CampaignSupervisor(
+            camp, SupervisorConfig(**FAST), registry=registry
+        ).run()
+        assert result.completed
+        assert result.restarts == 0
+        assert [a["outcome"] for a in result.attempts] == ["ok"]
+        assert result.final_fsck is not None and result.final_fsck.status == "clean"
+
+        report = json.loads((camp / SUPERVISE_REPORT_NAME).read_text())
+        assert report["schema"] == 1
+        assert report["outcome"] == "complete"
+        snap = {m["name"] for m in registry.snapshot()["metrics"]}
+        assert "supervisor.spawns" in snap
+
+    def test_chaos_supervised_to_bit_identical_dataset(self, tmp_path):
+        """The headline guarantee, end to end.
+
+        Network chaos + a SIGKILL every 150 pages + scripted disk rot:
+        the supervisor must still finish, and the dataset must be
+        bit-identical to a clean-disk run of the same crawl (disk faults
+        and kills never alter crawl decisions — they only cost retries).
+        """
+        chaos = tmp_path / "chaos"
+        CrawlCampaign(
+            chaos,
+            CampaignConfig(
+                **BASE,
+                faults=get_scenario("flaky-fleet"),
+                resilience=RESILIENCE,
+                disk_faults=get_disk_scenario("full-grind"),
+            ),
+        )
+        result = CampaignSupervisor(
+            chaos,
+            SupervisorConfig(**FAST),
+            child_args=["--kill-after-pages", "150"],
+            registry=Registry(),
+        ).run()
+        assert result.completed, result.to_json_dict()
+        assert result.restarts >= 1  # the kills actually happened
+        killed = [a for a in result.attempts if a["outcome"] == "killed"]
+        assert killed, "every incarnation but the last should die by SIGKILL"
+
+        # The store survives a full read-back including the deep scrub.
+        assert fsck(chaos, scrub=True, registry=Registry()).status == "clean"
+
+        reference = tmp_path / "reference"
+        ref_dataset = CrawlCampaign(
+            reference,
+            CampaignConfig(
+                **BASE, faults=get_scenario("flaky-fleet"), resilience=RESILIENCE
+            ),
+        ).run(registry=Registry())
+        from repro.crawler import CrawlDataset
+
+        chaos_dataset = CrawlDataset.load(chaos / ARCHIVE_DIR)
+        assert dataset_diff(chaos_dataset, ref_dataset) == []
+
+    def test_journal_loss_halts_with_exact_manifest(self, tmp_path):
+        """When the journal itself vanishes, no amount of restarting
+        helps: the supervisor must stop, say ``unrecoverable``, and name
+        the exact page range that is gone."""
+        camp = tmp_path / "camp"
+        CrawlCampaign(
+            camp,
+            CampaignConfig(**BASE, disk_faults=get_disk_scenario("journal-vanishes")),
+        )
+        result = CampaignSupervisor(
+            camp, SupervisorConfig(max_restarts=3, **FAST), registry=Registry()
+        ).run()
+        assert result.outcome == "unrecoverable"
+        assert not result.completed
+        assert result.final_fsck is not None
+        lost = result.final_fsck.lost_page_range
+        assert lost is not None and lost[0] == 1 and lost[1] >= 1
+
+        manifest = json.loads((camp / LOSS_MANIFEST_NAME).read_text())
+        assert manifest["lost_page_range"] == lost
+        assert manifest["lost_pages"] == lost[1] - lost[0] + 1
+        report = json.loads((camp / SUPERVISE_REPORT_NAME).read_text())
+        assert report["outcome"] == "unrecoverable"
+
+    def test_stalled_child_is_detected_and_killed(self, tmp_path):
+        camp = tmp_path / "camp"
+        CrawlCampaign(camp, CampaignConfig(**BASE))
+        registry = Registry()
+        result = CampaignSupervisor(
+            camp,
+            SupervisorConfig(max_restarts=0, heartbeat_timeout=3.0, **FAST),
+            child_args=["--hang-after-pages", "50"],
+            registry=registry,
+        ).run()
+        assert result.outcome == "gave-up"
+        assert [a["outcome"] for a in result.attempts] == ["stalled"]
+        stalls = registry.counter(
+            "supervisor.stalls", "Children SIGKILL'd for a stale heartbeat"
+        )
+        assert stalls.value() == 1
