@@ -86,6 +86,10 @@ class CircleStore:
         that became *new* contacts, in first-added order.
         """
         target_ids = [int(t) for t in target_ids]
+        if not target_ids:
+            # Zero add() calls create nothing — neither may an empty
+            # batch, or a phantom empty circle appears in circle_names().
+            return []
         owner_id = self.owner_id
         all_members = self.all_members
         if any(t == owner_id for t in target_ids):
@@ -106,9 +110,13 @@ class CircleStore:
     def remove(self, target_id: int, circle: str | None = None) -> bool:
         """Remove a contact from one circle, or from all circles.
 
-        Returns True when the social link disappeared entirely (the target
-        is no longer in any circle of this owner).
+        Returns True when an *existing* social link disappeared entirely
+        (the target was in some circle and is now in none). Removing a
+        target that was never a contact returns False — callers key
+        follower-list cleanup off this, so a spurious True would claim a
+        link died that never existed.
         """
+        was_linked = target_id in self.all_members
         if circle is not None:
             if circle not in self.members_by_circle:
                 raise UnknownCircleError(self.owner_id, circle)
@@ -121,11 +129,20 @@ class CircleStore:
         )
         if not still_linked:
             self.all_members.pop(target_id, None)
-        return not still_linked
+        return was_linked and not still_linked
 
     def contains(self, target_id: int) -> bool:
         """True when the target is in at least one circle of this owner."""
         return target_id in self.all_members
+
+    def member_of(self, target_id: int, circle: str) -> bool:
+        """True when the target is in the named circle (missing = False).
+
+        The read primitive behind CUSTOM privacy checks: callers go
+        through this instead of reaching into ``members_by_circle`` so
+        alternative stores can answer without materializing dicts.
+        """
+        return target_id in self.members_by_circle.get(circle, ())
 
     def circles_of(self, target_id: int) -> list[str]:
         """Names of the owner's circles containing the target."""

@@ -93,6 +93,11 @@ class _Account:
 class GooglePlusService:
     """In-process simulation of the Google+ social networking service."""
 
+    #: Which backing store implements the service state; the columnar
+    #: subclass overrides this (``WorldConfig.store`` selects between
+    #: them — see docs/storage.md).
+    backend = "dict"
+
     def __init__(
         self,
         open_signup: bool = False,
@@ -515,9 +520,9 @@ class GooglePlusService:
     def circles_containing(self, owner_id, viewer_id, names) -> tuple[str, ...]:
         """Which of the owner's named circles hold the viewer, in the
         order ``names`` lists them (for CUSTOM privacy classing)."""
-        by_circle = self._account(owner_id).circles.members_by_circle
+        circles = self._account(owner_id).circles
         return tuple(
-            name for name in names if viewer_id in by_circle.get(name, {})
+            name for name in names if circles.member_of(viewer_id, name)
         )
 
     # -- profile mutation ----------------------------------------------------
@@ -578,7 +583,7 @@ class GooglePlusService:
             )
         # CUSTOM: the viewer must be in one of the named circles.
         return any(
-            viewer_id in owner.circles.members_by_circle.get(name, {})
+            owner.circles.member_of(viewer_id, name)
             for name in entry.privacy.custom_circles
         )
 
@@ -667,7 +672,7 @@ class GooglePlusService:
             return True
         author = self._account(post.author_id)
         return any(
-            viewer_id in author.circles.members_by_circle.get(name, {})
+            author.circles.member_of(viewer_id, name)
             for name in post.to_circles
         )
 

@@ -179,6 +179,13 @@ class CampaignConfig:
     #: into the manifest so every resumed incarnation replays the same
     #: disk chaos.  None = the disk is trustworthy.
     disk_faults: dict | None = None
+    #: World generation engine (``"reference"`` | ``"fast"``) — frozen so
+    #: a resumed campaign rebuilds the identical world.
+    engine: str = "reference"
+    #: Service backing store (``"dict"`` | ``"columnar"``).  Columnar is
+    #: what lets million-user campaigns fit in RAM (docs/storage.md);
+    #: both stores rebuild state-identical worlds from the same seed.
+    store: str = "dict"
 
     def to_json_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
@@ -574,6 +581,8 @@ class CrawlCampaign:
                 n_users=cfg.n_users,
                 seed=cfg.seed,
                 circle_display_limit=cfg.circle_display_limit,
+                engine=cfg.engine,
+                store=cfg.store,
             )
         )
         traffic = None

@@ -112,6 +112,13 @@ class WorldConfig:
     #: bit-identical — at a fraction of the time and memory. See
     #: ``docs/synth.md`` for the equivalence contract.
     engine: str = "reference"
+    #: Backing store of the built service. ``"dict"`` is the per-object
+    #: reference store; ``"columnar"`` is the struct-of-arrays store
+    #: (:mod:`repro.platform.columnar`) that holds profiles as interned
+    #: columns and circles as CSR arrays — state-identical behind the
+    #: same service API, and the only store that fits million-user
+    #: worlds in laptop RAM. See ``docs/storage.md``.
+    store: str = "dict"
 
     def __post_init__(self) -> None:
         if self.n_users < 200:
@@ -119,6 +126,10 @@ class WorldConfig:
         if self.engine not in ("reference", "fast"):
             raise ValueError(
                 f"engine must be 'reference' or 'fast', got {self.engine!r}"
+            )
+        if self.store not in ("dict", "columnar"):
+            raise ValueError(
+                f"store must be 'dict' or 'columnar', got {self.store!r}"
             )
         if not 0.0 <= self.field_trial_fraction <= 1.0:
             raise ValueError("field_trial_fraction must be in [0, 1]")

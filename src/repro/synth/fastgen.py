@@ -349,8 +349,11 @@ def _generate_graph_fast(
     # vectorized open-addressing hash set (:class:`_KeySet`), replacing
     # the reference's per-user member sets. Membership and insertion are
     # whole-array probes — a handful of numpy ops per batch instead of
-    # one Python hash operation per key.
-    seen = _KeySet(expected=int(out_wish.sum()) * 2 + 1024)
+    # one Python hash operation per key. Inserted keys = accepted edges:
+    # forward (≤ the wish total) plus follow-backs (~half of forward at
+    # the calibrated reciprocity), so 1.5× the wish total covers the
+    # insert load with margin; _KeySet doubles that for the table.
+    seen = _KeySet(expected=int(out_wish.sum() * 1.5) + 1024)
     seen_mask = seen.contains
 
     # Wish-buffer CSR: per-user slices of one flat array hold each user's
@@ -360,9 +363,14 @@ def _generate_graph_fast(
     # here (their count is not known up front), so they are invisible to
     # triadic hop sampling — a documented deviation from the reference
     # engine, revalidated by the calibration acceptance suite.
+    # User ids fit int32 at any supported scale; the wish buffer and the
+    # accepted-edge chunks are the O(edges) resident arrays, so halving
+    # their width halves the growth loop's standing footprint (keys and
+    # arithmetic stay int64 — only storage narrows).
+    edge_dtype = np.int32 if n < 2**31 else np.int64
     off = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(out_wish, out=off[1:])
-    buf = np.zeros(int(off[-1]), dtype=np.int64)
+    buf = np.zeros(int(off[-1]), dtype=edge_dtype)
     fill = np.zeros(n, dtype=np.int64)
 
     out_len = np.zeros(n, dtype=np.int64)
@@ -569,8 +577,8 @@ def _generate_graph_fast(
             acc_keys = np.concatenate(acc_parts)
             src_arr = acc_keys // n
             dst_arr = acc_keys - src_arr * n
-            chunk_src.append(src_arr)
-            chunk_dst.append(dst_arr)
+            chunk_src.append(src_arr.astype(edge_dtype))
+            chunk_dst.append(dst_arr.astype(edge_dtype))
             edges_forward += len(src_arr)
             np.add.at(in_degree, dst_arr, 1)
             np.add.at(out_len, src_arr, 1)
@@ -618,8 +626,8 @@ def _generate_graph_fast(
                 seen.add(fb_keys)
                 fsrc = fb_keys // n
                 fdst = fb_keys - fsrc * n
-                chunk_src.append(fsrc)
-                chunk_dst.append(fdst)
+                chunk_src.append(fsrc.astype(edge_dtype))
+                chunk_dst.append(fdst.astype(edge_dtype))
                 edges_followback += len(fsrc)
                 np.add.at(in_degree, fdst, 1)
                 np.add.at(out_len, fsrc, 1)
@@ -640,18 +648,24 @@ def _generate_graph_fast(
     if stubs:
         metrics["retry_fraction"].set(retries / stubs)
 
+    # Release the growth-loop state before materialising the final
+    # arrays: the hash table and wish buffer are the two biggest
+    # allocations, and holding them across the concatenate would stack
+    # the peak RSS instead of pipelining it.
+    del seen, seen_mask, buf, fill
+
     if chunk_src:
         sources = np.concatenate(chunk_src)
         targets_arr = np.concatenate(chunk_dst)
+        chunk_src.clear()
+        chunk_dst.clear()
         # Emit edges grouped by source (stable, so a user's contacts stay
         # in acceptance order): deterministic, and downstream bulk ingest
         # sorts by owner anyway, so handing it nearly-sorted input makes
         # the service phase cheaper.
-        order = np.argsort(
-            sources.astype(np.int32) if n < 2**31 else sources, kind="stable"
-        )
-        sources = sources[order]
-        targets_arr = targets_arr[order]
+        order = np.argsort(sources, kind="stable")
+        sources = sources[order].astype(np.int64)
+        targets_arr = targets_arr[order].astype(np.int64)
     else:
         sources = np.empty(0, dtype=np.int64)
         targets_arr = np.empty(0, dtype=np.int64)

@@ -21,9 +21,11 @@ caller's ``Generator`` in a fixed order and the phone prefix uses
 from __future__ import annotations
 
 import zlib
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.platform.columnar import ABSENT, ColumnarProfileStore, FieldColumn
 from repro.platform.models import (
     ContactInfo,
     FieldValue,
@@ -109,18 +111,38 @@ def _decision_matrices(
     return status, level
 
 
-def _places_values(
+@dataclass
+class _PlacesPlan:
+    """Every RNG-derived ingredient of the places-lived lists, as arrays.
+
+    ``owners`` (ascending) are the users whose field is present;
+    ``offsets`` is the CSR cut of the previous-place rows per owner.
+    Both assemblers — dict and columnar — construct identical
+    :class:`Place` values from this plan; the columnar store keeps the
+    plan itself and builds the lists only on access.
+    """
+
+    owners: np.ndarray
+    offsets: np.ndarray
+    prev_codes: list[str]
+    prev_city: np.ndarray
+    prev_lat: np.ndarray
+    prev_lon: np.ndarray
+    names_of: dict[str, list[str]]
+
+
+def _places_plan(
     population: Population,
     config: WorldConfig,
     sampler: CitySampler,
     present: np.ndarray,
     rng: np.random.Generator,
-) -> dict[int, list[Place]]:
-    """Places-lived lists for every user whose field is present.
+) -> _PlacesPlan:
+    """Draw previous places for every present owner, in one batch.
 
-    Previous places are drawn in one batch across the population (foreign
-    flag, country, city, jittered coordinates), then sliced per owner; the
-    current city always closes the list, as in the reference.
+    The draw order (multi flag, extra count, foreign flag, foreign
+    country, city, jittered coordinates) is the RNG contract both
+    profile assemblers rely on.
     """
     owners = np.flatnonzero(present)
     n_present = len(owners)
@@ -134,27 +156,48 @@ def _places_values(
     foreign = rng.random(total) < config.profiles.foreign_previous_place_prob
     prev_codes = codes[prev_owner].copy()
     prev_codes[foreign] = gaz_codes[rng.integers(0, len(gaz_codes), size=int(foreign.sum()))]
-    prev_list = [str(c) for c in prev_codes]
+    # One shared str per country code, not one per row.
+    interned: dict[str, str] = {}
+    prev_list = [interned.setdefault(c, c) for c in map(str, prev_codes)]
     prev_city = sampler.sample_city_indices(prev_list, rng)
     prev_lat, prev_lon = sampler.coordinates_for_many(prev_list, prev_city, rng)
-
     names_of = {
         code: [c.name for c in sampler.cities_of(code)] for code in sampler.countries()
     }
+    offsets = np.zeros(n_present + 1, dtype=np.int64)
+    np.cumsum(extra, out=offsets[1:])
+    return _PlacesPlan(
+        owners=owners,
+        offsets=offsets,
+        prev_codes=prev_list,
+        prev_city=prev_city,
+        prev_lat=prev_lat,
+        prev_lon=prev_lon,
+        names_of=names_of,
+    )
+
+
+def _places_values(
+    population: Population, plan: _PlacesPlan
+) -> dict[int, list[Place]]:
+    """Materialize every present owner's places-lived list from the plan."""
+    names_of = plan.names_of
     prev_places = [
         Place(names_of[code][city], lat, lon, code)
         for code, city, lat, lon in zip(
-            prev_list, prev_city.tolist(), prev_lat.tolist(), prev_lon.tolist()
+            plan.prev_codes,
+            plan.prev_city.tolist(),
+            plan.prev_lat.tolist(),
+            plan.prev_lon.tolist(),
         )
     ]
-    offsets = np.zeros(n_present + 1, dtype=np.int64)
-    np.cumsum(extra, out=offsets[1:])
+    offsets = plan.offsets
     city_idx = population.city_indices
     lats = population.latitudes
     lons = population.longitudes
     result: dict[int, list[Place]] = {}
     country_list = population.country_codes
-    for row, user_id in enumerate(owners.tolist()):
+    for row, user_id in enumerate(plan.owners.tolist()):
         code = country_list[user_id]
         places = prev_places[offsets[row] : offsets[row + 1]]
         places.append(
@@ -167,6 +210,110 @@ def _places_values(
         )
         result[user_id] = places
     return result
+
+
+def _places_formula(population: Population, plan: _PlacesPlan):
+    """Per-user places-lived builder over the plan arrays (columnar path).
+
+    Constructs the same list :func:`_places_values` stores, but only when
+    a profile view is actually read — nothing is resident per user.
+    """
+    owners = plan.owners
+    offsets = plan.offsets
+    names_of = plan.names_of
+    country_list = population.country_codes
+    city_idx = population.city_indices
+    lats = population.latitudes
+    lons = population.longitudes
+
+    def places_of(user_id: int) -> list[Place]:
+        row = int(np.searchsorted(owners, user_id))
+        places = [
+            Place(
+                names_of[plan.prev_codes[j]][int(plan.prev_city[j])],
+                float(plan.prev_lat[j]),
+                float(plan.prev_lon[j]),
+                plan.prev_codes[j],
+            )
+            for j in range(int(offsets[row]), int(offsets[row + 1]))
+        ]
+        code = country_list[user_id]
+        places.append(
+            Place(
+                names_of[code][int(city_idx[user_id])],
+                float(lats[user_id]),
+                float(lons[user_id]),
+                code,
+            )
+        )
+        return places
+
+    return places_of
+
+
+@dataclass
+class _ProfileDraws:
+    """Every random draw behind a profile batch, in the order drawn.
+
+    Both assemblers consume this one plan, so a seed produces the same
+    profile semantics whether the result is a dict of
+    :class:`UserProfile` objects or a :class:`ColumnarProfileStore`.
+    """
+
+    lists_public: np.ndarray
+    gender_public: np.ndarray
+    gender_level: np.ndarray
+    status: np.ndarray
+    level: np.ndarray
+    places: _PlacesPlan
+    looking_idx: np.ndarray
+    tel_roll: np.ndarray
+    sliver: np.ndarray
+    sliver_level: np.ndarray
+
+
+def _draw_profile_plan(
+    population: Population,
+    config: WorldConfig,
+    sampler: CitySampler,
+    rng: np.random.Generator,
+) -> _ProfileDraws:
+    """All profile-stage RNG consumption, in the pinned order."""
+    n = population.n
+    openness = np.array(
+        [population.countries[c].openness for c in population.country_codes]
+    )
+    lists_public = rng.random(n) >= config.profiles.private_lists_prob
+    # Gender availability barely varies by culture; soft openness exponent,
+    # exactly as the reference.
+    gender_p = np.minimum(
+        0.999, FIELD_SHARE_PROBABILITY["gender"] * openness**0.05
+    )
+    # Note: the reference routes gender around decide(), so the celebrity
+    # forced-public rule never applies to it; mirror that exactly.
+    gender_public = rng.random(n) < gender_p
+    gender_level = rng.integers(0, len(_HIDDEN_LEVELS), size=n)
+    status, level = _decision_matrices(population, config, openness, rng)
+    places_col = _DECIDE_FIELDS.index("places_lived")
+    places = _places_plan(
+        population, config, sampler, status[:, places_col] > 0, rng
+    )
+    looking_idx = rng.integers(0, len(LookingFor), size=n)
+    tel_roll = rng.random(n)
+    sliver = rng.random(n) < 0.01
+    sliver_level = rng.integers(0, len(_HIDDEN_LEVELS), size=n)
+    return _ProfileDraws(
+        lists_public=lists_public,
+        gender_public=gender_public,
+        gender_level=gender_level,
+        status=status,
+        level=level,
+        places=places,
+        looking_idx=looking_idx,
+        tel_roll=tel_roll,
+        sliver=sliver,
+        sliver_level=sliver_level,
+    )
 
 
 def build_profiles_fast(
@@ -182,35 +329,17 @@ def _build_profiles_fast(
 ) -> dict[int, UserProfile]:
     n = population.n
     sampler = CitySampler()
-    openness = np.array(
-        [population.countries[c].openness for c in population.country_codes]
-    )
-    lists_public = (
-        rng.random(n) >= config.profiles.private_lists_prob
-    ).tolist()
-
-    # Gender availability barely varies by culture; soft openness exponent,
-    # exactly as the reference.
-    gender_p = np.minimum(
-        0.999, FIELD_SHARE_PROBABILITY["gender"] * openness**0.05
-    )
-    # Note: the reference routes gender around decide(), so the celebrity
-    # forced-public rule never applies to it; mirror that exactly.
-    gender_public = rng.random(n) < gender_p
-    gender_level = rng.integers(0, len(_HIDDEN_LEVELS), size=n)
-
-    status, level = _decision_matrices(population, config, openness, rng)
-    places_col = _DECIDE_FIELDS.index("places_lived")
-    places = _places_values(
-        population, config, sampler, status[:, places_col] > 0, rng
-    )
-
+    draws = _draw_profile_plan(population, config, sampler, rng)
+    lists_public = draws.lists_public.tolist()
+    gender_public = draws.gender_public
+    gender_level = draws.gender_level
+    status, level = draws.status, draws.level
+    places = _places_values(population, draws.places)
     looking_for_options = list(LookingFor)
-    looking_idx = rng.integers(0, len(looking_for_options), size=n)
-
-    tel_roll = rng.random(n).tolist()
-    sliver = rng.random(n) < 0.01
-    sliver_level = rng.integers(0, len(_HIDDEN_LEVELS), size=n).tolist()
+    looking_idx = draws.looking_idx
+    tel_roll = draws.tel_roll.tolist()
+    sliver = draws.sliver
+    sliver_level = draws.sliver_level.tolist()
 
     both_frac = config.profiles.tel_both_fraction
     work_frac = both_frac + config.profiles.tel_work_only_fraction
@@ -378,3 +507,160 @@ def _build_profiles_fast(
             lists_public=lists_public[user_id],
         )
     return profiles
+
+
+#: Field-dict insertion order of both fast assemblers: gender opens every
+#: dict, the decide() columns follow in reference order, contacts close.
+_FAST_KEY_SEQUENCE: tuple[str, ...] = (
+    "gender",
+    *_DECIDE_FIELDS,
+    "work_contact",
+    "home_contact",
+)
+
+
+def build_profile_columns_fast(
+    population: Population, config: WorldConfig, rng: np.random.Generator
+) -> ColumnarProfileStore:
+    """Profiles as a :class:`ColumnarProfileStore` — no object per user.
+
+    Consumes the RNG in exactly the same order as
+    :func:`build_profiles_fast`, so the same seed yields the same world
+    whether it is assembled as dicts or as columns: every profile view
+    read from the columnar store equals the :class:`UserProfile` the
+    dict assembler would have built.  Field values that repeat across
+    the population live in small interned tables (gender, occupation,
+    relationship, looking-for); per-user values (places, URLs, contact
+    blocks) are derived from the user id and the draw plan on access,
+    so the resident cost per field is two bytes of privacy code plus at
+    most four bytes of value code per user.
+    """
+    with gc_paused():
+        return _build_profile_columns_fast(population, config, rng)
+
+
+def _build_profile_columns_fast(
+    population: Population, config: WorldConfig, rng: np.random.Generator
+) -> ColumnarProfileStore:
+    n = population.n
+    sampler = CitySampler()
+    d = _draw_profile_plan(population, config, sampler, rng)
+    levels_all = list((PUBLIC, *_HIDDEN_LEVELS))
+    absent = int(ABSENT)
+    columns: dict[str, FieldColumn] = {}
+
+    # Gender is present on every profile; privacy code 0 = public,
+    # 1 + j = the j-th hidden level — the same coding every column uses.
+    gcode = np.where(d.gender_public, 0, d.gender_level + 1).astype(np.uint16)
+    gender_vals = list(dict.fromkeys(population.genders))
+    gender_index = {v: j for j, v in enumerate(gender_vals)}
+    gvcode = np.fromiter(
+        map(gender_index.__getitem__, population.genders), np.uint32, count=n
+    )
+    columns["gender"] = FieldColumn(
+        pcode=gcode, privacies=levels_all, values=gender_vals, vcode=gvcode
+    )
+
+    def _const(value):
+        return lambda user_id: value
+
+    def _listing(template: str, period: int):
+        return lambda user_id: [template.format(user_id % period)]
+
+    occ_vals = list(dict.fromkeys(population.occupations))
+    occ_index = {v: j for j, v in enumerate(occ_vals)}
+    rel_vals = list(dict.fromkeys(population.relationships))
+    rel_index = {v: j for j, v in enumerate(rel_vals)}
+    formulas = {
+        "places_lived": _places_formula(population, d.places),
+        "education": lambda user_id: f"Studied at University {user_id % 409}",
+        "employment": lambda user_id: f"Works at Company {user_id % 997}",
+        "phrase": _const("Carpe diem"),
+        "other_profiles": lambda user_id: [f"https://social.example/{user_id}"],
+        "contributor_to": _listing("https://blog.example/{}", 211),
+        "introduction": _const("Hi, I joined Google+!"),
+        "other_names": lambda user_id: f"U{user_id:06d}",
+        "bragging_rights": _const("Survived the invite queue"),
+        "recommended_links": _listing("https://links.example/{}", 53),
+    }
+    tables = {
+        "occupation": (
+            [OCCUPATION_LABELS[v] for v in occ_vals],
+            np.fromiter(
+                map(occ_index.__getitem__, population.occupations),
+                np.uint32,
+                count=n,
+            ),
+        ),
+        "relationship": (
+            rel_vals,
+            np.fromiter(
+                map(rel_index.__getitem__, population.relationships),
+                np.uint32,
+                count=n,
+            ),
+        ),
+        "looking_for": (list(LookingFor), d.looking_idx.astype(np.uint32)),
+    }
+    for col, key in enumerate(_DECIDE_FIELDS):
+        scol = d.status[:, col]
+        code = np.where(scol == 1, 0, d.level[:, col].astype(np.int32) + 1)
+        pcode = np.where(scol > 0, code, absent).astype(np.uint16)
+        if key in tables:
+            values, vcode = tables[key]
+            columns[key] = FieldColumn(
+                pcode=pcode, privacies=levels_all, values=values, vcode=vcode
+            )
+        else:
+            columns[key] = FieldColumn(
+                pcode=pcode, privacies=levels_all, formula=formulas[key]
+            )
+
+    # Contact blocks: tel-users public, the email-only sliver hidden.
+    both_frac = config.profiles.tel_both_fraction
+    work_frac = both_frac + config.profiles.tel_work_only_fraction
+    tel = population.tel_users
+    work_pcode = np.full(n, absent, dtype=np.uint16)
+    home_pcode = np.full(n, absent, dtype=np.uint16)
+    work_pcode[tel & (d.tel_roll < work_frac)] = 0
+    home_pcode[tel & ((d.tel_roll < both_frac) | (d.tel_roll >= work_frac))] = 0
+    sliver_only = d.sliver & ~tel
+    work_pcode[sliver_only] = (d.sliver_level[sliver_only] + 1).astype(np.uint16)
+
+    prefix_of = {
+        code: (zlib.crc32(code.encode("ascii")) % 90) + 10
+        for code in set(population.country_codes)
+    }
+    prefix = np.fromiter(
+        map(prefix_of.__getitem__, population.country_codes), np.int16, count=n
+    )
+    tel_flags = tel
+
+    def _tel_contact(user_id: int) -> ContactInfo:
+        return ContactInfo(
+            phone=f"+{prefix[user_id]} 555 {user_id % 10_000:04d}",
+            email=f"user{user_id}@example.com",
+        )
+
+    def _work_value(user_id: int) -> ContactInfo:
+        if tel_flags[user_id]:
+            return _tel_contact(user_id)
+        return ContactInfo(email=f"user{user_id}@example.com")
+
+    columns["work_contact"] = FieldColumn(
+        pcode=work_pcode, privacies=levels_all, formula=_work_value
+    )
+    columns["home_contact"] = FieldColumn(
+        pcode=home_pcode, privacies=levels_all, formula=_tel_contact
+    )
+
+    return ColumnarProfileStore(
+        n=n,
+        columns=columns,
+        lists_public=d.lists_public,
+        name_overrides={
+            user_id: spec.name
+            for user_id, spec in population.celebrity_spec.items()
+        },
+        key_sequence=_FAST_KEY_SEQUENCE,
+    )

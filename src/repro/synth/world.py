@@ -14,6 +14,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.obs import trace
+from repro.platform.columnar import (
+    ColumnarGooglePlusService,
+    ColumnarProfileStore,
+    ProfilesView,
+)
 from repro.platform.gcpause import gc_paused
 from repro.platform.http import HttpFrontend, SimulatedClock
 from repro.platform.models import UserProfile
@@ -21,7 +26,7 @@ from repro.platform.service import GooglePlusService
 
 from .config import WorldConfig
 from .fastgen import generate_graph_fast
-from .fastprofiles import build_profiles_fast
+from .fastprofiles import build_profile_columns_fast, build_profiles_fast
 from .graphgen import GeneratedGraph, generate_graph
 from .profiles import Population, build_profiles, generate_population
 
@@ -35,7 +40,11 @@ class SyntheticWorld:
 
     config: WorldConfig
     population: Population
-    profiles: dict[int, UserProfile]
+    #: ``{user_id: profile}`` ground truth — a plain dict of
+    #: :class:`UserProfile` under the dict store, a lazy
+    #: :class:`~repro.platform.columnar.ProfilesView` under the columnar
+    #: store (same mapping protocol, no object per user).
+    profiles: dict[int, UserProfile] | ProfilesView
     graph: GeneratedGraph
     service: GooglePlusService
     clock: SimulatedClock
@@ -80,6 +89,44 @@ class SyntheticWorld:
             if spec.global_rank == 2:
                 return user_id
         raise RuntimeError("world has no rank-2 global celebrity")
+
+
+def _populate_service_columnar(
+    world_config: WorldConfig,
+    population: Population,
+    profile_store: ColumnarProfileStore,
+    graph: GeneratedGraph,
+    rng: np.random.Generator,
+) -> ColumnarGooglePlusService:
+    """Columnar counterpart of :func:`_populate_service`.
+
+    Registration and edge planting collapse into one bulk ingest.  The
+    RNG draws of the dict path (inviter rolls, circle rolls) are kept in
+    the exact same order, so a seed builds the same world under either
+    store; the field-trial inviter validation is skipped because the
+    generator's inviters are valid by construction (each user is invited
+    by an earlier trial user).
+    """
+    service = ColumnarGooglePlusService(
+        open_signup=True,
+        circle_display_limit=world_config.circle_display_limit,
+    )
+    n = population.n
+    trial_count = max(1, int(round(world_config.field_trial_fraction * n)))
+    rng.integers(0, trial_count, size=n)  # the dict path's inviter rolls
+    circle_rolls = rng.integers(0, len(_CIRCLE_LABELS), size=graph.n_edges)
+    # Narrow before ingest: holding the int64 draw alongside the CSR
+    # build costs O(edges) for nothing.
+    circle_rolls = circle_rolls.astype(np.uint8)
+    service.ingest_world(
+        profile_store,
+        graph.sources,
+        graph.targets,
+        _CIRCLE_LABELS,
+        circle_rolls,
+        exempt_ids=population.celebrity_spec,
+    )
+    return service
 
 
 def _populate_service(
@@ -129,31 +176,46 @@ def build_world(config: WorldConfig | None = None) -> SyntheticWorld:
     config = config if config is not None else WorldConfig()
     rng = np.random.default_rng(config.seed)
     fast = config.engine == "fast"
+    columnar = config.store == "columnar"
     # One GC pause across the whole fast build: the stage-local pauses
     # nest inside it (gc_paused is re-entrant), so the collector sweeps
     # the finished world once instead of after every stage.
     pause = gc_paused() if fast else nullcontext()
     with trace.span(
-        "synth.build_world", users=config.n_users, engine=config.engine
+        "synth.build_world",
+        users=config.n_users,
+        engine=config.engine,
+        store=config.store,
     ), pause:
         with trace.span("synth.population"):
             population = generate_population(config, rng)
         with trace.span("synth.profiles"):
-            if fast:
+            if fast and columnar:
+                # The memory-diet path: columns assembled directly, no
+                # UserProfile object ever exists for the base world.
+                profile_store = build_profile_columns_fast(population, config, rng)
+            elif fast:
                 profiles = build_profiles_fast(population, config, rng)
             else:
                 profiles = build_profiles(population, config, rng)
+                if columnar:
+                    profile_store = ColumnarProfileStore.from_profiles(profiles)
         with trace.span("synth.graphgen"):
             if fast:
                 graph = generate_graph_fast(population, config.graph, rng)
             else:
                 graph = generate_graph(population, config.graph, rng)
         with trace.span("synth.service"):
-            service = _populate_service(config, population, profiles, graph, rng)
+            if columnar:
+                service = _populate_service_columnar(
+                    config, population, profile_store, graph, rng
+                )
+            else:
+                service = _populate_service(config, population, profiles, graph, rng)
     return SyntheticWorld(
         config=config,
         population=population,
-        profiles=profiles,
+        profiles=ProfilesView(service) if columnar else profiles,
         graph=graph,
         service=service,
         clock=SimulatedClock(),

@@ -53,11 +53,14 @@ class ServiceMachine(RuleBasedStateMachine):
         account = self.service._account(u)
         if circle not in account.circles.members_by_circle:
             return
+        was_linked = (u, v) in self.links
         fully_removed = self.service.remove_from_circle(u, v, circle)
         if fully_removed:
+            # True means an existing link died — never-members report False.
+            assert was_linked
             self.links.discard((u, v))
         else:
-            assert (u, v) in self.links
+            assert (u, v) in self.links or not was_linked
 
     @invariant()
     def links_match_model(self):

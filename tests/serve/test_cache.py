@@ -268,6 +268,78 @@ class TestExactInvalidation:
                 )
 
 
+class TestRandomizedMutationStorm:
+    """Cached bytes == uncached bytes under a seeded random mutation storm.
+
+    Heavy on removals — including circle-scoped removals and removals of
+    never-members — because stale memoized circle intersections after
+    ``CircleStore.remove`` are exactly the regression this guards
+    against. Runs on both backing stores: the columnar view must
+    invalidate identically to the dict reference.
+    """
+
+    @pytest.mark.parametrize("store", ["dict", "columnar"])
+    def test_storm_with_removals_stays_byte_identical(self, store):
+        import random
+
+        from repro.synth import build_world, WorldConfig
+
+        world = build_world(
+            WorldConfig(n_users=600, seed=13, engine="fast", store=store)
+        )
+        service = world.service
+        cache = make_cache(service)
+        rng = random.Random(99)
+        users = sorted(service.user_ids())
+        owners = rng.sample(users, 12)
+        viewers = [None] + rng.sample(users, 6) + owners[:3]
+        checks = [(o, v) for o in owners for v in viewers]
+        privacies = [PUBLIC, YOUR_CIRCLES, EXTENDED_CIRCLES, ONLY_YOU]
+
+        def mutate_once():
+            kind = rng.randrange(10)
+            u = rng.choice(owners)
+            if kind < 4:  # removals dominate the storm
+                followees = service.followees(u)
+                if kind == 0 or not followees:
+                    # Never-member (or empty) removal: must be a clean no-op.
+                    service.remove_from_circle(u, rng.choice(users))
+                elif kind == 1:
+                    circles = service._account(u).circles
+                    v = rng.choice(followees)
+                    service.remove_from_circle(
+                        u, v, rng.choice(circles.circles_of(v))
+                    )
+                else:
+                    service.remove_from_circle(u, rng.choice(followees))
+            elif kind < 7:
+                v = rng.choice(users)
+                if v != u:
+                    service.add_to_circle(u, v, rng.choice(("friends", "vips")))
+            elif kind < 9:
+                service.update_field(
+                    u,
+                    rng.choice(("occupation", "introduction", "education")),
+                    f"value-{rng.randrange(1000)}",
+                    custom("vips") if kind == 8 else rng.choice(privacies),
+                )
+            else:
+                service.set_lists_public(u, bool(rng.randrange(2)))
+
+        for _ in range(40):
+            for owner_id, viewer_id in checks:
+                cache.lookup(owner_id, viewer_id)  # prime, so staleness shows
+            mutate_once()
+            for owner_id, viewer_id in checks:
+                page, _ = cache.lookup(owner_id, viewer_id)
+                expected = service.profile_page(owner_id, viewer_id)
+                assert page_to_bytes(page) == page_to_bytes(expected), (
+                    store,
+                    owner_id,
+                    viewer_id,
+                )
+
+
 class TestCacheState:
     def test_export_restore_roundtrip(self):
         service = build_service()
